@@ -1,0 +1,67 @@
+"""Ablation: UVM sensitivity to the GPU memory capacity.
+
+The paper explains the SK outlier (only 1.21x over UVM, 1.14x amplification)
+by the graph almost fitting in the 16GB V100.  This ablation sweeps the
+simulated device-memory capacity for one graph and shows the crossover: once
+the edge list fits, UVM stops thrashing and catches up with (and passes)
+zero-copy, which still pays the link on every access.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.config import default_system
+from repro.graph.datasets import load_dataset, pick_sources
+from repro.traversal.api import bfs
+from repro.types import AccessStrategy
+
+from .conftest import emit
+
+CAPACITY_FRACTIONS = (0.25, 0.5, 0.75, 1.25)
+
+
+def sweep_gpu_memory(symbol="GU"):
+    graph = load_dataset(symbol)
+    source = int(pick_sources(graph, 1, seed=19)[0])
+    base = default_system()
+    rows = []
+    for fraction in CAPACITY_FRACTIONS:
+        capacity = int(graph.edge_list_bytes * fraction) + 4 * 1024 * 1024
+        system = base.with_gpu_memory(capacity)
+        uvm = bfs(graph, source, strategy=AccessStrategy.UVM, system=system)
+        emogi = bfs(graph, source, strategy=AccessStrategy.MERGED_ALIGNED, system=system)
+        rows.append(
+            [
+                fraction,
+                round(uvm.metrics.io_amplification, 3),
+                round(uvm.seconds * 1e3, 3),
+                round(emogi.seconds * 1e3, 3),
+                round(uvm.seconds / emogi.seconds, 3),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_gpu_memory(benchmark, results_dir):
+    rows = benchmark.pedantic(sweep_gpu_memory, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_gpu_memory",
+        format_table(
+            ["capacity_vs_edge_list", "uvm_amplification", "uvm_ms", "emogi_ms", "emogi_speedup"],
+            rows,
+            title="Ablation: UVM sensitivity to GPU memory capacity (BFS on GU)",
+        ),
+    )
+
+    by_fraction = {row[0]: row for row in rows}
+    # Amplification decreases monotonically as more of the graph fits.
+    amplifications = [by_fraction[f][1] for f in CAPACITY_FRACTIONS]
+    assert all(b <= a + 1e-6 for a, b in zip(amplifications, amplifications[1:]))
+    # Heavily oversubscribed memory: EMOGI wins clearly.
+    assert by_fraction[0.25][4] > 1.5
+    # Once the edge list fits, UVM catches up (amplification -> 1) and EMOGI's
+    # advantage disappears or reverses.
+    assert by_fraction[1.25][1] == pytest.approx(1.0, abs=0.05)
+    assert by_fraction[1.25][4] < by_fraction[0.25][4]

@@ -1,0 +1,65 @@
+"""Ablation: worker (sub-warp) size for the merged zero-copy kernel.
+
+§4.3.1 argues that when the interconnect is the bottleneck, shrinking the
+worker below a full 32-thread warp cannot help and usually hurts, because
+smaller workers issue smaller PCIe requests.  This ablation sweeps the worker
+size and confirms that a full warp is (at least tied for) the best choice on
+an out-of-memory graph.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.config import default_system
+from repro.graph.datasets import load_dataset, pick_sources
+from repro.traversal.api import bfs
+from repro.types import AccessStrategy
+
+from .conftest import emit
+
+WORKER_SIZES = (4, 8, 16, 32)
+
+
+def sweep_worker_sizes(symbol="GK"):
+    graph = load_dataset(symbol)
+    source = int(pick_sources(graph, 1, seed=13)[0])
+    base = default_system()
+    rows = []
+    for worker_size in WORKER_SIZES:
+        system = replace(base, gpu=replace(base.gpu, warp_size=worker_size))
+        result = bfs(graph, source, strategy=AccessStrategy.MERGED_ALIGNED, system=system)
+        rows.append(
+            [
+                worker_size,
+                round(result.seconds * 1e3, 3),
+                round(result.metrics.achieved_bandwidth_gbps, 2),
+                result.metrics.total_pcie_requests,
+                round(result.metrics.request_size_distribution[128], 3),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_worker_size(benchmark, results_dir):
+    rows = benchmark.pedantic(sweep_worker_sizes, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_worker_size",
+        format_table(
+            ["worker_threads", "time_ms", "pcie_gbps", "requests", "128B_fraction"],
+            rows,
+            title="Ablation: worker size for Merged+Aligned BFS on GK",
+        ),
+    )
+
+    by_size = {row[0]: row for row in rows}
+    times = {row[0]: row[1] for row in rows}
+    full_warp = times[32]
+    # A full warp is at least as fast as any sub-warp worker.
+    assert full_warp <= min(times.values()) * 1.02
+    # Smaller workers generate more, smaller requests.
+    assert by_size[4][3] >= by_size[32][3]
+    assert by_size[4][4] <= by_size[32][4]

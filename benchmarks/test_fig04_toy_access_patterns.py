@@ -1,0 +1,25 @@
+"""Figure 4: PCIe / DRAM bandwidth of the toy zero-copy access patterns."""
+
+import pytest
+
+from repro.bench.figures import figure4
+from repro.config import default_system
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_toy_access_patterns(benchmark, results_dir):
+    result = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    emit(results_dir, "figure04_toy_access_patterns", result.to_table())
+
+    bandwidth = {row[0]: row[1] for row in result.rows}
+    peak = default_system().pcie.block_transfer_gbps
+    # Strided access cannot come close to the link peak (paper: 4.74 GB/s).
+    assert bandwidth["strided"] < 0.6 * peak
+    # Merged + aligned saturates the measured cudaMemcpy peak (paper: 12.23).
+    assert bandwidth["merged_aligned"] == pytest.approx(peak, rel=0.05)
+    # Misalignment costs bandwidth relative to the aligned kernel.
+    assert bandwidth["merged_misaligned"] <= bandwidth["merged_aligned"]
+    # The UVM reference sits around 9 GB/s (paper: 9.11-9.26).
+    assert bandwidth["uvm"] == pytest.approx(9.0, abs=1.0)

@@ -1,0 +1,34 @@
+"""Figure 5: PCIe read-request size distribution for BFS."""
+
+import pytest
+
+from repro.bench.figures import figure5
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_request_size_distribution(benchmark, harness, results_dir):
+    result = benchmark.pedantic(figure5, args=(harness,), rounds=1, iterations=1)
+    emit(results_dir, "figure05_request_size_distribution", result.to_table())
+
+    rows = {(row[0], row[1]): row for row in result.rows}
+    for symbol in harness.config.symbols:
+        naive = rows[(symbol, "naive")]
+        merged = rows[(symbol, "merged")]
+        aligned = rows[(symbol, "merged_aligned")]
+        # Naive BFS is essentially all 32-byte requests (§5.3.1).
+        assert naive[2] > 0.98
+        # Merging raises the 128-byte fraction substantially...
+        assert merged[5] > 0.25
+        # ...and aligning raises it further (most on ML, least on GU).
+        assert aligned[5] > merged[5]
+    # ML, with its ~222 average degree, has the highest 128B share of all.
+    ml_aligned = rows[("ML", "merged_aligned")][5]
+    assert all(ml_aligned >= rows[(s, "merged_aligned")][5] for s in harness.config.symbols)
+    # GU benefits least from alignment (uniform low degrees, §5.3.1).
+    gains = {
+        s: rows[(s, "merged_aligned")][5] - rows[(s, "merged")][5]
+        for s in harness.config.symbols
+    }
+    assert gains["GU"] == min(gains.values())

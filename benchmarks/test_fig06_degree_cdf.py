@@ -1,0 +1,22 @@
+"""Figure 6: cumulative distribution of edges by vertex degree."""
+
+import pytest
+
+from repro.bench.figures import figure6
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_degree_cdf(benchmark, harness, results_dir):
+    result = benchmark.pedantic(figure6, args=(harness,), rounds=1, iterations=1)
+    emit(results_dir, "figure06_degree_cdf", result.to_table())
+
+    rows = {row[0]: row for row in result.rows}
+    # GU: effectively all edges belong to vertices of degree 16-48 (paper).
+    assert rows["GU"][3] > 0.9  # deg <= 48 covers nearly everything
+    assert rows["GU"][1] < 0.2  # almost nothing below degree 16
+    # ML: nearly no edges belong to small-degree vertices.
+    assert rows["ML"][6] < 0.2  # even deg <= 96 covers very little
+    # Heavy-tailed graphs keep a sizeable share of edges beyond degree 96.
+    assert rows["GK"][6] < 0.9

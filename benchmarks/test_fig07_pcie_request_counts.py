@@ -1,0 +1,21 @@
+"""Figure 7: total PCIe request counts for Naive / Merged / Merged+Aligned BFS."""
+
+import pytest
+
+from repro.bench.figures import figure7
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_pcie_request_counts(benchmark, harness, results_dir):
+    result = benchmark.pedantic(figure7, args=(harness,), rounds=1, iterations=1)
+    emit(results_dir, "figure07_pcie_request_counts", result.to_table())
+
+    for row in result.rows:
+        symbol, naive, merged, aligned, merged_reduction, aligned_reduction = row
+        # Merging drastically reduces the request count (paper: up to 83.3%).
+        assert merged_reduction > 0.5
+        # Alignment removes a further slice (paper: up to 28.8%).
+        assert 0.0 <= aligned_reduction < 0.45
+        assert aligned <= merged < naive

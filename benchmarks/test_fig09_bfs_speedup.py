@@ -1,0 +1,33 @@
+"""Figure 9: BFS speedup of the zero-copy variants over the UVM baseline."""
+
+import pytest
+
+from repro.bench.figures import PAPER_FIG9_AVERAGE_SPEEDUP, figure9
+from repro.types import AccessStrategy
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_bfs_speedup(benchmark, harness, results_dir):
+    result = benchmark.pedantic(figure9, args=(harness,), rounds=1, iterations=1)
+    emit(results_dir, "figure09_bfs_speedup", result.to_table())
+
+    average = result.row_for("Avg")
+    naive_avg, merged_avg, aligned_avg = average[1], average[2], average[3]
+
+    # Shape: Naive loses to UVM on average, the optimized kernels win big.
+    paper = PAPER_FIG9_AVERAGE_SPEEDUP
+    assert naive_avg < 1.0
+    assert merged_avg > 2.0
+    assert aligned_avg > merged_avg
+    # Rough magnitude agreement with the paper (0.73x / 3.24x / 3.56x).
+    assert naive_avg == pytest.approx(paper[AccessStrategy.NAIVE], abs=0.35)
+    assert aligned_avg == pytest.approx(paper[AccessStrategy.MERGED_ALIGNED], rel=0.45)
+
+    # Per-graph: SK (which almost fits in GPU memory) shows the smallest gain.
+    per_graph = {row[0]: row[3] for row in result.rows if row[0] != "Avg"}
+    assert per_graph["SK"] == min(per_graph.values())
+    for symbol, speedup in per_graph.items():
+        if symbol != "SK":
+            assert speedup > 1.0

@@ -1,0 +1,31 @@
+"""Figure 11: EMOGI speedup over UVM across SSSP, BFS and CC."""
+
+import pytest
+
+from repro.bench.figures import PAPER_FIG11_AVERAGE_SPEEDUP, figure11
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_figure11_all_applications(benchmark, harness, results_dir):
+    result = benchmark.pedantic(figure11, args=(harness,), rounds=1, iterations=1)
+    emit(results_dir, "figure11_all_apps", result.to_table())
+
+    rows = [row for row in result.rows if row[1] != "Avg"]
+    average = result.row_for("all")[2]
+
+    # EMOGI wins for every application and dataset.
+    for application, symbol, speedup in rows:
+        assert speedup > 1.0, f"{application}/{symbol} should beat UVM"
+
+    # Overall average in the ballpark of the paper's 2.92x.
+    assert average == pytest.approx(PAPER_FIG11_AVERAGE_SPEEDUP, rel=0.45)
+
+    # CC shows the smallest average speedup of the three applications (§5.4).
+    def app_mean(name):
+        values = [row[2] for row in rows if row[0] == name]
+        return sum(values) / len(values)
+
+    assert app_mean("cc") < app_mean("bfs")
+    assert app_mean("cc") < app_mean("sssp")

@@ -1,0 +1,30 @@
+"""Figure 12: scaling from PCIe 3.0 to PCIe 4.0 for UVM and EMOGI."""
+
+import pytest
+
+from repro.bench.figures import PAPER_FIG12_SCALING, figure12
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_figure12_pcie4_scaling(benchmark, harness, results_dir):
+    result = benchmark.pedantic(figure12, args=(harness,), rounds=1, iterations=1)
+    emit(results_dir, "figure12_pcie4_scaling", result.to_table())
+
+    scaling_row = result.rows[-1]
+    uvm_scaling, emogi_scaling = scaling_row[4], scaling_row[5]
+
+    # EMOGI converts most of the 2x link improvement into speedup; UVM cannot,
+    # because its page-fault handling is CPU-bound (paper: 1.9x vs 1.53x).
+    assert emogi_scaling > uvm_scaling
+    assert emogi_scaling > 1.6
+    assert uvm_scaling < 1.75
+    assert uvm_scaling == pytest.approx(PAPER_FIG12_SCALING["uvm"], abs=0.25)
+    assert emogi_scaling == pytest.approx(PAPER_FIG12_SCALING["emogi"], abs=0.3)
+
+    # Per-configuration sanity: EMOGI on PCIe 4.0 is the fastest column.
+    for row in result.rows[:-1]:
+        _, _, uvm3, emogi3, uvm4, emogi4 = row
+        assert emogi4 >= emogi3 > uvm3
+        assert emogi4 >= uvm4

@@ -1,0 +1,35 @@
+"""Table 2: the evaluation graphs and their scaled analogs."""
+
+import pytest
+
+from repro.bench.figures import table2
+from repro.config import DATASET_SCALE, default_system
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_datasets(benchmark, harness, results_dir):
+    result = benchmark.pedantic(table2, args=(harness,), rounds=1, iterations=1)
+    emit(results_dir, "table2_datasets", result.to_table())
+
+    gpu_memory = default_system().gpu.memory_bytes
+    for row in result.rows:
+        symbol = row[0]
+        paper_vertices, paper_edges = row[2], row[3]
+        scaled_vertices, scaled_edges = row[6], row[7]
+        average_degree = row[9]
+        # The scaling factor is respected for both vertices and edges.
+        assert scaled_vertices == pytest.approx(paper_vertices / DATASET_SCALE, rel=0.05)
+        assert scaled_edges == pytest.approx(paper_edges / DATASET_SCALE, rel=0.3)
+        # Average degree matches the original within a reasonable tolerance.
+        assert average_degree == pytest.approx(paper_edges / paper_vertices, rel=0.3)
+
+    # The defining property of the evaluation: every graph except SK has an
+    # edge list larger than the (scaled) GPU memory.
+    sizes = {row[0]: row[8] * 1e6 for row in result.rows}  # scaled_E_MB column
+    for symbol, size in sizes.items():
+        if symbol == "SK":
+            assert size < 1.05 * gpu_memory
+        else:
+            assert size > gpu_memory

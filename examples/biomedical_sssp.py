@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Biomedical hypothesis-generation scenario: SSSP on a MOLIERE analog.
+
+MOLIERE_2016 is a 6.7-billion-edge biomedical knowledge graph used for
+hypothesis generation; shortest weighted paths between concepts are its core
+query.  The graph's defining property for EMOGI is its very high average
+degree (~222 edges per vertex), which makes almost every zero-copy request a
+full 128-byte cache line once accesses are merged and aligned.
+
+This example runs weighted SSSP on the ML analog under all four strategies,
+shows the per-component time breakdown, and verifies that every strategy
+returns identical distances.
+
+Run with::
+
+    python examples/biomedical_sssp.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AccessStrategy, load_dataset, sssp
+from repro.bench.report import format_table
+from repro.graph.datasets import pick_sources
+
+STRATEGIES = (
+    AccessStrategy.UVM,
+    AccessStrategy.NAIVE,
+    AccessStrategy.MERGED,
+    AccessStrategy.MERGED_ALIGNED,
+)
+
+
+def main() -> None:
+    graph = load_dataset("ML")
+    source = int(pick_sources(graph, count=1, seed=23)[0])
+    print(
+        f"MOLIERE analog: |V|={graph.num_vertices:,} |E|={graph.num_edges:,}, "
+        f"average degree {graph.average_degree():.1f}, weighted"
+    )
+    print(f"computing shortest paths from concept vertex {source}\n")
+
+    rows = []
+    results = {}
+    for strategy in STRATEGIES:
+        result = sssp(graph, source, strategy=strategy)
+        results[strategy] = result
+        breakdown = result.metrics.breakdown
+        rows.append(
+            [
+                strategy.value,
+                round(result.seconds * 1e3, 3),
+                round(breakdown.interconnect_seconds * 1e3, 3),
+                round(breakdown.fault_handling_seconds * 1e3, 3),
+                round(breakdown.compute_seconds * 1e3, 3),
+                round(result.metrics.request_size_distribution[128] * 100, 1),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "time_ms", "pcie_ms", "fault_ms", "compute_ms", "128B_req_pct"],
+            rows,
+            title="Weighted SSSP on the MOLIERE analog",
+        )
+    )
+
+    uvm = results[AccessStrategy.UVM]
+    emogi = results[AccessStrategy.MERGED_ALIGNED]
+    assert np.allclose(uvm.values, emogi.values, equal_nan=True)
+    reachable = np.isfinite(emogi.values)
+    print()
+    print(f"EMOGI speedup over UVM: {uvm.seconds / emogi.seconds:.2f}x")
+    print(
+        f"reachable concepts: {int(reachable.sum()):,}, "
+        f"mean shortest distance {float(emogi.values[reachable].mean()):.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Interconnect scaling study: PCIe 3.0 vs PCIe 4.0 (the Figure 12 scenario).
+
+EMOGI's claim is that once zero-copy requests are merged and aligned, the
+traversal is limited only by interconnect bandwidth — so a faster link
+translates almost linearly into performance, whereas UVM is held back by its
+CPU-side page-fault handling.  This example reproduces that study on the
+DGX-A100-like platform for BFS and SSSP.
+
+Run with::
+
+    python examples/pcie_scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro import AccessStrategy, Application, ampere_pcie3, ampere_pcie4, load_dataset, run_average
+from repro.bench.report import format_table
+from repro.graph.datasets import pick_sources
+
+GRAPHS = ("GK", "FS", "ML")
+APPLICATIONS = (Application.BFS, Application.SSSP)
+
+
+def main() -> None:
+    pcie3 = ampere_pcie3()
+    pcie4 = ampere_pcie4()
+    print(f"platform A: {pcie3.name}  (peak {pcie3.pcie.block_transfer_gbps:.1f} GB/s)")
+    print(f"platform B: {pcie4.name}  (peak {pcie4.pcie.block_transfer_gbps:.1f} GB/s)\n")
+
+    rows = []
+    uvm_scalings = []
+    emogi_scalings = []
+    for application in APPLICATIONS:
+        for symbol in GRAPHS:
+            graph = load_dataset(symbol)
+            sources = pick_sources(graph, count=2, seed=3)
+            times = {}
+            for label, system in (("pcie3", pcie3), ("pcie4", pcie4)):
+                for strategy in (AccessStrategy.UVM, AccessStrategy.MERGED_ALIGNED):
+                    aggregate = run_average(
+                        application, graph, sources, strategy=strategy, system=system
+                    )
+                    times[(label, strategy)] = aggregate.mean_seconds
+            uvm_scale = times[("pcie3", AccessStrategy.UVM)] / times[("pcie4", AccessStrategy.UVM)]
+            emogi_scale = (
+                times[("pcie3", AccessStrategy.MERGED_ALIGNED)]
+                / times[("pcie4", AccessStrategy.MERGED_ALIGNED)]
+            )
+            uvm_scalings.append(uvm_scale)
+            emogi_scalings.append(emogi_scale)
+            rows.append(
+                [
+                    application.value,
+                    symbol,
+                    round(times[("pcie3", AccessStrategy.UVM)] * 1e3, 3),
+                    round(times[("pcie4", AccessStrategy.UVM)] * 1e3, 3),
+                    round(uvm_scale, 2),
+                    round(times[("pcie3", AccessStrategy.MERGED_ALIGNED)] * 1e3, 3),
+                    round(times[("pcie4", AccessStrategy.MERGED_ALIGNED)] * 1e3, 3),
+                    round(emogi_scale, 2),
+                ]
+            )
+    print(
+        format_table(
+            [
+                "app",
+                "graph",
+                "uvm_pcie3_ms",
+                "uvm_pcie4_ms",
+                "uvm_scaling",
+                "emogi_pcie3_ms",
+                "emogi_pcie4_ms",
+                "emogi_scaling",
+            ],
+            rows,
+            title="PCIe 3.0 -> 4.0 scaling",
+        )
+    )
+    print()
+    print(
+        f"average scaling with the 2x faster link: UVM "
+        f"{sum(uvm_scalings) / len(uvm_scalings):.2f}x, EMOGI "
+        f"{sum(emogi_scalings) / len(emogi_scalings):.2f}x "
+        "(the paper reports 1.53x and ~1.9x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

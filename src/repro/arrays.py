@@ -1,0 +1,44 @@
+"""Small vectorized array utilities shared across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ragged_gather_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[start, start+length)`` index ranges, fully vectorized.
+
+    Equivalent to ``np.concatenate([np.arange(s, s + l) for s, l in ...])`` but
+    runs in O(total output length) without a Python loop.  Empty ranges are
+    skipped.
+    """
+    starts = np.asarray(starts, dtype=np.int64).ravel()
+    lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    if starts.size != lengths.size:
+        raise ValueError("starts and lengths must have the same shape")
+    if np.any(lengths < 0):
+        raise ValueError("lengths cannot be negative")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    nonzero = lengths > 0
+    starts_nz = starts[nonzero]
+    lengths_nz = lengths[nonzero]
+    out_starts = np.concatenate(([0], np.cumsum(lengths_nz)[:-1]))
+    increments = np.ones(total, dtype=np.int64)
+    if starts_nz.size > 1:
+        previous_end = starts_nz[:-1] + lengths_nz[:-1]
+        increments[out_starts[1:]] = starts_nz[1:] - previous_end + 1
+    increments[0] = starts_nz[0]
+    return np.cumsum(increments)
+
+
+def repeat_by_counts(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """``np.repeat`` with validation, used to expand per-vertex data per edge."""
+    values = np.asarray(values)
+    counts = np.asarray(counts, dtype=np.int64)
+    if values.shape[0] != counts.shape[0]:
+        raise ValueError("values and counts must have the same length")
+    if np.any(counts < 0):
+        raise ValueError("counts cannot be negative")
+    return np.repeat(values, counts)

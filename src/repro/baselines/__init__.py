@@ -1,0 +1,15 @@
+"""Prior-work baselines the paper compares against in Table 3.
+
+* **HALO** [21] — locality-enhancing CSR reordering followed by UVM traversal
+  (its source is not public; we re-implement the idea).
+* **Subway** [45] — per-iteration active-subgraph compaction on the host plus
+  an explicit block transfer of the compacted (4-byte) edge list.
+
+Both baselines reuse the exact traversal algorithms from
+:mod:`repro.traversal`; only the memory/transfer cost model differs.
+"""
+
+from .halo import run_halo
+from .subway import SubwayEngine, run_subway
+
+__all__ = ["run_halo", "run_subway", "SubwayEngine"]

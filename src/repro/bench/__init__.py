@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerates every table and figure of the evaluation.
+
+Each ``figure*`` / ``table*`` function in :mod:`repro.bench.figures` runs the
+experiment behind one piece of Section 5 of the paper and returns a
+:class:`~repro.bench.figures.FigureResult` whose rows mirror what the paper
+plots; the pytest-benchmark modules under ``benchmarks/`` call these functions
+and print the resulting tables.
+"""
+
+from .harness import ExperimentConfig, ExperimentHarness
+from .report import format_table
+from . import figures
+
+__all__ = ["ExperimentConfig", "ExperimentHarness", "format_table", "figures"]

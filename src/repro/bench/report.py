@@ -1,0 +1,63 @@
+"""Plain-text rendering of benchmark results.
+
+The original paper presents its evaluation as bar charts; in a headless
+reproduction the same data is easier to consume as aligned ASCII tables, so
+every figure/table function renders through :func:`format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [
+            str(cell).ljust(widths[index]) for index, cell in enumerate(cells)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def format_key_values(pairs: dict[str, object], title: str | None = None) -> str:
+    """Render a dictionary of scalar results as aligned ``key: value`` lines."""
+    width = max((len(key) for key in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{key.ljust(width)} : {_format_cell(value)}" for key, value in pairs.items())
+    return "\n".join(lines)

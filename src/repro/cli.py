@@ -1,0 +1,81 @@
+"""Command-line entry point: regenerate any figure or table of the paper.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli figure9
+    python -m repro.cli all --sources 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench.figures import ALL_FIGURES, FigureResult
+from .bench.harness import ExperimentConfig, ExperimentHarness
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the EMOGI paper's evaluation figures and tables.",
+    )
+    parser.add_argument(
+        "target",
+        help="figure4..figure12, table2, table3, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--sources",
+        type=int,
+        default=4,
+        help="random source vertices per graph (the paper uses 64)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset down-scaling factor (default: 2000)",
+    )
+    return parser
+
+
+def _make_harness(args: argparse.Namespace) -> ExperimentHarness:
+    config = ExperimentConfig(num_sources=args.sources)
+    if args.scale is not None:
+        config = ExperimentConfig(num_sources=args.sources, scale=args.scale)
+    return ExperimentHarness(config=config)
+
+
+def _run_one(name: str, harness: ExperimentHarness) -> FigureResult:
+    function = ALL_FIGURES[name]
+    if name == "figure4":
+        return function()
+    return function(harness)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.target == "list":
+        print("\n".join(ALL_FIGURES))
+        return 0
+
+    targets = list(ALL_FIGURES) if args.target == "all" else [args.target]
+    unknown = [name for name in targets if name not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    harness = _make_harness(args)
+    for name in targets:
+        started = time.perf_counter()
+        result = _run_one(name, harness)
+        elapsed = time.perf_counter() - started
+        print(result.to_table())
+        print(f"(regenerated in {elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the EMOGI reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the broad failure categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A system / experiment configuration value is invalid or inconsistent."""
+
+
+class GraphFormatError(ReproError):
+    """A graph is structurally invalid (bad CSR offsets, negative IDs, ...)."""
+
+
+class AllocationError(ReproError):
+    """An allocation request cannot be satisfied by the simulated memory."""
+
+
+class SimulationError(ReproError):
+    """The memory/traversal simulation reached an inconsistent state."""
+
+
+class DatasetError(ReproError):
+    """A named evaluation dataset is unknown or could not be generated."""

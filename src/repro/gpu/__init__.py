@@ -1,0 +1,20 @@
+"""Minimal SIMT execution model: warps, kernels and exact coalescing.
+
+Only the aspects of GPU execution that determine EMOGI's behaviour are
+modelled: the 32-thread warp as the unit of memory coalescing, per-kernel
+launch overhead (one traversal iteration = one kernel launch, §4.2), and the
+mapping from per-lane addresses to PCIe requests.
+"""
+
+from .kernel import KernelLaunch, KernelStats
+from .simt import coalesce_thread_grid
+from .warp import WARP_SIZE, lanes_for_threads, num_warps
+
+__all__ = [
+    "WARP_SIZE",
+    "num_warps",
+    "lanes_for_threads",
+    "KernelLaunch",
+    "KernelStats",
+    "coalesce_thread_grid",
+]

@@ -1,0 +1,50 @@
+"""Kernel launch bookkeeping.
+
+EMOGI's vertex-centric traversal launches one kernel per traversal iteration
+(§4.2: the number of BFS kernels equals the distance from the source to the
+furthest reachable vertex), so launch overhead is part of the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .warp import WARP_SIZE, num_warps
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One simulated kernel launch."""
+
+    name: str
+    num_threads: int
+    iteration: int = 0
+
+    @property
+    def num_warps(self) -> int:
+        return num_warps(self.num_threads, WARP_SIZE)
+
+
+@dataclass
+class KernelStats:
+    """Aggregate statistics over all kernels launched during a run."""
+
+    launches: list[KernelLaunch] = field(default_factory=list)
+
+    def record(self, launch: KernelLaunch) -> None:
+        self.launches.append(launch)
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.launches)
+
+    @property
+    def total_threads(self) -> int:
+        return sum(launch.num_threads for launch in self.launches)
+
+    @property
+    def total_warps(self) -> int:
+        return sum(launch.num_warps for launch in self.launches)
+
+    def reset(self) -> None:
+        self.launches.clear()

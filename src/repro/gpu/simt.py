@@ -1,0 +1,43 @@
+"""Exact warp-by-warp coalescing of an arbitrary thread grid.
+
+This is the slow-but-exact reference used by the toy kernels and by tests to
+validate the vectorized span-based coalescing in :mod:`repro.memsim.coalescer`:
+threads are grouped into consecutive warps of 32 and each warp's addresses are
+coalesced independently, exactly as the GPU's load/store unit does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memsim.coalescer import RequestHistogram, coalesce_warp_addresses
+from .warp import WARP_SIZE
+
+
+def coalesce_thread_grid(
+    byte_addresses: np.ndarray,
+    access_bytes: int = 8,
+    active_mask: np.ndarray | None = None,
+    warp_size: int = WARP_SIZE,
+) -> RequestHistogram:
+    """Coalesce one memory instruction executed by a flat grid of threads.
+
+    ``byte_addresses[i]`` is the address accessed by thread ``i``; threads are
+    grouped into warps of ``warp_size`` consecutive threads.  Returns the
+    combined request histogram over all warps.
+    """
+    byte_addresses = np.asarray(byte_addresses, dtype=np.int64).ravel()
+    if active_mask is None:
+        active_mask = np.ones(byte_addresses.size, dtype=bool)
+    else:
+        active_mask = np.asarray(active_mask, dtype=bool).ravel()
+    histogram = RequestHistogram()
+    for start in range(0, byte_addresses.size, warp_size):
+        stop = min(start + warp_size, byte_addresses.size)
+        warp_histogram = coalesce_warp_addresses(
+            byte_addresses[start:stop],
+            access_bytes=access_bytes,
+            active_mask=active_mask[start:stop],
+        )
+        histogram.merge_in_place(warp_histogram)
+    return histogram

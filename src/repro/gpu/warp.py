@@ -1,0 +1,31 @@
+"""Warp geometry helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Number of threads per warp on every NVIDIA GPU the paper evaluates.
+WARP_SIZE = 32
+
+
+def num_warps(num_threads: int, warp_size: int = WARP_SIZE) -> int:
+    """Number of warps needed to run ``num_threads`` threads."""
+    if num_threads < 0:
+        raise SimulationError("num_threads cannot be negative")
+    return -(-num_threads // warp_size)
+
+
+def lanes_for_threads(num_threads: int, warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Lane index (0..warp_size-1) of each thread in a flat launch."""
+    if num_threads < 0:
+        raise SimulationError("num_threads cannot be negative")
+    return np.arange(num_threads, dtype=np.int64) % warp_size
+
+
+def warp_of_threads(num_threads: int, warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Warp index of each thread in a flat launch."""
+    if num_threads < 0:
+        raise SimulationError("num_threads cannot be negative")
+    return np.arange(num_threads, dtype=np.int64) // warp_size

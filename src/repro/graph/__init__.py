@@ -1,0 +1,37 @@
+"""Graph substrate: CSR representation, generators, datasets and analysis.
+
+The paper stores every input graph in compressed sparse row (CSR) format —
+one vertex-list (offset) array and one edge-list array (§2.1, Figure 1).  The
+:class:`~repro.graph.csr.CSRGraph` class is the single graph type used by the
+memory simulator, the traversal kernels and the baselines.
+"""
+
+from .builder import from_edge_array, from_neighbor_lists, symmetrize
+from .compression import CompressionSummary, compress_graph
+from .csr import CSRGraph
+from .datasets import DATASET_SYMBOLS, DatasetSpec, dataset_specs, load_dataset
+from .generators import (
+    dense_biomedical_graph,
+    powerlaw_graph,
+    rmat_graph,
+    uniform_random_graph,
+    web_graph,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_array",
+    "from_neighbor_lists",
+    "symmetrize",
+    "compress_graph",
+    "CompressionSummary",
+    "rmat_graph",
+    "uniform_random_graph",
+    "powerlaw_graph",
+    "web_graph",
+    "dense_biomedical_graph",
+    "DatasetSpec",
+    "DATASET_SYMBOLS",
+    "dataset_specs",
+    "load_dataset",
+]

@@ -1,0 +1,181 @@
+"""Helpers for constructing :class:`~repro.graph.csr.CSRGraph` instances."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import EDGE_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+from .csr import CSRGraph
+
+
+def from_edge_array(
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    num_vertices: int | None = None,
+    weights: np.ndarray | None = None,
+    directed: bool = True,
+    element_bytes: int = 8,
+    name: str = "graph",
+    remove_self_loops: bool = False,
+    deduplicate: bool = False,
+    sort_neighbors: bool = True,
+) -> CSRGraph:
+    """Build a CSR graph from parallel source/destination arrays.
+
+    When ``directed`` is False the edge set is symmetrized first (both
+    directions are stored, matching how the undirected evaluation graphs are
+    laid out in the paper's CSR files).
+    """
+    sources = np.asarray(sources, dtype=VERTEX_DTYPE).ravel()
+    destinations = np.asarray(destinations, dtype=EDGE_DTYPE).ravel()
+    if sources.size != destinations.size:
+        raise GraphFormatError("sources and destinations must have the same length")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=WEIGHT_DTYPE).ravel()
+        if weights.size != sources.size:
+            raise GraphFormatError("weights must have one entry per edge")
+
+    if sources.size and (sources.min() < 0 or destinations.min() < 0):
+        raise GraphFormatError("vertex IDs cannot be negative")
+
+    if num_vertices is None:
+        if sources.size:
+            num_vertices = int(max(sources.max(), destinations.max())) + 1
+        else:
+            num_vertices = 0
+    elif sources.size and max(int(sources.max()), int(destinations.max())) >= num_vertices:
+        raise GraphFormatError("edge endpoints exceed num_vertices")
+
+    if not directed:
+        sources, destinations, weights = _symmetrize_arrays(sources, destinations, weights)
+
+    if remove_self_loops and sources.size:
+        keep = sources != destinations
+        sources, destinations = sources[keep], destinations[keep]
+        if weights is not None:
+            weights = weights[keep]
+
+    if deduplicate and sources.size:
+        keys = sources * np.int64(num_vertices) + destinations
+        _, unique_idx = np.unique(keys, return_index=True)
+        unique_idx.sort()
+        sources, destinations = sources[unique_idx], destinations[unique_idx]
+        if weights is not None:
+            weights = weights[unique_idx]
+
+    offsets, edges, weights = _pack_csr(
+        sources, destinations, weights, num_vertices, sort_neighbors=sort_neighbors
+    )
+    return CSRGraph(
+        offsets=offsets,
+        edges=edges,
+        weights=weights,
+        directed=directed,
+        element_bytes=element_bytes,
+        name=name,
+    )
+
+
+def from_neighbor_lists(
+    neighbor_lists: Sequence[Iterable[int]],
+    weights: Sequence[Iterable[float]] | None = None,
+    directed: bool = True,
+    element_bytes: int = 8,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build a CSR graph from an explicit adjacency-list representation."""
+    num_vertices = len(neighbor_lists)
+    lists = [np.asarray(list(lst), dtype=EDGE_DTYPE) for lst in neighbor_lists]
+    degrees = np.array([lst.size for lst in lists], dtype=VERTEX_DTYPE)
+    offsets = np.zeros(num_vertices + 1, dtype=VERTEX_DTYPE)
+    np.cumsum(degrees, out=offsets[1:])
+    edges = (
+        np.concatenate(lists) if lists else np.empty(0, dtype=EDGE_DTYPE)
+    )
+    weight_array = None
+    if weights is not None:
+        if len(weights) != num_vertices:
+            raise GraphFormatError("weights must provide one list per vertex")
+        weight_lists = [np.asarray(list(w), dtype=WEIGHT_DTYPE) for w in weights]
+        for vertex, (lst, wlst) in enumerate(zip(lists, weight_lists)):
+            if lst.size != wlst.size:
+                raise GraphFormatError(f"vertex {vertex}: weight list length mismatch")
+        weight_array = (
+            np.concatenate(weight_lists) if weight_lists else np.empty(0, dtype=WEIGHT_DTYPE)
+        )
+    return CSRGraph(
+        offsets=offsets,
+        edges=edges,
+        weights=weight_array,
+        directed=directed,
+        element_bytes=element_bytes,
+        name=name,
+    )
+
+
+def symmetrize(graph: CSRGraph) -> CSRGraph:
+    """Return the undirected version of a graph (each edge stored both ways)."""
+    sources = graph.edge_sources()
+    dests = graph.edges
+    weights = graph.weights
+    sym_src, sym_dst, sym_w = _symmetrize_arrays(sources, dests, weights)
+    offsets, edges, packed_weights = _pack_csr(
+        sym_src, sym_dst, sym_w, graph.num_vertices, sort_neighbors=True
+    )
+    return CSRGraph(
+        offsets=offsets,
+        edges=edges,
+        weights=packed_weights,
+        directed=False,
+        element_bytes=graph.element_bytes,
+        name=f"{graph.name}-sym",
+        meta=dict(graph.meta),
+    )
+
+
+def _symmetrize_arrays(
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    weights: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Duplicate every edge in both directions, dropping exact duplicates."""
+    all_src = np.concatenate([sources, destinations])
+    all_dst = np.concatenate([destinations, sources])
+    all_w = np.concatenate([weights, weights]) if weights is not None else None
+    if all_src.size == 0:
+        return all_src, all_dst, all_w
+    num_vertices = int(max(all_src.max(), all_dst.max())) + 1
+    keys = all_src * np.int64(num_vertices) + all_dst
+    _, unique_idx = np.unique(keys, return_index=True)
+    unique_idx.sort()
+    all_src, all_dst = all_src[unique_idx], all_dst[unique_idx]
+    if all_w is not None:
+        all_w = all_w[unique_idx]
+    return all_src, all_dst, all_w
+
+
+def _pack_csr(
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    weights: np.ndarray | None,
+    num_vertices: int,
+    sort_neighbors: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Sort edges by source (and optionally destination) and build offsets."""
+    if sort_neighbors:
+        order = np.lexsort((destinations, sources))
+    else:
+        order = np.argsort(sources, kind="stable")
+    sources = sources[order]
+    destinations = destinations[order]
+    if weights is not None:
+        weights = weights[order]
+    counts = np.bincount(sources, minlength=num_vertices) if sources.size else np.zeros(
+        num_vertices, dtype=VERTEX_DTYPE
+    )
+    offsets = np.zeros(num_vertices + 1, dtype=VERTEX_DTYPE)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets, destinations.astype(EDGE_DTYPE), weights

@@ -1,0 +1,223 @@
+"""Compressed sparse row (CSR) graph representation.
+
+A :class:`CSRGraph` mirrors the layout the paper assumes (§2.1, Figure 1):
+
+* ``offsets`` — the *vertex list*: ``offsets[v]`` is the index in the edge
+  list where vertex ``v``'s neighbor list begins, ``offsets[v + 1]`` where it
+  ends.  ``len(offsets) == num_vertices + 1``.
+* ``edges`` — the *edge list*: all neighbor lists stored back to back.
+* ``weights`` — optional per-edge weights (4-byte values in the paper).
+
+``element_bytes`` records how many bytes one edge-list element occupies in the
+simulated memory (8 by default, 4 for the Subway comparison in Table 3); it
+only affects the simulated memory footprint and access addresses, never the
+numerical values stored here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import EDGE_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An immutable CSR graph.
+
+    Instances are normally built with the helpers in
+    :mod:`repro.graph.builder` or the generators in
+    :mod:`repro.graph.generators`; the constructor validates the structure.
+    """
+
+    offsets: np.ndarray
+    edges: np.ndarray
+    weights: np.ndarray | None = None
+    directed: bool = False
+    element_bytes: int = 8
+    name: str = "graph"
+    #: Free-form metadata (dataset symbol, generator parameters, ...).
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        offsets = np.ascontiguousarray(self.offsets, dtype=VERTEX_DTYPE)
+        edges = np.ascontiguousarray(self.edges, dtype=EDGE_DTYPE)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "edges", edges)
+        if self.weights is not None:
+            weights = np.ascontiguousarray(self.weights, dtype=WEIGHT_DTYPE)
+            object.__setattr__(self, "weights", weights)
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`GraphFormatError` if the CSR arrays are inconsistent."""
+        if self.offsets.ndim != 1 or self.edges.ndim != 1:
+            raise GraphFormatError("offsets and edges must be 1-D arrays")
+        if self.offsets.size == 0:
+            raise GraphFormatError("offsets must contain at least one entry")
+        if self.offsets[0] != 0:
+            raise GraphFormatError("offsets[0] must be 0")
+        if self.offsets[-1] != self.edges.size:
+            raise GraphFormatError(
+                f"offsets[-1] ({int(self.offsets[-1])}) must equal the edge count "
+                f"({self.edges.size})"
+            )
+        if np.any(np.diff(self.offsets) < 0):
+            raise GraphFormatError("offsets must be non-decreasing")
+        if self.edges.size and (self.edges.min() < 0 or self.edges.max() >= self.num_vertices):
+            raise GraphFormatError("edge destinations must be valid vertex IDs")
+        if self.weights is not None and self.weights.size != self.edges.size:
+            raise GraphFormatError("weights must have one entry per edge")
+        if self.element_bytes not in (4, 8):
+            raise GraphFormatError("element_bytes must be 4 or 8")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edge-list entries (each direction counts once)."""
+        return self.edges.size
+
+    @property
+    def has_weights(self) -> bool:
+        return self.weights is not None
+
+    # ------------------------------------------------------------------ #
+    # Degrees and neighbor lists
+    # ------------------------------------------------------------------ #
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.offsets)
+
+    def degree(self, vertex: int) -> int:
+        self._check_vertex(vertex)
+        return int(self.offsets[vertex + 1] - self.offsets[vertex])
+
+    def average_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    def max_degree(self) -> int:
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def neighbor_range(self, vertex: int) -> tuple[int, int]:
+        """Half-open ``[start, end)`` index range of a vertex's neighbor list."""
+        self._check_vertex(vertex)
+        return int(self.offsets[vertex]), int(self.offsets[vertex + 1])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """View of a vertex's neighbor list in the edge list."""
+        start, end = self.neighbor_range(vertex)
+        return self.edges[start:end]
+
+    def neighbor_weights(self, vertex: int) -> np.ndarray:
+        """View of the weights of a vertex's outgoing edges."""
+        if self.weights is None:
+            raise GraphFormatError(f"graph {self.name!r} has no weights")
+        start, end = self.neighbor_range(vertex)
+        return self.weights[start:end]
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(source, destination)`` pairs (slow; for small graphs)."""
+        degrees = self.degrees()
+        sources = np.repeat(np.arange(self.num_vertices, dtype=VERTEX_DTYPE), degrees)
+        for src, dst in zip(sources, self.edges):
+            yield int(src), int(dst)
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every edge-list entry (parallel to ``edges``)."""
+        return np.repeat(np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self.degrees())
+
+    # ------------------------------------------------------------------ #
+    # Simulated memory footprint
+    # ------------------------------------------------------------------ #
+    @property
+    def edge_list_bytes(self) -> int:
+        """Bytes occupied by the edge list in the simulated memory."""
+        return self.num_edges * self.element_bytes
+
+    @property
+    def vertex_list_bytes(self) -> int:
+        """Bytes occupied by the vertex (offset) list in the simulated memory."""
+        return self.offsets.size * self.element_bytes
+
+    @property
+    def weight_list_bytes(self) -> int:
+        """Bytes occupied by the weight list (4 bytes per edge, §5.2)."""
+        if self.weights is None:
+            return 0
+        return self.num_edges * 4
+
+    @property
+    def total_bytes(self) -> int:
+        return self.edge_list_bytes + self.vertex_list_bytes + self.weight_list_bytes
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def with_element_bytes(self, element_bytes: int) -> "CSRGraph":
+        """Same graph, different simulated edge-element size (4 or 8 bytes)."""
+        return replace(self, element_bytes=element_bytes)
+
+    def with_weights(self, weights: np.ndarray) -> "CSRGraph":
+        """Attach a weight array (one entry per edge-list element)."""
+        return replace(self, weights=np.asarray(weights, dtype=WEIGHT_DTYPE))
+
+    def without_weights(self) -> "CSRGraph":
+        return replace(self, weights=None)
+
+    def renamed(self, name: str) -> "CSRGraph":
+        return replace(self, name=name)
+
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (edges reversed).  Weights follow their edge."""
+        sources = self.edge_sources()
+        order = np.argsort(self.edges, kind="stable")
+        new_sources = self.edges[order]
+        new_dests = sources[order]
+        counts = np.bincount(new_sources, minlength=self.num_vertices)
+        offsets = np.zeros(self.num_vertices + 1, dtype=VERTEX_DTYPE)
+        np.cumsum(counts, out=offsets[1:])
+        weights = self.weights[order] if self.weights is not None else None
+        return CSRGraph(
+            offsets=offsets,
+            edges=new_dests,
+            weights=weights,
+            directed=self.directed,
+            element_bytes=self.element_bytes,
+            name=f"{self.name}-reversed",
+            meta=dict(self.meta),
+        )
+
+    def is_symmetric(self) -> bool:
+        """True if every edge has its reverse (i.e. the graph is undirected)."""
+        forward = set(zip(self.edge_sources().tolist(), self.edges.tolist()))
+        return all((dst, src) in forward for src, dst in forward)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise GraphFormatError(
+                f"vertex {vertex} out of range for graph with {self.num_vertices} vertices"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, directed={self.directed}, "
+            f"element_bytes={self.element_bytes})"
+        )

@@ -1,0 +1,279 @@
+"""Synthetic graph generators used to build the scaled evaluation datasets.
+
+The paper evaluates on six real graphs (Table 2) whose raw files are hundreds
+of gigabytes.  We substitute synthetic analogs whose *degree structure* — the
+property that drives every EMOGI result — matches each original:
+
+* ``rmat_graph``             — Kronecker/RMAT, heavy-tailed degrees (GAP-kron).
+* ``uniform_random_graph``   — narrow uniform degrees (GAP-urand; Figure 6
+  notes GU's edges all belong to vertices of degree 16-48).
+* ``powerlaw_graph``         — social-network power-law degrees (Friendster).
+* ``dense_biomedical_graph`` — very high average degree (~222), moderate skew
+  (MOLIERE_2016).
+* ``web_graph``              — web crawls (sk-2005, uk-2007-05): power-law
+  degrees plus strong neighbor-ID locality from the lexicographic URL order.
+
+All generators are deterministic given a seed and return a valid
+:class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import EDGE_DTYPE, VERTEX_DTYPE
+from .builder import from_edge_array
+from .csr import CSRGraph
+
+#: Default RMAT partition probabilities (Graph500 / GAP-kron values).
+RMAT_DEFAULT = (0.57, 0.19, 0.19, 0.05)
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_weights(
+    num_edges: int, seed: int | None = None, low: int = 8, high: int = 72
+) -> np.ndarray:
+    """Integer edge weights drawn uniformly from ``[low, high]`` (§5.2)."""
+    rng = _rng(seed)
+    return rng.integers(low, high + 1, size=num_edges).astype(np.float32)
+
+
+def uniform_random_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int | None = None,
+    degree_spread: float = 0.5,
+    element_bytes: int = 8,
+    name: str = "uniform",
+) -> CSRGraph:
+    """Erdős–Rényi-like graph with a narrow, uniform degree distribution.
+
+    Each vertex receives an out-degree drawn uniformly from
+    ``mean * (1 ± degree_spread)`` and its neighbors are chosen uniformly at
+    random, mimicking GAP-urand.
+    """
+    _check_positive(num_vertices, num_edges)
+    rng = _rng(seed)
+    mean_degree = num_edges / num_vertices
+    low = max(1, int(mean_degree * (1.0 - degree_spread)))
+    high = max(low + 1, int(mean_degree * (1.0 + degree_spread)) + 1)
+    degrees = rng.integers(low, high, size=num_vertices)
+    degrees = _rescale_degrees(degrees, num_edges)
+    sources = np.repeat(np.arange(num_vertices, dtype=VERTEX_DTYPE), degrees)
+    destinations = rng.integers(0, num_vertices, size=sources.size, dtype=EDGE_DTYPE)
+    return from_edge_array(
+        sources,
+        destinations,
+        num_vertices=num_vertices,
+        directed=True,
+        element_bytes=element_bytes,
+        name=name,
+        remove_self_loops=False,
+    )
+
+
+def rmat_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int | None = None,
+    probabilities: tuple[float, float, float, float] = RMAT_DEFAULT,
+    element_bytes: int = 8,
+    name: str = "rmat",
+) -> CSRGraph:
+    """Recursive-matrix (Kronecker) graph with heavy-tailed degrees.
+
+    This is the standard Graph500 generator used to build GAP-kron; edge
+    endpoints are chosen by recursively descending a 2x2 probability matrix.
+    ``num_vertices`` is rounded up to the next power of two internally and the
+    resulting IDs are mapped back into ``[0, num_vertices)``.
+    """
+    _check_positive(num_vertices, num_edges)
+    a, b, c, d = probabilities
+    if not np.isclose(a + b + c + d, 1.0):
+        raise GraphFormatError("RMAT probabilities must sum to 1")
+    rng = _rng(seed)
+    scale = max(1, int(np.ceil(np.log2(num_vertices))))
+    sources = np.zeros(num_edges, dtype=VERTEX_DTYPE)
+    destinations = np.zeros(num_edges, dtype=EDGE_DTYPE)
+    for level in range(scale):
+        draws = rng.random(num_edges)
+        src_bit = (draws >= a + b).astype(VERTEX_DTYPE)
+        # Given the source bit, decide the destination bit.
+        top = np.where(draws < a + b, draws / (a + b), 0.0)
+        bottom = np.where(draws >= a + b, (draws - (a + b)) / (c + d), 0.0)
+        dst_bit = np.where(
+            src_bit == 0,
+            (top >= a / (a + b)).astype(VERTEX_DTYPE),
+            (bottom >= c / (c + d)).astype(VERTEX_DTYPE),
+        )
+        sources = (sources << 1) | src_bit
+        destinations = (destinations << 1) | dst_bit
+    sources = sources % num_vertices
+    destinations = destinations % num_vertices
+    # Permute vertex IDs so degree is not correlated with ID (as GAP does).
+    permutation = rng.permutation(num_vertices).astype(VERTEX_DTYPE)
+    sources = permutation[sources]
+    destinations = permutation[destinations]
+    return from_edge_array(
+        sources,
+        destinations,
+        num_vertices=num_vertices,
+        directed=True,
+        element_bytes=element_bytes,
+        name=name,
+    )
+
+
+def powerlaw_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int | None = None,
+    exponent: float = 2.1,
+    element_bytes: int = 8,
+    name: str = "powerlaw",
+) -> CSRGraph:
+    """Graph with power-law degrees (social-network analog, e.g. Friendster).
+
+    Vertex attractiveness is drawn from a Pareto distribution with the given
+    exponent; both edge endpoints are sampled proportionally to it.
+    """
+    _check_positive(num_vertices, num_edges)
+    rng = _rng(seed)
+    attractiveness = rng.pareto(exponent - 1.0, size=num_vertices) + 1.0
+    probabilities = attractiveness / attractiveness.sum()
+    sources = rng.choice(num_vertices, size=num_edges, p=probabilities).astype(VERTEX_DTYPE)
+    destinations = rng.choice(num_vertices, size=num_edges, p=probabilities).astype(EDGE_DTYPE)
+    return from_edge_array(
+        sources,
+        destinations,
+        num_vertices=num_vertices,
+        directed=True,
+        element_bytes=element_bytes,
+        name=name,
+    )
+
+
+def dense_biomedical_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int | None = None,
+    sigma: float = 0.6,
+    element_bytes: int = 8,
+    name: str = "biomedical",
+) -> CSRGraph:
+    """High average-degree graph analog of MOLIERE_2016 (~222 edges/vertex).
+
+    Degrees are log-normally distributed around the (high) mean so nearly all
+    edges belong to long neighbor lists — the property Figure 6 highlights for
+    ML ("nearly no edges associated with small degree vertices").
+    """
+    _check_positive(num_vertices, num_edges)
+    rng = _rng(seed)
+    mean_degree = num_edges / num_vertices
+    mu = np.log(mean_degree) - 0.5 * sigma**2
+    degrees = np.maximum(1, rng.lognormal(mu, sigma, size=num_vertices).astype(np.int64))
+    degrees = _rescale_degrees(degrees, num_edges)
+    sources = np.repeat(np.arange(num_vertices, dtype=VERTEX_DTYPE), degrees)
+    destinations = rng.integers(0, num_vertices, size=sources.size, dtype=EDGE_DTYPE)
+    return from_edge_array(
+        sources,
+        destinations,
+        num_vertices=num_vertices,
+        directed=True,
+        element_bytes=element_bytes,
+        name=name,
+    )
+
+
+def web_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int | None = None,
+    exponent: float = 2.0,
+    locality: float = 0.8,
+    locality_scale: float = 200.0,
+    permute_ids: bool = False,
+    hub_cap_fraction: float = 0.002,
+    element_bytes: int = 8,
+    name: str = "web",
+) -> CSRGraph:
+    """Web-crawl analog (sk-2005, uk-2007-05): power-law degrees + ID locality.
+
+    A fraction ``locality`` of each vertex's edges point to nearby vertex IDs
+    (URLs on the same host sort together), the rest are global.  With
+    ``permute_ids`` the vertex IDs are relabelled randomly afterwards, which
+    keeps the degree structure but removes the artificial correlation between
+    a vertex's ID and its BFS level that the small scaled-down analog would
+    otherwise exhibit (real crawls spread each CSR page's neighbor lists over
+    many traversal levels).  ``hub_cap_fraction`` bounds the expected share of
+    edges any single vertex can attract, so the scaled-down graph does not
+    collapse into one mega-hub owning most of the edge list.
+    """
+    _check_positive(num_vertices, num_edges)
+    rng = _rng(seed)
+    attractiveness = rng.pareto(exponent - 1.0, size=num_vertices) + 1.0
+    if hub_cap_fraction and 0.0 < hub_cap_fraction < 1.0:
+        cap = hub_cap_fraction * attractiveness.sum()
+        attractiveness = np.minimum(attractiveness, cap)
+    probabilities = attractiveness / attractiveness.sum()
+    sources = rng.choice(num_vertices, size=num_edges, p=probabilities).astype(VERTEX_DTYPE)
+    local_mask = rng.random(num_edges) < locality
+    local_offsets = rng.laplace(0.0, locality_scale, size=num_edges).astype(np.int64)
+    local_destinations = np.clip(sources + local_offsets, 0, num_vertices - 1)
+    global_destinations = rng.choice(
+        num_vertices, size=num_edges, p=probabilities
+    ).astype(EDGE_DTYPE)
+    destinations = np.where(local_mask, local_destinations, global_destinations)
+    destinations = destinations.astype(EDGE_DTYPE)
+    if permute_ids:
+        permutation = rng.permutation(num_vertices).astype(VERTEX_DTYPE)
+        sources = permutation[sources]
+        destinations = permutation[destinations].astype(EDGE_DTYPE)
+    return from_edge_array(
+        sources,
+        destinations,
+        num_vertices=num_vertices,
+        directed=True,
+        element_bytes=element_bytes,
+        name=name,
+    )
+
+
+def _rescale_degrees(degrees: np.ndarray, target_edges: int) -> np.ndarray:
+    """Scale an integer degree sequence so it sums exactly to ``target_edges``."""
+    degrees = np.maximum(degrees.astype(np.int64), 0)
+    total = int(degrees.sum())
+    if total == 0:
+        degrees = np.ones_like(degrees)
+        total = int(degrees.sum())
+    scaled = np.floor(degrees * (target_edges / total)).astype(np.int64)
+    scaled = np.maximum(scaled, 1)
+    deficit = target_edges - int(scaled.sum())
+    if deficit > 0:
+        # Give the remaining edges to the highest-degree vertices.
+        order = np.argsort(degrees)[::-1]
+        bump = order[: deficit % len(scaled)]
+        scaled[bump] += 1
+        scaled += deficit // len(scaled)
+    elif deficit < 0:
+        order = np.argsort(scaled)[::-1]
+        index = 0
+        remaining = -deficit
+        while remaining > 0:
+            vertex = order[index % len(order)]
+            if scaled[vertex] > 1:
+                scaled[vertex] -= 1
+                remaining -= 1
+            index += 1
+    return scaled
+
+
+def _check_positive(num_vertices: int, num_edges: int) -> None:
+    if num_vertices <= 0:
+        raise GraphFormatError("num_vertices must be positive")
+    if num_edges <= 0:
+        raise GraphFormatError("num_edges must be positive")

@@ -1,0 +1,107 @@
+"""Serialization of CSR graphs to .npz archives and plain edge-list text."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import WEIGHT_DTYPE
+from .builder import from_edge_array
+from .csr import CSRGraph
+
+_FORMAT_VERSION = 1
+
+
+def save_npz(graph: CSRGraph, path: str | Path) -> Path:
+    """Write a graph to a compressed ``.npz`` archive and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "offsets": graph.offsets,
+        "edges": graph.edges,
+        "directed": np.array([graph.directed]),
+        "element_bytes": np.array([graph.element_bytes]),
+        "name": np.array([graph.name]),
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise GraphFormatError(f"graph file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise GraphFormatError(f"unsupported graph file version: {version}")
+        weights = data["weights"] if "weights" in data else None
+        return CSRGraph(
+            offsets=data["offsets"],
+            edges=data["edges"],
+            weights=weights,
+            directed=bool(data["directed"][0]),
+            element_bytes=int(data["element_bytes"][0]),
+            name=str(data["name"][0]),
+        )
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path, include_weights: bool = True) -> Path:
+    """Write the graph as ``src dst [weight]`` text lines (one per edge entry)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sources = graph.edge_sources()
+    with path.open("w", encoding="utf-8") as handle:
+        if include_weights and graph.weights is not None:
+            for src, dst, weight in zip(sources, graph.edges, graph.weights):
+                handle.write(f"{int(src)} {int(dst)} {float(weight):g}\n")
+        else:
+            for src, dst in zip(sources, graph.edges):
+                handle.write(f"{int(src)} {int(dst)}\n")
+    return path
+
+
+def read_edge_list(
+    path: str | Path,
+    directed: bool = True,
+    element_bytes: int = 8,
+    name: str | None = None,
+) -> CSRGraph:
+    """Read a ``src dst [weight]`` text file into a CSR graph."""
+    path = Path(path)
+    if not path.exists():
+        raise GraphFormatError(f"edge list file not found: {path}")
+    sources: list[int] = []
+    destinations: list[int] = []
+    weights: list[float] = []
+    has_weights = False
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{line_number}: expected 'src dst [weight]'")
+            sources.append(int(parts[0]))
+            destinations.append(int(parts[1]))
+            if len(parts) >= 3:
+                has_weights = True
+                weights.append(float(parts[2]))
+            else:
+                weights.append(1.0)
+    weight_array = np.array(weights, dtype=WEIGHT_DTYPE) if has_weights else None
+    return from_edge_array(
+        np.array(sources),
+        np.array(destinations),
+        weights=weight_array,
+        directed=directed,
+        element_bytes=element_bytes,
+        name=name or path.stem,
+    )

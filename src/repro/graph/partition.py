@@ -1,0 +1,91 @@
+"""Active-subgraph compaction (substrate for the Subway baseline).
+
+Subway [45] avoids UVM entirely: before every iteration it builds a compacted
+subgraph containing only the *active* vertices' neighbor lists, copies that
+subgraph to the GPU with an explicit block transfer, and runs the kernel on
+local memory.  The functions here produce exactly that compacted CSR together
+with the byte counts the cost model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arrays import ragged_gather_indices
+from ..errors import GraphFormatError
+from ..types import VERTEX_DTYPE
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class ActiveSubgraph:
+    """A compacted subgraph of the active vertices' neighbor lists.
+
+    ``local_offsets`` indexes the compacted edge list per *active* vertex (in
+    the order given by ``active_vertices``); destinations keep their original
+    global IDs, as Subway does (value arrays stay GPU-resident and global).
+    """
+
+    active_vertices: np.ndarray
+    local_offsets: np.ndarray
+    edges: np.ndarray
+    weights: np.ndarray | None
+    element_bytes: int
+
+    @property
+    def num_active(self) -> int:
+        return self.active_vertices.size
+
+    @property
+    def num_edges(self) -> int:
+        return self.edges.size
+
+    @property
+    def edge_bytes(self) -> int:
+        """Bytes of compacted edge list that must be transferred to the GPU."""
+        return self.num_edges * self.element_bytes
+
+    @property
+    def offset_bytes(self) -> int:
+        return self.local_offsets.size * self.element_bytes
+
+    @property
+    def weight_bytes(self) -> int:
+        return 0 if self.weights is None else self.num_edges * 4
+
+    @property
+    def transfer_bytes(self) -> int:
+        """Total bytes shipped over the interconnect for this iteration."""
+        return self.edge_bytes + self.offset_bytes + self.weight_bytes
+
+
+def extract_active_subgraph(
+    graph: CSRGraph, active_vertices: np.ndarray, include_weights: bool = False
+) -> ActiveSubgraph:
+    """Compact the neighbor lists of ``active_vertices`` into a new edge list."""
+    active_vertices = np.asarray(active_vertices, dtype=VERTEX_DTYPE)
+    if active_vertices.size and (
+        active_vertices.min() < 0 or active_vertices.max() >= graph.num_vertices
+    ):
+        raise GraphFormatError("active vertex IDs out of range")
+    starts = graph.offsets[active_vertices]
+    ends = graph.offsets[active_vertices + 1]
+    lengths = ends - starts
+    local_offsets = np.zeros(active_vertices.size + 1, dtype=VERTEX_DTYPE)
+    np.cumsum(lengths, out=local_offsets[1:])
+    gather_index = ragged_gather_indices(starts, lengths)
+    edges = graph.edges[gather_index]
+    weights = None
+    if include_weights and graph.weights is not None:
+        weights = graph.weights[gather_index]
+    return ActiveSubgraph(
+        active_vertices=active_vertices,
+        local_offsets=local_offsets,
+        edges=edges,
+        weights=weights,
+        element_bytes=graph.element_bytes,
+    )
+
+

@@ -1,0 +1,117 @@
+"""Simulated unified address space and array placement.
+
+Zero-copy requires pinning host arrays and mapping their bus addresses into
+the GPU page table (§3.1); whether a given warp access is 128-byte aligned
+depends on the *byte address*, not just the element index.  The
+:class:`AddressSpace` assigns each simulated array a base address (page
+aligned, as ``cudaMallocHost``/``cudaMallocManaged`` do) in its memory space
+so the coalescer and UVM models can reason about real addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AllocationError
+from ..types import MemorySpace
+from .gpu_memory import DeviceMemory
+
+#: All simulated allocations start on a 4KB boundary, like the CUDA allocators.
+ALLOCATION_ALIGNMENT = 4096
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One simulated array placed in a memory space."""
+
+    name: str
+    space: MemorySpace
+    base_address: int
+    size_bytes: int
+    element_bytes: int = 8
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.size_bytes
+
+    @property
+    def num_elements(self) -> int:
+        return self.size_bytes // self.element_bytes
+
+    def element_address(self, index: int) -> int:
+        """Byte address of the ``index``-th element."""
+        if not 0 <= index < max(1, self.num_elements):
+            raise AllocationError(
+                f"element index {index} out of range for allocation {self.name!r}"
+            )
+        return self.base_address + index * self.element_bytes
+
+    def contains(self, address: int) -> bool:
+        return self.base_address <= address < self.end_address
+
+
+@dataclass
+class AddressSpace:
+    """Tracks every simulated allocation and its placement.
+
+    Device allocations are charged against a :class:`DeviceMemory` instance
+    (so the UVM page cache shrinks accordingly); host-pinned and UVM
+    allocations only consume (modelled, unbounded) host memory.
+    """
+
+    device: DeviceMemory
+    allocations: dict[str, Allocation] = field(default_factory=dict)
+    _next_base: dict[MemorySpace, int] = field(
+        default_factory=lambda: {space: ALLOCATION_ALIGNMENT for space in MemorySpace}
+    )
+
+    def allocate(
+        self,
+        name: str,
+        size_bytes: int,
+        space: MemorySpace,
+        element_bytes: int = 8,
+        misalign_bytes: int = 0,
+    ) -> Allocation:
+        """Place an array in the requested space and return its allocation.
+
+        ``misalign_bytes`` deliberately offsets the base address from the 4KB
+        boundary; the toy example in §3.3 uses it to reproduce the
+        "merged but misaligned" access pattern.
+        """
+        if name in self.allocations:
+            raise AllocationError(f"allocation {name!r} already exists")
+        if size_bytes < 0:
+            raise AllocationError("allocation size cannot be negative")
+        if misalign_bytes < 0 or misalign_bytes >= ALLOCATION_ALIGNMENT:
+            raise AllocationError("misalign_bytes must be within one page")
+        if space is MemorySpace.DEVICE:
+            self.device.allocate(name, size_bytes)
+        base = self._next_base[space] + misalign_bytes
+        allocation = Allocation(
+            name=name,
+            space=space,
+            base_address=base,
+            size_bytes=size_bytes,
+            element_bytes=element_bytes,
+        )
+        self.allocations[name] = allocation
+        aligned_size = -(-(size_bytes + misalign_bytes) // ALLOCATION_ALIGNMENT)
+        self._next_base[space] += (aligned_size + 1) * ALLOCATION_ALIGNMENT
+        return allocation
+
+    def free(self, name: str) -> None:
+        allocation = self.allocations.pop(name, None)
+        if allocation is None:
+            raise AllocationError(f"no allocation named {name!r}")
+        if allocation.space is MemorySpace.DEVICE:
+            self.device.free(name)
+
+    def get(self, name: str) -> Allocation:
+        try:
+            return self.allocations[name]
+        except KeyError as exc:
+            raise AllocationError(f"no allocation named {name!r}") from exc
+
+    def total_bytes(self, space: MemorySpace) -> int:
+        return sum(a.size_bytes for a in self.allocations.values() if a.space is space)

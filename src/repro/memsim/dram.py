@@ -1,0 +1,52 @@
+"""Host DRAM model (§3.3).
+
+The paper points out that the host DDR4 DIMMs cannot read less than 64 bytes,
+so a stream of 32-byte PCIe requests wastes half the DRAM bandwidth.  The
+model tracks how many DRAM bytes were actually touched to serve the link
+traffic and how long that took at the sequential-bandwidth ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DRAMConfig
+from .coalescer import RequestHistogram
+
+
+@dataclass
+class DRAMModel:
+    """Accumulates DRAM-side traffic for one simulated run."""
+
+    config: DRAMConfig = field(default_factory=DRAMConfig)
+    bytes_touched: int = 0
+
+    def serve_requests(self, histogram: RequestHistogram) -> int:
+        """Account for serving a zero-copy request stream; returns DRAM bytes."""
+        touched = sum(
+            count * self.config.bytes_touched(size)
+            for size, count in histogram.counts.items()
+            if count
+        )
+        self.bytes_touched += touched
+        return touched
+
+    def serve_block(self, num_bytes: int) -> int:
+        """Account for a bulk (page migration / memcpy) read; returns DRAM bytes."""
+        if num_bytes < 0:
+            raise ValueError("cannot read a negative number of bytes")
+        blocks = -(-num_bytes // self.config.min_access_bytes)
+        touched = blocks * self.config.min_access_bytes
+        self.bytes_touched += touched
+        return touched
+
+    def seconds_for(self, num_bytes: int) -> float:
+        """Time to stream ``num_bytes`` out of DRAM at the sequential ceiling."""
+        return num_bytes / (self.config.sequential_bandwidth_gbps * 1e9)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.seconds_for(self.bytes_touched)
+
+    def reset(self) -> None:
+        self.bytes_touched = 0

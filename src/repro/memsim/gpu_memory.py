@@ -1,0 +1,63 @@
+"""Simulated GPU device memory: a capacity-limited allocation pool.
+
+EMOGI keeps the vertex list and the small per-vertex value arrays resident in
+device memory (§4.2) while the edge list stays in host memory; the UVM
+baseline additionally uses whatever device memory is left over as a page cache
+for migrated 4KB pages (§2.2).  :class:`DeviceMemory` tracks both uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AllocationError
+
+
+@dataclass
+class DeviceMemory:
+    """Fixed-capacity device memory with named static allocations."""
+
+    capacity_bytes: int
+    allocations: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise AllocationError("device memory capacity must be positive")
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self.allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def allocate(self, name: str, num_bytes: int) -> None:
+        """Reserve ``num_bytes`` for a named array (vertex list, labels, ...)."""
+        if num_bytes < 0:
+            raise AllocationError("allocation size cannot be negative")
+        if name in self.allocations:
+            raise AllocationError(f"allocation {name!r} already exists")
+        if num_bytes > self.free_bytes:
+            raise AllocationError(
+                f"cannot allocate {num_bytes} bytes for {name!r}: only "
+                f"{self.free_bytes} of {self.capacity_bytes} bytes free"
+            )
+        self.allocations[name] = num_bytes
+
+    def free(self, name: str) -> None:
+        if name not in self.allocations:
+            raise AllocationError(f"no allocation named {name!r}")
+        del self.allocations[name]
+
+    def can_fit(self, num_bytes: int) -> bool:
+        return num_bytes <= self.free_bytes
+
+    def page_cache_capacity(self, page_bytes: int) -> int:
+        """Number of UVM pages that fit in the remaining free device memory."""
+        if page_bytes <= 0:
+            raise AllocationError("page size must be positive")
+        return max(0, self.free_bytes // page_bytes)
+
+    def reset(self) -> None:
+        self.allocations.clear()

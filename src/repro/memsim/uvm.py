@@ -1,0 +1,238 @@
+"""Unified Virtual Memory (UVM) simulator (§2.2).
+
+UVM serves GPU accesses to host-resident data by migrating 4KB pages on
+demand.  The model tracks, for one UVM-allocated region (the CSR edge list):
+
+* which pages are currently resident in the GPU's leftover device memory,
+* LRU eviction once the resident set exceeds that capacity (page thrashing),
+* the number of migrations and migrated bytes (the I/O read-amplification
+  numerator of Figure 10), and
+* the CPU-side fault-handling cost per migration, which is what keeps UVM
+  from scaling with faster interconnects (Figure 12).
+
+``cudaMemAdviseSetReadMostly`` (the paper's best-performing UVM configuration)
+is modelled by treating migrations as read-only duplications: pages never need
+to be written back on eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import UVMConfig
+from ..errors import SimulationError
+from .address_space import Allocation
+
+
+@dataclass(frozen=True)
+class UVMAccessResult:
+    """Outcome of one batch of accesses to a UVM region."""
+
+    pages_touched: int
+    page_faults: int
+    migrated_bytes: int
+    evicted_pages: int
+
+    @property
+    def hit_pages(self) -> int:
+        return self.pages_touched - self.page_faults
+
+
+class UVMSpace:
+    """Page-granular residency tracking for one UVM-managed region."""
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        config: UVMConfig,
+        capacity_pages: int,
+    ) -> None:
+        if capacity_pages < 0:
+            raise SimulationError("capacity_pages cannot be negative")
+        self.allocation = allocation
+        self.config = config
+        self.capacity_pages = capacity_pages
+        self.num_pages = max(1, -(-allocation.size_bytes // config.page_bytes))
+        self._resident = np.zeros(self.num_pages, dtype=bool)
+        self._last_touch = np.zeros(self.num_pages, dtype=np.int64)
+        self._clock = 0
+        self.total_faults = 0
+        self.total_migrated_bytes = 0
+        self.total_evictions = 0
+        self.total_accessed_pages = 0
+
+    # ------------------------------------------------------------------ #
+    # Access paths
+    # ------------------------------------------------------------------ #
+    def access_byte_ranges(
+        self, start_bytes: np.ndarray, end_bytes: np.ndarray
+    ) -> UVMAccessResult:
+        """Access a batch of ``[start, end)`` byte ranges within the region.
+
+        Ranges are relative to the allocation base (element offsets times the
+        element size) and are processed *in order*, the way a kernel sweeps
+        the frontier's neighbor lists: the touched pages stream through the
+        LRU page cache in chunks, so a working set larger than the cache
+        thrashes within the iteration exactly as the paper describes (§2.2).
+        """
+        start_bytes = np.asarray(start_bytes, dtype=np.int64).ravel()
+        end_bytes = np.asarray(end_bytes, dtype=np.int64).ravel()
+        if start_bytes.size != end_bytes.size:
+            raise SimulationError("start/end arrays must have the same length")
+        valid = end_bytes > start_bytes
+        start_bytes, end_bytes = start_bytes[valid], end_bytes[valid]
+        if start_bytes.size == 0:
+            return UVMAccessResult(0, 0, 0, 0)
+        if np.any(start_bytes < 0) or np.any(end_bytes > self.allocation.size_bytes):
+            raise SimulationError("access range outside the UVM allocation")
+
+        pages = self._pages_for_ranges(start_bytes, end_bytes)
+        return self._touch_streaming(pages)
+
+    def access_pages(self, page_ids: np.ndarray) -> UVMAccessResult:
+        """Touch an explicit sequence of page IDs (used by streaming scans)."""
+        pages = np.asarray(page_ids, dtype=np.int64).ravel()
+        if pages.size and (pages.min() < 0 or pages.max() >= self.num_pages):
+            raise SimulationError("page ID outside the UVM allocation")
+        return self._touch_streaming(pages)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_pages(self) -> int:
+        return int(self._resident.sum())
+
+    @property
+    def page_bytes(self) -> int:
+        return self.config.page_bytes
+
+    def is_resident(self, page_id: int) -> bool:
+        if not 0 <= page_id < self.num_pages:
+            raise SimulationError(f"page {page_id} outside the UVM allocation")
+        return bool(self._resident[page_id])
+
+    def fault_handling_seconds(self, migrations: int | None = None) -> float:
+        """CPU-side driver time for the given (or accumulated) migrations."""
+        count = self.total_faults if migrations is None else migrations
+        return count * self.config.fault_service_overhead_us * 1e-6
+
+    def reset(self) -> None:
+        self._resident[:] = False
+        self._last_touch[:] = 0
+        self._clock = 0
+        self.total_faults = 0
+        self.total_migrated_bytes = 0
+        self.total_evictions = 0
+        self.total_accessed_pages = 0
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _pages_for_ranges(self, start_bytes: np.ndarray, end_bytes: np.ndarray) -> np.ndarray:
+        """Pages covered by each range, concatenated in range order."""
+        first_page = start_bytes // self.config.page_bytes
+        last_page = (end_bytes - 1) // self.config.page_bytes
+        counts = last_page - first_page + 1
+        total = int(counts.sum())
+        range_index = np.repeat(np.arange(first_page.size), counts)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        within = np.arange(total) - np.repeat(offsets, counts)
+        return first_page[range_index] + within
+
+    def _touch_streaming(self, pages: np.ndarray) -> UVMAccessResult:
+        """Stream an ordered page-touch sequence through the LRU cache."""
+        if pages.size == 0:
+            return UVMAccessResult(0, 0, 0, 0)
+        # Process the sweep in bounded chunks so a working set larger than the
+        # page cache actually thrashes (one giant atomic batch would not).
+        if self.capacity_pages <= 0:
+            chunk_pages = 1024
+        else:
+            chunk_pages = max(1, self.capacity_pages // 4)
+        touched = 0
+        faults = 0
+        migrated_bytes = 0
+        evicted = 0
+        for start in range(0, pages.size, chunk_pages):
+            chunk = pages[start : start + chunk_pages]
+            # Deduplicate within the chunk while preserving first-touch order.
+            chunk = chunk[np.sort(np.unique(chunk, return_index=True)[1])]
+            result = self._touch_chunk(chunk)
+            touched += result.pages_touched
+            faults += result.page_faults
+            migrated_bytes += result.migrated_bytes
+            evicted += result.evicted_pages
+        return UVMAccessResult(
+            pages_touched=touched,
+            page_faults=faults,
+            migrated_bytes=migrated_bytes,
+            evicted_pages=evicted,
+        )
+
+    def _touch_chunk(self, pages: np.ndarray) -> UVMAccessResult:
+        if pages.size == 0:
+            return UVMAccessResult(0, 0, 0, 0)
+        self._clock += 1
+        faulting = pages[~self._resident[pages]]
+        migrated: np.ndarray = np.empty(0, dtype=np.int64)
+        evicted = 0
+        if faulting.size:
+            migrated = self._expand_to_prefetch_blocks(faulting)
+            evicted = self._make_room(migrated.size, protect=pages)
+            self._resident[migrated] = True
+            self._last_touch[migrated] = self._clock
+        self._last_touch[pages] = self._clock
+        if self.capacity_pages <= 0 and migrated.size:
+            # With no device-side page cache nothing stays resident: every
+            # future touch of these pages will fault and migrate again.
+            self._resident[migrated] = False
+        migrated_bytes = int(migrated.size) * self.config.page_bytes
+        self.total_faults += int(faulting.size)
+        self.total_migrated_bytes += migrated_bytes
+        self.total_evictions += evicted
+        self.total_accessed_pages += int(pages.size)
+        return UVMAccessResult(
+            pages_touched=int(pages.size),
+            page_faults=int(migrated.size),
+            migrated_bytes=migrated_bytes,
+            evicted_pages=evicted,
+        )
+
+    def _expand_to_prefetch_blocks(self, faulting_pages: np.ndarray) -> np.ndarray:
+        """All non-resident pages of the prefetch blocks containing the faults.
+
+        The driver migrates naturally-aligned ``prefetch_pages``-sized blocks;
+        pages of the block that are already resident are not moved again.
+        """
+        granule = self.config.prefetch_pages
+        if granule <= 1:
+            return np.unique(faulting_pages)
+        blocks = np.unique(faulting_pages // granule)
+        candidates = (blocks[:, None] * granule + np.arange(granule)[None, :]).ravel()
+        candidates = candidates[candidates < self.num_pages]
+        return candidates[~self._resident[candidates]]
+
+    def _make_room(self, incoming: int, protect: np.ndarray) -> int:
+        """Evict LRU pages so ``incoming`` new pages fit; returns evictions."""
+        if self.capacity_pages <= 0:
+            # No page cache at all: everything is migrated and dropped again.
+            resident_now = np.flatnonzero(self._resident)
+            self._resident[resident_now] = False
+            return int(resident_now.size)
+        overflow = self.resident_pages + incoming - self.capacity_pages
+        if overflow <= 0:
+            return 0
+        resident_ids = np.flatnonzero(self._resident)
+        protected = np.zeros(self.num_pages, dtype=bool)
+        protected[protect] = True
+        candidates = resident_ids[~protected[resident_ids]]
+        if candidates.size == 0:
+            return 0
+        overflow = min(overflow, candidates.size)
+        order = np.argsort(self._last_touch[candidates], kind="stable")
+        victims = candidates[order[:overflow]]
+        self._resident[victims] = False
+        return int(victims.size)

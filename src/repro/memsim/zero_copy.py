@@ -1,0 +1,129 @@
+"""Zero-copy access path: direct cache-line-sized reads of pinned host memory.
+
+A :class:`ZeroCopyRegion` stands in for a pinned host allocation whose bus
+address has been mapped into the GPU page table (§3.1).  GPU kernels "access"
+the region by describing *which elements* they read and *how* (per-thread
+strided, warp-merged, or warp-merged-and-aligned); the region runs those
+accesses through the coalescing-unit model and reports the resulting PCIe
+request histogram to the traffic monitor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .address_space import Allocation
+from .coalescer import (
+    RequestHistogram,
+    coalesce_contiguous_spans,
+    coalesce_warp_addresses,
+    merged_warp_spans,
+    naive_thread_spans,
+    strided_request_counts,
+)
+from .monitor import PCIeTrafficMonitor
+
+
+class ZeroCopyRegion:
+    """A pinned host-memory array accessed directly by GPU threads."""
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        monitor: PCIeTrafficMonitor | None = None,
+        warp_size: int = 32,
+    ) -> None:
+        self.allocation = allocation
+        self.monitor = monitor
+        self.warp_size = warp_size
+
+    @property
+    def element_bytes(self) -> int:
+        return self.allocation.element_bytes
+
+    @property
+    def base_address(self) -> int:
+        return self.allocation.base_address
+
+    def _record(self, histogram: RequestHistogram) -> RequestHistogram:
+        if self.monitor is not None:
+            self.monitor.record_requests(histogram)
+        return histogram
+
+    def _check_ranges(self, start_elements: np.ndarray, end_elements: np.ndarray) -> None:
+        if start_elements.size == 0:
+            return
+        if int(np.min(start_elements)) < 0:
+            raise SimulationError("element ranges cannot be negative")
+        if int(np.max(end_elements)) * self.element_bytes > self.allocation.size_bytes:
+            raise SimulationError(
+                f"access past the end of zero-copy region {self.allocation.name!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Access patterns
+    # ------------------------------------------------------------------ #
+    def access_strided(
+        self,
+        start_elements: np.ndarray,
+        end_elements: np.ndarray,
+        intra_sector_hit_rate: float = 1.0,
+    ) -> RequestHistogram:
+        """Per-thread sequential scans over element ranges (Naive, Listing 1).
+
+        ``intra_sector_hit_rate`` models GPU cache thrashing in the strided
+        pattern (§3.3): after a thread fetches a 32-byte sector, each of its
+        remaining element accesses within that sector hits the cache only with
+        this probability; misses re-fetch the sector.  With the default of 1.0
+        every sector is fetched exactly once.
+        """
+        if not 0.0 <= intra_sector_hit_rate <= 1.0:
+            raise SimulationError("intra_sector_hit_rate must be within [0, 1]")
+        start_elements = np.asarray(start_elements, dtype=np.int64)
+        end_elements = np.asarray(end_elements, dtype=np.int64)
+        self._check_ranges(start_elements, end_elements)
+        spans = naive_thread_spans(
+            start_elements, end_elements, self.element_bytes, self.base_address
+        )
+        histogram = strided_request_counts(*spans)
+        if intra_sector_hit_rate < 1.0:
+            total_elements = int(np.sum(np.maximum(end_elements - start_elements, 0)))
+            first_touches = histogram.counts[32]
+            refetches = int(
+                round((total_elements - first_touches) * (1.0 - intra_sector_hit_rate))
+            )
+            if refetches > 0:
+                histogram.add(32, refetches)
+        return self._record(histogram)
+
+    def access_merged(
+        self,
+        start_elements: np.ndarray,
+        end_elements: np.ndarray,
+        aligned: bool = False,
+    ) -> RequestHistogram:
+        """Warp-per-range accesses (Merged / Merged+Aligned, Listing 2)."""
+        start_elements = np.asarray(start_elements, dtype=np.int64)
+        end_elements = np.asarray(end_elements, dtype=np.int64)
+        self._check_ranges(start_elements, end_elements)
+        spans = merged_warp_spans(
+            start_elements,
+            end_elements,
+            self.element_bytes,
+            base_address=self.base_address,
+            warp_size=self.warp_size,
+            aligned=aligned,
+        )
+        return self._record(coalesce_contiguous_spans(*spans))
+
+    def access_warp_addresses(
+        self, element_indices: np.ndarray, active_mask: np.ndarray | None = None
+    ) -> RequestHistogram:
+        """One exact warp instruction given per-lane element indices."""
+        element_indices = np.asarray(element_indices, dtype=np.int64)
+        addresses = self.base_address + element_indices * self.element_bytes
+        histogram = coalesce_warp_addresses(
+            addresses, access_bytes=self.element_bytes, active_mask=active_mask
+        )
+        return self._record(histogram)

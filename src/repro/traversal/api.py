@@ -1,0 +1,101 @@
+"""Public traversal API.
+
+These are the functions a downstream user calls: run BFS / SSSP / CC on a CSR
+graph under one of the four edge-list access strategies, on a simulated
+platform, and get back both the algorithm's output and the memory-system
+metrics of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..graph.csr import CSRGraph
+from ..types import AccessStrategy, Application, EMOGI_STRATEGY
+from .bfs import run_bfs
+from .cc import run_cc
+from .results import AggregateResult, TraversalResult
+from .sssp import run_sssp
+
+
+def bfs(
+    graph: CSRGraph,
+    source: int,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+) -> TraversalResult:
+    """Breadth-first search from ``source``.
+
+    Returns a :class:`~repro.traversal.results.TraversalResult` whose
+    ``values`` array holds the BFS level of every vertex (-1 if unreachable)
+    and whose ``metrics`` describe the simulated memory-system behaviour.
+    """
+    return run_bfs(graph, source, strategy=strategy, system=system)
+
+
+def sssp(
+    graph: CSRGraph,
+    source: int,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+) -> TraversalResult:
+    """Single-source shortest paths from ``source`` (weights default to 1)."""
+    return run_sssp(graph, source, strategy=strategy, system=system)
+
+
+def cc(
+    graph: CSRGraph,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+) -> TraversalResult:
+    """Connected components (undirected graphs); ``values`` holds labels."""
+    return run_cc(graph, strategy=strategy, system=system)
+
+
+def run(
+    application: Application | str,
+    graph: CSRGraph,
+    source: int | None = None,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+) -> TraversalResult:
+    """Dispatch to :func:`bfs`, :func:`sssp` or :func:`cc` by application."""
+    application = Application(application)
+    if application is Application.CC:
+        return cc(graph, strategy=strategy, system=system)
+    if source is None:
+        raise ConfigurationError(f"{application.value} requires a source vertex")
+    if application is Application.BFS:
+        return bfs(graph, source, strategy=strategy, system=system)
+    return sssp(graph, source, strategy=strategy, system=system)
+
+
+def run_average(
+    application: Application | str,
+    graph: CSRGraph,
+    sources: Iterable[int] | np.ndarray,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+) -> AggregateResult:
+    """Run one application over several sources and aggregate (§5.2).
+
+    The paper averages execution times over 64 randomly chosen sources; CC is
+    source-free, so it is executed once regardless of how many sources are
+    passed.
+    """
+    application = Application(application)
+    aggregate = AggregateResult(
+        application=application, graph_name=graph.name, strategy=strategy
+    )
+    if application is Application.CC:
+        aggregate.add(cc(graph, strategy=strategy, system=system))
+        return aggregate
+    for source in np.asarray(list(sources), dtype=np.int64):
+        aggregate.add(
+            run(application, graph, source=int(source), strategy=strategy, system=system)
+        )
+    return aggregate

@@ -1,0 +1,78 @@
+"""Breadth-first search (the paper's primary case study, §5.3).
+
+The implementation follows the vertex-centric, scatter-style flow of
+Algorithm 1: every iteration expands the current frontier by scanning each
+active vertex's full neighbor list, marking unvisited neighbors as the next
+frontier.  One iteration corresponds to one kernel launch, so the number of
+kernels equals the BFS depth (§4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..graph.csr import CSRGraph
+from ..types import AccessStrategy, Application, EMOGI_STRATEGY, VERTEX_DTYPE
+from .engine import TraversalEngine
+from .frontier import gather_frontier_edges
+from .results import TraversalResult
+
+#: Level value assigned to vertices never reached from the source.
+UNREACHED = -1
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """Reference BFS levels without any memory simulation (for testing)."""
+    _check_source(graph, source)
+    levels = np.full(graph.num_vertices, UNREACHED, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=VERTEX_DTYPE)
+    depth = 0
+    while frontier.size:
+        edges = gather_frontier_edges(graph, frontier)
+        unvisited = edges.destinations[levels[edges.destinations] == UNREACHED]
+        frontier = np.unique(unvisited).astype(VERTEX_DTYPE)
+        depth += 1
+        levels[frontier] = depth
+    return levels
+
+
+def run_bfs(
+    graph: CSRGraph,
+    source: int,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+    engine: TraversalEngine | None = None,
+) -> TraversalResult:
+    """BFS from ``source`` under the given edge-list access strategy."""
+    _check_source(graph, source)
+    engine = engine or TraversalEngine(graph, strategy, system=system, needs_weights=False)
+    levels = np.full(graph.num_vertices, UNREACHED, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=VERTEX_DTYPE)
+    depth = 0
+    while frontier.size:
+        engine.process_frontier(frontier)
+        edges = gather_frontier_edges(graph, frontier)
+        unvisited = edges.destinations[levels[edges.destinations] == UNREACHED]
+        frontier = np.unique(unvisited).astype(VERTEX_DTYPE)
+        depth += 1
+        levels[frontier] = depth
+    return TraversalResult(
+        application=Application.BFS,
+        graph_name=graph.name,
+        strategy=strategy,
+        source=source,
+        values=levels,
+        metrics=engine.finalize(),
+    )
+
+
+def _check_source(graph: CSRGraph, source: int) -> None:
+    if not 0 <= source < graph.num_vertices:
+        raise SimulationError(
+            f"source vertex {source} out of range for graph with "
+            f"{graph.num_vertices} vertices"
+        )

@@ -1,0 +1,257 @@
+"""Traversal engine: accounts the memory-system cost of frontier expansion.
+
+The algorithms in :mod:`repro.traversal.bfs` / ``sssp`` / ``cc`` compute their
+results directly on the CSR arrays (so the numerical output is exact), and
+call :meth:`TraversalEngine.process_frontier` once per traversal iteration to
+simulate what the corresponding CUDA kernel would have done to the memory
+system: the edge-list (and weight-list) bytes it touches, the PCIe read
+requests or UVM page migrations those touches generate, and the resulting
+simulated time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemConfig, default_system
+from ..errors import SimulationError
+from ..gpu.kernel import KernelLaunch, KernelStats
+from ..graph.csr import CSRGraph
+from ..memsim.address_space import AddressSpace
+from ..memsim.dram import DRAMModel
+from ..memsim.gpu_memory import DeviceMemory
+from ..memsim.metrics import TimingModel, TrafficRecord
+from ..memsim.monitor import PCIeTrafficMonitor
+from ..memsim.uvm import UVMSpace
+from ..memsim.zero_copy import ZeroCopyRegion
+from ..timing import TimeBreakdown
+from ..types import AccessStrategy, MemorySpace, VERTEX_DTYPE
+from .results import TraversalMetrics
+from .strategies import spec_for
+
+#: Allocation names used by the engine.
+EDGE_LIST = "edge_list"
+WEIGHT_LIST = "edge_weights"
+VERTEX_LIST = "vertex_list"
+VERTEX_VALUES = "vertex_values"
+FRONTIER_BUFFERS = "frontier_buffers"
+
+
+class TraversalEngine:
+    """Simulated memory system for one traversal run over one graph."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        strategy: AccessStrategy,
+        system: SystemConfig | None = None,
+        needs_weights: bool = False,
+        monitor: PCIeTrafficMonitor | None = None,
+        edge_misalign_bytes: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.strategy = strategy
+        self.spec = spec_for(strategy)
+        self.system = system or default_system()
+        self.needs_weights = bool(needs_weights and graph.has_weights)
+        self.timing_model = TimingModel(self.system)
+        self.monitor = monitor or PCIeTrafficMonitor()
+        self.device = DeviceMemory(self.system.gpu.memory_bytes)
+        self.address_space = AddressSpace(self.device)
+        self.dram = DRAMModel(self.system.host.dram)
+        self.traffic = TrafficRecord()
+        self.breakdown = TimeBreakdown()
+        self.kernels = KernelStats()
+        self.iterations = 0
+        self._edge_misalign_bytes = edge_misalign_bytes
+        self._setup_memory()
+
+    # ------------------------------------------------------------------ #
+    # Memory placement (§4.2)
+    # ------------------------------------------------------------------ #
+    def _setup_memory(self) -> None:
+        graph = self.graph
+        # Small data structures stay in device memory: the vertex (offset)
+        # list, per-vertex values (levels / distances / labels) and the
+        # frontier queues.
+        self.address_space.allocate(
+            VERTEX_LIST, graph.vertex_list_bytes, MemorySpace.DEVICE, graph.element_bytes
+        )
+        self.address_space.allocate(
+            VERTEX_VALUES, graph.num_vertices * 8, MemorySpace.DEVICE, 8
+        )
+        self.address_space.allocate(
+            FRONTIER_BUFFERS, 2 * graph.num_vertices * 4, MemorySpace.DEVICE, 4
+        )
+
+        edge_space = self.spec.edge_list_space
+        self.edge_allocation = self.address_space.allocate(
+            EDGE_LIST,
+            graph.edge_list_bytes,
+            edge_space,
+            graph.element_bytes,
+            misalign_bytes=self._edge_misalign_bytes,
+        )
+        self.weight_allocation = None
+        if self.needs_weights:
+            self.weight_allocation = self.address_space.allocate(
+                WEIGHT_LIST, graph.weight_list_bytes, edge_space, 4
+            )
+
+        if self.strategy is AccessStrategy.UVM:
+            self._setup_uvm()
+        else:
+            self._setup_zero_copy()
+
+    def _setup_uvm(self) -> None:
+        page_bytes = self.system.uvm.page_bytes
+        capacity_pages = self.device.page_cache_capacity(page_bytes)
+        edge_bytes = self.edge_allocation.size_bytes
+        weight_bytes = (
+            self.weight_allocation.size_bytes if self.weight_allocation is not None else 0
+        )
+        total = edge_bytes + weight_bytes
+        edge_share = capacity_pages if total == 0 else int(capacity_pages * edge_bytes / total)
+        self.edge_uvm = UVMSpace(self.edge_allocation, self.system.uvm, edge_share)
+        self.weight_uvm = None
+        if self.weight_allocation is not None:
+            self.weight_uvm = UVMSpace(
+                self.weight_allocation, self.system.uvm, capacity_pages - edge_share
+            )
+        self.edge_region = None
+        self.weight_region = None
+
+    def _setup_zero_copy(self) -> None:
+        warp_size = self.system.gpu.warp_size
+        self.edge_region = ZeroCopyRegion(self.edge_allocation, self.monitor, warp_size)
+        self.weight_region = None
+        if self.weight_allocation is not None:
+            self.weight_region = ZeroCopyRegion(
+                self.weight_allocation, self.monitor, warp_size
+            )
+        self.edge_uvm = None
+        self.weight_uvm = None
+
+    # ------------------------------------------------------------------ #
+    # Per-iteration accounting
+    # ------------------------------------------------------------------ #
+    def process_frontier(self, frontier: np.ndarray) -> TimeBreakdown:
+        """Account one traversal iteration (one kernel launch) over ``frontier``.
+
+        Every vertex in the frontier has its full neighbor list scanned, which
+        is exactly what the vertex-centric kernels in Listings 1 and 2 do.
+        Returns the time breakdown of just this iteration (also accumulated
+        into the run totals).
+        """
+        frontier = np.asarray(frontier, dtype=VERTEX_DTYPE).ravel()
+        iteration = TimeBreakdown()
+        self.iterations += 1
+        if frontier.size == 0:
+            return iteration
+        if frontier.min() < 0 or frontier.max() >= self.graph.num_vertices:
+            raise SimulationError("frontier contains invalid vertex IDs")
+
+        starts = self.graph.offsets[frontier]
+        ends = self.graph.offsets[frontier + 1]
+        edges_touched = int((ends - starts).sum())
+
+        self.traffic.vertices_processed += int(frontier.size)
+        self.traffic.edges_processed += edges_touched
+        self.traffic.useful_bytes += edges_touched * self.graph.element_bytes
+        if self.needs_weights:
+            self.traffic.useful_bytes += edges_touched * 4
+        self.traffic.kernel_launches += 1
+        self.kernels.record(
+            KernelLaunch(
+                name=f"{self.strategy.value}-iteration",
+                num_threads=int(frontier.size)
+                * (self.system.gpu.warp_size if self.spec.warp_per_vertex else 1),
+                iteration=self.iterations,
+            )
+        )
+
+        if self.strategy is AccessStrategy.UVM:
+            iteration.add(self._access_uvm(starts, ends))
+        else:
+            iteration.add(self._access_zero_copy(starts, ends))
+
+        iteration.add(self.timing_model.kernel_launch_time(1))
+        iteration.add(self.timing_model.compute_time(edges_touched, int(frontier.size)))
+        self.breakdown.add(iteration)
+        return iteration
+
+    def _access_uvm(self, starts: np.ndarray, ends: np.ndarray) -> TimeBreakdown:
+        breakdown = TimeBreakdown()
+        element_bytes = self.graph.element_bytes
+        result = self.edge_uvm.access_byte_ranges(starts * element_bytes, ends * element_bytes)
+        self._record_uvm(result)
+        breakdown.add(self.timing_model.uvm_time(result.migrated_bytes, result.page_faults))
+        if self.weight_uvm is not None:
+            weight_result = self.weight_uvm.access_byte_ranges(starts * 4, ends * 4)
+            self._record_uvm(weight_result)
+            breakdown.add(
+                self.timing_model.uvm_time(
+                    weight_result.migrated_bytes, weight_result.page_faults
+                )
+            )
+        return breakdown
+
+    def _record_uvm(self, result) -> None:
+        self.traffic.uvm_migrated_bytes += result.migrated_bytes
+        self.traffic.uvm_migrations += result.page_faults
+        self.traffic.uvm_pages_touched += result.pages_touched
+        self.traffic.dram_bytes += self.dram.serve_block(result.migrated_bytes)
+        self.monitor.record_block_transfer(result.migrated_bytes, pages=result.page_faults)
+
+    def _access_zero_copy(self, starts: np.ndarray, ends: np.ndarray) -> TimeBreakdown:
+        breakdown = TimeBreakdown()
+        histograms = []
+        if self.spec.warp_per_vertex:
+            histograms.append(
+                self.edge_region.access_merged(starts, ends, aligned=self.spec.aligned)
+            )
+            if self.weight_region is not None:
+                histograms.append(
+                    self.weight_region.access_merged(starts, ends, aligned=self.spec.aligned)
+                )
+        else:
+            hit_rate = self.system.gpu.strided_sector_hit_rate
+            histograms.append(
+                self.edge_region.access_strided(
+                    starts, ends, intra_sector_hit_rate=hit_rate
+                )
+            )
+            if self.weight_region is not None:
+                histograms.append(
+                    self.weight_region.access_strided(
+                        starts, ends, intra_sector_hit_rate=hit_rate
+                    )
+                )
+        for histogram in histograms:
+            self.traffic.request_histogram.merge_in_place(histogram)
+            self.traffic.dram_bytes += self.dram.serve_requests(histogram)
+            breakdown.add(self.timing_model.zero_copy_time(histogram))
+        return breakdown
+
+    # ------------------------------------------------------------------ #
+    # Run finalization
+    # ------------------------------------------------------------------ #
+    @property
+    def dataset_bytes(self) -> int:
+        """Bytes of host-resident input data (the Figure 10 denominator)."""
+        total = self.graph.edge_list_bytes
+        if self.needs_weights:
+            total += self.graph.weight_list_bytes
+        return total
+
+    def finalize(self) -> TraversalMetrics:
+        """Produce the run-level metrics after the traversal has converged."""
+        return TraversalMetrics(
+            seconds=self.breakdown.total(),
+            breakdown=self.breakdown,
+            traffic=self.traffic,
+            iterations=self.iterations,
+            dataset_bytes=self.dataset_bytes,
+            strategy=self.strategy,
+            system_name=self.system.name,
+        )

@@ -1,0 +1,62 @@
+"""Frontier (active vertex set) utilities for vertex-centric traversal.
+
+Algorithm 1 of the paper structures every traversal as repeated expansion of
+an *active vertex* set; these helpers manage that set and gather the edges it
+owns in a single vectorized pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arrays import ragged_gather_indices
+from ..errors import SimulationError
+from ..graph.csr import CSRGraph
+from ..types import VERTEX_DTYPE
+
+
+@dataclass(frozen=True)
+class FrontierEdges:
+    """All edges owned by the current frontier, in edge-list order."""
+
+    sources: np.ndarray
+    destinations: np.ndarray
+    edge_indices: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return self.destinations.size
+
+
+def as_frontier(vertices: np.ndarray | list[int]) -> np.ndarray:
+    """Normalize a vertex collection into a sorted unique int64 array."""
+    array = np.asarray(vertices, dtype=VERTEX_DTYPE).ravel()
+    return np.unique(array)
+
+
+def frontier_from_mask(mask: np.ndarray) -> np.ndarray:
+    """Active vertex IDs from a boolean per-vertex mask."""
+    mask = np.asarray(mask, dtype=bool).ravel()
+    return np.flatnonzero(mask).astype(VERTEX_DTYPE)
+
+
+def gather_frontier_edges(graph: CSRGraph, frontier: np.ndarray) -> FrontierEdges:
+    """Collect every edge whose source vertex is in the frontier."""
+    frontier = np.asarray(frontier, dtype=VERTEX_DTYPE).ravel()
+    if frontier.size and (frontier.min() < 0 or frontier.max() >= graph.num_vertices):
+        raise SimulationError("frontier contains invalid vertex IDs")
+    starts = graph.offsets[frontier]
+    lengths = graph.offsets[frontier + 1] - starts
+    edge_indices = ragged_gather_indices(starts, lengths)
+    sources = np.repeat(frontier, lengths)
+    destinations = graph.edges[edge_indices]
+    return FrontierEdges(
+        sources=sources, destinations=destinations, edge_indices=edge_indices
+    )
+
+
+def all_vertices_frontier(graph: CSRGraph) -> np.ndarray:
+    """The frontier used by CC: every vertex starts active (§5.4)."""
+    return np.arange(graph.num_vertices, dtype=VERTEX_DTYPE)

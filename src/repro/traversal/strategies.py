@@ -1,0 +1,72 @@
+"""Edge-list access strategies (§5.1.2) and their memory placement.
+
+The strategy determines two things:
+
+* where the edge list (and, for SSSP, the weight list) lives —
+  UVM space for the UVM baseline, pinned host memory for the zero-copy
+  variants; and
+* how GPU threads read it — per-thread strided scans (Naive), warp-per-vertex
+  merged accesses (Merged), or warp-per-vertex accesses shifted to the closest
+  128-byte boundary (Merged+Aligned, i.e. EMOGI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import AccessStrategy, MemorySpace
+
+#: Human-readable labels used by the benchmark report tables.
+STRATEGY_LABELS: dict[AccessStrategy, str] = {
+    AccessStrategy.UVM: "UVM",
+    AccessStrategy.NAIVE: "Naive",
+    AccessStrategy.MERGED: "Merged",
+    AccessStrategy.MERGED_ALIGNED: "Merged+Aligned",
+}
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """How one access strategy places and reads the edge list."""
+
+    strategy: AccessStrategy
+    edge_list_space: MemorySpace
+    warp_per_vertex: bool
+    aligned: bool
+
+    @property
+    def label(self) -> str:
+        return STRATEGY_LABELS[self.strategy]
+
+
+_SPECS: dict[AccessStrategy, StrategySpec] = {
+    AccessStrategy.UVM: StrategySpec(
+        strategy=AccessStrategy.UVM,
+        edge_list_space=MemorySpace.UVM,
+        warp_per_vertex=False,
+        aligned=False,
+    ),
+    AccessStrategy.NAIVE: StrategySpec(
+        strategy=AccessStrategy.NAIVE,
+        edge_list_space=MemorySpace.HOST_PINNED,
+        warp_per_vertex=False,
+        aligned=False,
+    ),
+    AccessStrategy.MERGED: StrategySpec(
+        strategy=AccessStrategy.MERGED,
+        edge_list_space=MemorySpace.HOST_PINNED,
+        warp_per_vertex=True,
+        aligned=False,
+    ),
+    AccessStrategy.MERGED_ALIGNED: StrategySpec(
+        strategy=AccessStrategy.MERGED_ALIGNED,
+        edge_list_space=MemorySpace.HOST_PINNED,
+        warp_per_vertex=True,
+        aligned=True,
+    ),
+}
+
+
+def spec_for(strategy: AccessStrategy) -> StrategySpec:
+    """Look up the placement/access description of a strategy."""
+    return _SPECS[strategy]

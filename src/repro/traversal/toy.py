@@ -1,0 +1,147 @@
+"""The §3.3 toy example: copying a 1D array out of zero-copy memory.
+
+The paper uses a simple array-copy kernel to expose how the GPU turns
+zero-copy loads into PCIe requests under three access patterns (Figure 3) and
+what PCIe / DRAM bandwidth each achieves (Figure 4):
+
+* **Strided** — each thread scans its own 128-byte chunk one element at a
+  time, producing an all-32-byte request stream.
+* **Merged and aligned** — consecutive threads read consecutive elements from
+  a 128-byte-aligned array, so the coalescer emits full 128-byte requests.
+* **Merged but misaligned** — same kernel, but the array starts 32 bytes past
+  a 128-byte boundary, so every warp emits a 32-byte + 96-byte request pair.
+
+A UVM sequential scan of the same array provides the red-dashed reference
+line of Figure 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig, default_system
+from ..errors import ConfigurationError
+from ..memsim.address_space import AddressSpace
+from ..memsim.coalescer import CACHELINE_BYTES, RequestHistogram, SECTOR_BYTES
+from ..memsim.dram import DRAMModel
+from ..memsim.gpu_memory import DeviceMemory
+from ..memsim.metrics import TimingModel
+from ..memsim.monitor import PCIeTrafficMonitor
+from ..memsim.uvm import UVMSpace
+from ..memsim.zero_copy import ZeroCopyRegion
+from ..types import MemorySpace
+
+#: Default array size for the toy kernel: 64 MiB, as a bulk-copy workload.
+DEFAULT_ARRAY_BYTES = 64 * 1024 * 1024
+
+
+class AccessPattern(enum.Enum):
+    """The three zero-copy access patterns of Figure 3."""
+
+    STRIDED = "strided"
+    MERGED_ALIGNED = "merged_aligned"
+    MERGED_MISALIGNED = "merged_misaligned"
+
+
+@dataclass(frozen=True)
+class ToyResult:
+    """Bandwidth figures for one toy-kernel run (one bar group of Figure 4)."""
+
+    pattern: str
+    seconds: float
+    pcie_bandwidth_gbps: float
+    dram_bandwidth_gbps: float
+    histogram: RequestHistogram | None
+    bytes_transferred: int
+
+
+def run_array_copy(
+    pattern: AccessPattern,
+    system: SystemConfig | None = None,
+    array_bytes: int = DEFAULT_ARRAY_BYTES,
+    element_bytes: int = 4,
+) -> ToyResult:
+    """Copy a host-pinned 1D array to GPU memory with one access pattern."""
+    system = system or default_system()
+    if array_bytes <= 0:
+        raise ConfigurationError("array_bytes must be positive")
+    timing = TimingModel(system)
+    dram = DRAMModel(system.host.dram)
+    monitor = PCIeTrafficMonitor()
+    device = DeviceMemory(system.gpu.memory_bytes)
+    space = AddressSpace(device)
+
+    misalign = SECTOR_BYTES if pattern is AccessPattern.MERGED_MISALIGNED else 0
+    allocation = space.allocate(
+        "toy_array",
+        array_bytes,
+        MemorySpace.HOST_PINNED,
+        element_bytes=element_bytes,
+        misalign_bytes=misalign,
+    )
+    region = ZeroCopyRegion(allocation, monitor, warp_size=system.gpu.warp_size)
+    num_elements = array_bytes // element_bytes
+
+    if pattern is AccessPattern.STRIDED:
+        # Each thread owns one 128-byte chunk and scans it element by element.
+        elements_per_chunk = CACHELINE_BYTES // element_bytes
+        chunk_starts = np.arange(0, num_elements, elements_per_chunk, dtype=np.int64)
+        chunk_ends = np.minimum(chunk_starts + elements_per_chunk, num_elements)
+        histogram = region.access_strided(
+            chunk_starts,
+            chunk_ends,
+            intra_sector_hit_rate=system.gpu.strided_sector_hit_rate,
+        )
+    else:
+        aligned = pattern is AccessPattern.MERGED_ALIGNED
+        histogram = region.access_merged(
+            np.array([0], dtype=np.int64),
+            np.array([num_elements], dtype=np.int64),
+            aligned=aligned,
+        )
+
+    breakdown = timing.zero_copy_time(histogram)
+    dram_bytes = dram.serve_requests(histogram)
+    seconds = breakdown.total()
+    return ToyResult(
+        pattern=pattern.value,
+        seconds=seconds,
+        pcie_bandwidth_gbps=histogram.total_bytes / seconds / 1e9 if seconds else 0.0,
+        dram_bandwidth_gbps=dram_bytes / seconds / 1e9 if seconds else 0.0,
+        histogram=histogram,
+        bytes_transferred=histogram.total_bytes,
+    )
+
+
+def run_uvm_array_scan(
+    system: SystemConfig | None = None,
+    array_bytes: int = DEFAULT_ARRAY_BYTES,
+    element_bytes: int = 4,
+) -> ToyResult:
+    """Sequentially scan the same array through UVM (the Figure 4 reference)."""
+    system = system or default_system()
+    if array_bytes <= 0:
+        raise ConfigurationError("array_bytes must be positive")
+    timing = TimingModel(system)
+    device = DeviceMemory(system.gpu.memory_bytes)
+    space = AddressSpace(device)
+    allocation = space.allocate(
+        "toy_array_uvm", array_bytes, MemorySpace.UVM, element_bytes=element_bytes
+    )
+    uvm = UVMSpace(
+        allocation, system.uvm, capacity_pages=device.page_cache_capacity(system.uvm.page_bytes)
+    )
+    result = uvm.access_byte_ranges(np.array([0]), np.array([array_bytes]))
+    breakdown = timing.uvm_time(result.migrated_bytes, result.page_faults)
+    seconds = breakdown.total()
+    return ToyResult(
+        pattern="uvm",
+        seconds=seconds,
+        pcie_bandwidth_gbps=result.migrated_bytes / seconds / 1e9 if seconds else 0.0,
+        dram_bandwidth_gbps=result.migrated_bytes / seconds / 1e9 if seconds else 0.0,
+        histogram=None,
+        bytes_transferred=result.migrated_bytes,
+    )

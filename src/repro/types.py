@@ -1,0 +1,120 @@
+"""Shared enums and light-weight value types used across the package."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Integer dtype used for vertex identifiers and CSR offsets.
+VERTEX_DTYPE = np.int64
+
+#: Integer dtype used for edge destinations stored in the CSR edge list.
+EDGE_DTYPE = np.int64
+
+#: Dtype used for edge weights (the paper stores weights as 4-byte values).
+WEIGHT_DTYPE = np.float32
+
+
+class MemorySpace(enum.Enum):
+    """Where a simulated array lives.
+
+    ``DEVICE``
+        GPU global memory; accesses never cross the PCIe link.
+    ``HOST_PINNED``
+        Pinned host memory accessed with zero-copy (cache-line granularity).
+    ``UVM``
+        Unified Virtual Memory; accesses are served by 4KB page migration.
+    """
+
+    DEVICE = "device"
+    HOST_PINNED = "host_pinned"
+    UVM = "uvm"
+
+
+class AccessStrategy(enum.Enum):
+    """The four edge-list access implementations compared by the paper (§5.1.2).
+
+    ``UVM``
+        Edge list in UVM space marked ``cudaMemAdviseSetReadMostly``.
+    ``NAIVE``
+        Zero-copy with one thread per vertex (uncoalesced, Listing 1).
+    ``MERGED``
+        Zero-copy with one warp per vertex (coalesced, §4.3.1).
+    ``MERGED_ALIGNED``
+        Zero-copy, warp per vertex, warp start shifted down to the closest
+        128-byte boundary (§4.3.2).  This is "EMOGI" in the figures.
+    """
+
+    UVM = "uvm"
+    NAIVE = "naive"
+    MERGED = "merged"
+    MERGED_ALIGNED = "merged_aligned"
+
+    @property
+    def is_zero_copy(self) -> bool:
+        """True for the three strategies that read host memory directly."""
+        return self is not AccessStrategy.UVM
+
+
+#: Strategies in the order the paper plots them.
+ALL_STRATEGIES = (
+    AccessStrategy.UVM,
+    AccessStrategy.NAIVE,
+    AccessStrategy.MERGED,
+    AccessStrategy.MERGED_ALIGNED,
+)
+
+#: The fully optimized configuration, i.e. what the paper calls "EMOGI".
+EMOGI_STRATEGY = AccessStrategy.MERGED_ALIGNED
+
+
+class Application(enum.Enum):
+    """Graph traversal applications evaluated in the paper."""
+
+    BFS = "bfs"
+    SSSP = "sssp"
+    CC = "cc"
+
+
+@dataclass(frozen=True)
+class ByteSize:
+    """A byte count with human-readable rendering helpers."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("byte sizes cannot be negative")
+
+    @property
+    def kib(self) -> float:
+        return self.value / 1024.0
+
+    @property
+    def mib(self) -> float:
+        return self.value / 1024.0**2
+
+    @property
+    def gib(self) -> float:
+        return self.value / 1024.0**3
+
+    def __str__(self) -> str:
+        if self.value >= 1024**3:
+            return f"{self.gib:.2f} GiB"
+        if self.value >= 1024**2:
+            return f"{self.mib:.2f} MiB"
+        if self.value >= 1024:
+            return f"{self.kib:.2f} KiB"
+        return f"{self.value} B"
+
+
+def gigabytes(value: float) -> int:
+    """Convert a GB figure (decimal, as used for bandwidth) to bytes."""
+    return int(value * 1e9)
+
+
+def gibibytes(value: float) -> int:
+    """Convert a GiB figure (binary, as used for capacities) to bytes."""
+    return int(value * 1024**3)

@@ -1,0 +1,102 @@
+"""Shared fixtures for the test suite.
+
+Unit tests run on small hand-made or generated graphs so the whole suite
+completes in seconds; the few integration tests that need the paper-scale
+datasets build them through the module-level dataset cache so they are only
+generated once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_system, volta_pcie3
+from repro.graph.builder import from_edge_array, from_neighbor_lists
+from repro.graph.generators import random_weights, rmat_graph, uniform_random_graph
+
+
+@pytest.fixture(scope="session")
+def system():
+    """The default (V100 / PCIe 3.0) simulated platform."""
+    return default_system()
+
+
+@pytest.fixture
+def path_graph():
+    """A 6-vertex undirected path: 0-1-2-3-4-5."""
+    sources = np.array([0, 1, 2, 3, 4])
+    destinations = np.array([1, 2, 3, 4, 5])
+    return from_edge_array(sources, destinations, directed=False, name="path6")
+
+
+@pytest.fixture
+def star_graph():
+    """A star with vertex 0 in the center and 8 leaves."""
+    sources = np.zeros(8, dtype=np.int64)
+    destinations = np.arange(1, 9)
+    return from_edge_array(sources, destinations, directed=False, name="star8")
+
+
+@pytest.fixture
+def paper_example_graph():
+    """The 5-vertex undirected graph of Figure 1 in the paper."""
+    neighbor_lists = [
+        [1, 2],
+        [0, 2, 3, 4],
+        [0, 1, 4],
+        [1],
+        [1, 2],
+    ]
+    return from_neighbor_lists(neighbor_lists, directed=False, name="figure1")
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Two components: a triangle {0,1,2} and an edge {3,4}; vertex 5 isolated."""
+    sources = np.array([0, 1, 2, 3])
+    destinations = np.array([1, 2, 0, 4])
+    return from_edge_array(
+        sources, destinations, num_vertices=6, directed=False, name="disconnected"
+    )
+
+
+@pytest.fixture(scope="session")
+def random_graph():
+    """A moderately sized weighted RMAT graph shared across correctness tests."""
+    graph = rmat_graph(500, 6000, seed=33, name="rmat500")
+    weights = random_weights(graph.num_edges, seed=34)
+    return graph.with_weights(weights)
+
+
+@pytest.fixture(scope="session")
+def uniform_graph():
+    """A uniform-degree graph shared across traffic-shape tests."""
+    return uniform_random_graph(800, 16000, seed=35, name="uniform800")
+
+
+@pytest.fixture(scope="session")
+def weighted_uniform_graph(uniform_graph):
+    weights = random_weights(uniform_graph.num_edges, seed=36)
+    return uniform_graph.with_weights(weights)
+
+
+def to_networkx(graph, weighted: bool = False):
+    """Convert a CSRGraph to a networkx graph for reference computations."""
+    import networkx as nx
+
+    nx_graph = nx.DiGraph() if graph.directed else nx.Graph()
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    sources = graph.edge_sources()
+    if weighted and graph.weights is not None:
+        # CSR graphs may contain parallel edges; keep the cheapest one so the
+        # networkx reference matches the relaxation over all parallel edges.
+        for src, dst, weight in zip(sources, graph.edges, graph.weights):
+            src, dst, weight = int(src), int(dst), float(weight)
+            existing = nx_graph.get_edge_data(src, dst)
+            if existing is None or existing["weight"] > weight:
+                nx_graph.add_edge(src, dst, weight=weight)
+    else:
+        for src, dst in zip(sources, graph.edges):
+            nx_graph.add_edge(int(src), int(dst))
+    return nx_graph

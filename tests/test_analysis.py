@@ -1,0 +1,90 @@
+"""Tests for repro.graph.analysis (degree statistics, Figure 6 CDF)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.analysis import (
+    degree_histogram,
+    degree_stats,
+    edge_cdf_by_degree,
+    expected_sectors_per_neighbor_list,
+    fraction_of_edges_in_degree_range,
+    neighbor_list_alignment_fraction,
+)
+from repro.graph.builder import from_neighbor_lists
+from repro.graph.generators import uniform_random_graph
+
+
+class TestDegreeStats:
+    def test_basic(self, paper_example_graph):
+        stats = degree_stats(paper_example_graph)
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 12
+        assert stats.average_degree == pytest.approx(2.4)
+        assert stats.max_degree == 4
+        assert stats.min_degree == 1
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph(offsets=np.array([0]), edges=np.array([], dtype=np.int64))
+        stats = degree_stats(empty)
+        assert stats.num_vertices == 0
+        assert stats.average_degree == 0.0
+
+    def test_degree_histogram(self, star_graph):
+        values, counts = degree_histogram(star_graph)
+        histogram = dict(zip(values.tolist(), counts.tolist()))
+        assert histogram == {1: 8, 8: 1}
+
+
+class TestEdgeCDF:
+    def test_cdf_reaches_one(self, random_graph):
+        axis, cdf = edge_cdf_by_degree(random_graph)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_truncation(self, random_graph):
+        axis, cdf = edge_cdf_by_degree(random_graph, max_degree=10)
+        assert axis.max() <= 10
+
+    def test_resampling(self, random_graph):
+        axis, cdf = edge_cdf_by_degree(random_graph, num_points=32)
+        assert axis.size == 32
+        assert cdf.size == 32
+
+    def test_uniform_graph_edges_concentrated_near_mean(self):
+        # The GU observation from Figure 6: all edges belong to vertices with
+        # degree in a narrow band around the mean.
+        graph = uniform_random_graph(2000, 64000, seed=3, degree_spread=0.5)
+        fraction = fraction_of_edges_in_degree_range(graph, 16, 48)
+        assert fraction > 0.95
+
+    def test_fraction_of_edges_range_is_total_for_full_range(self, random_graph):
+        full = fraction_of_edges_in_degree_range(random_graph, 0, random_graph.max_degree())
+        assert full == pytest.approx(1.0)
+
+
+class TestAlignmentStatistics:
+    def test_alignment_fraction_of_dense_lists(self):
+        # 16 neighbor lists of exactly 16 elements each (8-byte): every list
+        # starts on a 128-byte boundary.
+        lists = [[j for j in range(16)] for _ in range(16)]
+        graph = from_neighbor_lists(lists)
+        assert neighbor_list_alignment_fraction(graph) == pytest.approx(1.0)
+
+    def test_alignment_fraction_random_lists_is_low(self, random_graph):
+        # §5.3.1: with 8-byte elements only ~1/16 of lists are 128B-aligned.
+        fraction = neighbor_list_alignment_fraction(random_graph)
+        assert fraction < 0.3
+
+    def test_expected_sectors(self, paper_example_graph):
+        sectors = expected_sectors_per_neighbor_list(paper_example_graph)
+        assert sectors >= 1.0
+
+    def test_empty_graph_fractions(self):
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph(offsets=np.array([0]), edges=np.array([], dtype=np.int64))
+        assert neighbor_list_alignment_fraction(empty) == 0.0
+        assert expected_sectors_per_neighbor_list(empty) == 0.0

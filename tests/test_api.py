@@ -1,0 +1,79 @@
+"""Tests for the public traversal API (dispatch, aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traversal.api import bfs, cc, run, run_average, sssp
+from repro.traversal.bfs import bfs_levels
+from repro.types import AccessStrategy, Application, EMOGI_STRATEGY
+
+
+class TestDispatch:
+    def test_bfs(self, random_graph):
+        result = bfs(random_graph, 0)
+        assert result.application is Application.BFS
+        assert result.strategy is EMOGI_STRATEGY
+        assert np.array_equal(result.values, bfs_levels(random_graph, 0))
+
+    def test_sssp(self, random_graph):
+        result = sssp(random_graph, 0)
+        assert result.application is Application.SSSP
+        assert result.values[0] == 0.0
+
+    def test_cc(self, disconnected_graph):
+        result = cc(disconnected_graph)
+        assert result.application is Application.CC
+
+    def test_run_accepts_strings(self, random_graph):
+        result = run("bfs", random_graph, source=0)
+        assert result.application is Application.BFS
+
+    def test_run_dispatches_cc_without_source(self, disconnected_graph):
+        result = run(Application.CC, disconnected_graph)
+        assert result.application is Application.CC
+
+    def test_run_requires_source_for_bfs_and_sssp(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            run(Application.BFS, random_graph)
+        with pytest.raises(ConfigurationError):
+            run("sssp", random_graph)
+
+    def test_unknown_application_rejected(self, random_graph):
+        with pytest.raises(ValueError):
+            run("pagerank", random_graph, source=0)
+
+    def test_strategy_parameter_respected(self, random_graph):
+        result = bfs(random_graph, 0, strategy=AccessStrategy.UVM)
+        assert result.strategy is AccessStrategy.UVM
+        assert result.metrics.traffic.uvm_migrated_bytes > 0
+
+
+class TestRunAverage:
+    def test_bfs_average_over_sources(self, random_graph):
+        aggregate = run_average(Application.BFS, random_graph, [0, 1, 2])
+        assert aggregate.num_runs == 3
+        assert aggregate.mean_seconds > 0
+        assert {r.source for r in aggregate.runs} == {0, 1, 2}
+
+    def test_cc_runs_once_regardless_of_sources(self, disconnected_graph):
+        aggregate = run_average(Application.CC, disconnected_graph, [0, 1, 2, 3])
+        assert aggregate.num_runs == 1
+
+    def test_aggregate_metadata(self, random_graph):
+        aggregate = run_average("sssp", random_graph, [4], strategy=AccessStrategy.MERGED)
+        assert aggregate.application is Application.SSSP
+        assert aggregate.graph_name == random_graph.name
+        assert aggregate.strategy is AccessStrategy.MERGED
+
+
+class TestPackageLevelExports:
+    def test_top_level_imports(self):
+        import repro
+
+        assert callable(repro.bfs)
+        assert callable(repro.sssp)
+        assert callable(repro.cc)
+        assert callable(repro.load_dataset)
+        assert repro.EMOGI_STRATEGY is AccessStrategy.MERGED_ALIGNED
+        assert repro.__version__

@@ -1,0 +1,79 @@
+"""Tests for repro.arrays (vectorized ragged-range helpers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import ragged_gather_indices, repeat_by_counts
+
+
+def reference_ragged(starts, lengths):
+    pieces = [np.arange(s, s + l) for s, l in zip(starts, lengths)]
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+
+
+class TestRaggedGatherIndices:
+    def test_simple(self):
+        out = ragged_gather_indices(np.array([0, 10]), np.array([3, 2]))
+        assert out.tolist() == [0, 1, 2, 10, 11]
+
+    def test_empty_ranges_skipped(self):
+        out = ragged_gather_indices(np.array([5, 7, 20]), np.array([2, 0, 1]))
+        assert out.tolist() == [5, 6, 20]
+
+    def test_all_empty(self):
+        out = ragged_gather_indices(np.array([1, 2, 3]), np.array([0, 0, 0]))
+        assert out.size == 0
+
+    def test_no_ranges(self):
+        out = ragged_gather_indices(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    def test_single_long_range(self):
+        out = ragged_gather_indices(np.array([100]), np.array([5]))
+        assert out.tolist() == [100, 101, 102, 103, 104]
+
+    def test_overlapping_and_descending_starts(self):
+        starts = np.array([10, 3, 10])
+        lengths = np.array([2, 3, 1])
+        assert ragged_gather_indices(starts, lengths).tolist() == [10, 11, 3, 4, 5, 10]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ragged_gather_indices(np.array([1, 2]), np.array([1]))
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ragged_gather_indices(np.array([1]), np.array([-1]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference(self, ranges):
+        starts = np.array([r[0] for r in ranges], dtype=np.int64)
+        lengths = np.array([r[1] for r in ranges], dtype=np.int64)
+        expected = reference_ragged(starts, lengths)
+        actual = ragged_gather_indices(starts, lengths)
+        assert actual.tolist() == expected.tolist()
+
+
+class TestRepeatByCounts:
+    def test_basic(self):
+        out = repeat_by_counts(np.array([7, 8, 9]), np.array([2, 0, 3]))
+        assert out.tolist() == [7, 7, 9, 9, 9]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            repeat_by_counts(np.array([1]), np.array([1, 2]))
+
+    def test_negative_counts(self):
+        with pytest.raises(ValueError):
+            repeat_by_counts(np.array([1]), np.array([-2]))

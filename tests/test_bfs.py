@@ -1,0 +1,111 @@
+"""BFS correctness tests: every access strategy must give reference results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import rmat_graph
+from repro.traversal.bfs import UNREACHED, bfs_levels, run_bfs
+from repro.types import ALL_STRATEGIES, AccessStrategy
+
+from .conftest import to_networkx
+
+
+class TestReferenceBFS:
+    def test_path_graph_levels(self, path_graph):
+        levels = bfs_levels(path_graph, 0)
+        assert levels.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_star_graph_levels(self, star_graph):
+        levels = bfs_levels(star_graph, 0)
+        assert levels[0] == 0
+        assert np.all(levels[1:] == 1)
+
+    def test_unreachable_vertices(self, disconnected_graph):
+        levels = bfs_levels(disconnected_graph, 0)
+        assert levels[3] == UNREACHED
+        assert levels[4] == UNREACHED
+        assert levels[5] == UNREACHED
+
+    def test_matches_networkx(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        reference = nx.single_source_shortest_path_length(to_networkx(random_graph), 0)
+        levels = bfs_levels(random_graph, 0)
+        for vertex in range(random_graph.num_vertices):
+            expected = reference.get(vertex, UNREACHED)
+            assert levels[vertex] == expected
+
+    def test_invalid_source(self, path_graph):
+        with pytest.raises(SimulationError):
+            bfs_levels(path_graph, 99)
+
+
+class TestSimulatedBFS:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_all_strategies_compute_identical_levels(self, random_graph, strategy):
+        reference = bfs_levels(random_graph, 3)
+        result = run_bfs(random_graph, 3, strategy=strategy)
+        assert np.array_equal(result.values, reference)
+
+    def test_result_metadata(self, random_graph):
+        result = run_bfs(random_graph, 0, strategy=AccessStrategy.MERGED_ALIGNED)
+        assert result.graph_name == random_graph.name
+        assert result.source == 0
+        assert result.strategy is AccessStrategy.MERGED_ALIGNED
+        assert result.metrics.iterations >= 1
+        assert result.seconds > 0
+
+    def test_iterations_equal_bfs_depth(self, path_graph):
+        result = run_bfs(path_graph, 0, strategy=AccessStrategy.MERGED_ALIGNED)
+        # One kernel launch per level plus the final empty-frontier check is
+        # not launched, so iterations == max level + 1.
+        assert result.metrics.iterations == 6
+
+    def test_source_only_component(self, disconnected_graph):
+        result = run_bfs(disconnected_graph, 3, strategy=AccessStrategy.UVM)
+        assert result.values[3] == 0
+        assert result.values[4] == 1
+        assert result.values[0] == UNREACHED
+
+    def test_invalid_source(self, random_graph):
+        with pytest.raises(SimulationError):
+            run_bfs(random_graph, -1)
+
+    def test_zero_copy_reads_at_least_the_visited_edges(self, random_graph):
+        result = run_bfs(random_graph, 3, strategy=AccessStrategy.MERGED_ALIGNED)
+        traffic = result.metrics.traffic
+        assert traffic.zero_copy_bytes >= traffic.useful_bytes
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 40)), min_size=1, max_size=200
+    ),
+    seed=st.integers(0, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_bfs_levels_are_consistent_with_edges(edges, seed):
+    """Property: BFS levels of neighbors differ by at most 1 (undirected graphs)."""
+    sources = np.array([e[0] for e in edges])
+    destinations = np.array([e[1] for e in edges])
+    graph = from_edge_array(sources, destinations, directed=False)
+    source = int(sources[seed % len(sources)])
+    levels = bfs_levels(graph, source)
+    assert levels[source] == 0
+    for u, v in graph.iter_edges():
+        if levels[u] != UNREACHED:
+            assert levels[v] != UNREACHED
+            assert abs(levels[u] - levels[v]) <= 1
+        else:
+            assert levels[v] == UNREACHED or levels[u] == UNREACHED
+
+
+@pytest.mark.parametrize("strategy", [AccessStrategy.UVM, AccessStrategy.MERGED_ALIGNED])
+def test_bfs_on_generated_graph_matches_reference(strategy):
+    graph = rmat_graph(300, 3000, seed=77)
+    reference = bfs_levels(graph, 7)
+    result = run_bfs(graph, 7, strategy=strategy)
+    assert np.array_equal(result.values, reference)

@@ -1,0 +1,142 @@
+"""Tests for repro.graph.builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edge_array, from_neighbor_lists, symmetrize
+
+
+class TestFromEdgeArray:
+    def test_directed(self):
+        graph = from_edge_array(np.array([0, 0, 2]), np.array([1, 2, 1]), directed=True)
+        assert graph.num_vertices == 3
+        assert graph.neighbors(0).tolist() == [1, 2]
+        assert graph.neighbors(1).tolist() == []
+        assert graph.neighbors(2).tolist() == [1]
+
+    def test_undirected_stores_both_directions(self):
+        graph = from_edge_array(np.array([0]), np.array([1]), directed=False)
+        assert graph.num_edges == 2
+        assert graph.neighbors(0).tolist() == [1]
+        assert graph.neighbors(1).tolist() == [0]
+
+    def test_explicit_num_vertices_adds_isolated(self):
+        graph = from_edge_array(np.array([0]), np.array([1]), num_vertices=5)
+        assert graph.num_vertices == 5
+        assert graph.degree(4) == 0
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(np.array([0]), np.array([7]), num_vertices=3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(np.array([0, 1]), np.array([1]))
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(np.array([-1]), np.array([0]))
+
+    def test_weights_follow_their_edges(self):
+        graph = from_edge_array(
+            np.array([1, 0]),
+            np.array([0, 1]),
+            weights=np.array([5.0, 7.0]),
+            directed=True,
+        )
+        assert graph.neighbor_weights(0).tolist() == [7.0]
+        assert graph.neighbor_weights(1).tolist() == [5.0]
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(
+                np.array([0]), np.array([1]), weights=np.array([1.0, 2.0])
+            )
+
+    def test_remove_self_loops(self):
+        graph = from_edge_array(
+            np.array([0, 1]), np.array([0, 0]), remove_self_loops=True, directed=True
+        )
+        assert graph.num_edges == 1
+        assert graph.neighbors(1).tolist() == [0]
+
+    def test_deduplicate(self):
+        graph = from_edge_array(
+            np.array([0, 0, 0]), np.array([1, 1, 2]), deduplicate=True, directed=True
+        )
+        assert graph.neighbors(0).tolist() == [1, 2]
+
+    def test_neighbors_sorted_by_default(self):
+        graph = from_edge_array(np.array([0, 0, 0]), np.array([5, 2, 9]), directed=True)
+        assert graph.neighbors(0).tolist() == [2, 5, 9]
+
+    def test_empty_edge_list(self):
+        graph = from_edge_array(np.array([]), np.array([]), num_vertices=3)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 0
+
+
+class TestFromNeighborLists:
+    def test_basic(self):
+        graph = from_neighbor_lists([[1, 2], [], [0]])
+        assert graph.num_vertices == 3
+        assert graph.offsets.tolist() == [0, 2, 2, 3]
+        assert graph.edges.tolist() == [1, 2, 0]
+
+    def test_with_weights(self):
+        graph = from_neighbor_lists([[1], [0]], weights=[[2.5], [1.5]])
+        assert graph.neighbor_weights(0).tolist() == [2.5]
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            from_neighbor_lists([[1], [0]], weights=[[2.5, 3.5], [1.5]])
+        with pytest.raises(GraphFormatError):
+            from_neighbor_lists([[1], [0]], weights=[[2.5]])
+
+
+class TestSymmetrize:
+    def test_adds_reverse_edges(self):
+        directed = from_edge_array(np.array([0, 1]), np.array([1, 2]), directed=True)
+        undirected = symmetrize(directed)
+        assert not undirected.directed
+        edges = set(undirected.iter_edges())
+        assert edges == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_idempotent_on_symmetric_graphs(self, paper_example_graph):
+        again = symmetrize(paper_example_graph)
+        assert again.num_edges == paper_example_graph.num_edges
+        assert set(again.iter_edges()) == set(paper_example_graph.iter_edges())
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=1, max_size=120
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_csr_roundtrip_preserves_directed_edge_multiset(edges):
+    """Property: building a directed CSR preserves the exact edge multiset."""
+    sources = np.array([e[0] for e in edges])
+    destinations = np.array([e[1] for e in edges])
+    graph = from_edge_array(sources, destinations, directed=True)
+    rebuilt = sorted(zip(graph.edge_sources().tolist(), graph.edges.tolist()))
+    assert rebuilt == sorted(zip(sources.tolist(), destinations.tolist()))
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=80
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_symmetrized_graph_is_symmetric(edges):
+    """Property: the undirected builder always produces a symmetric edge set."""
+    sources = np.array([e[0] for e in edges])
+    destinations = np.array([e[1] for e in edges])
+    graph = from_edge_array(sources, destinations, directed=False)
+    assert graph.is_symmetric()
+    original = {(s, d) for s, d in edges} | {(d, s) for s, d in edges}
+    assert set(graph.iter_edges()) == original

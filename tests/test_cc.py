@@ -1,0 +1,96 @@
+"""Connected-components correctness tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import from_edge_array
+from repro.traversal.cc import cc_labels, run_cc
+from repro.types import ALL_STRATEGIES, AccessStrategy
+
+from .conftest import to_networkx
+
+
+def labels_to_partition(labels):
+    partition = {}
+    for vertex, label in enumerate(labels.tolist()):
+        partition.setdefault(label, set()).add(vertex)
+    return sorted(frozenset(s) for s in partition.values())
+
+
+class TestReferenceCC:
+    def test_connected_graph_has_one_component(self, path_graph):
+        labels = cc_labels(path_graph)
+        assert len(set(labels.tolist())) == 1
+
+    def test_disconnected_graph(self, disconnected_graph):
+        labels = cc_labels(disconnected_graph)
+        partition = labels_to_partition(labels)
+        assert partition == sorted([frozenset({0, 1, 2}), frozenset({3, 4}), frozenset({5})])
+
+    def test_labels_are_component_minima(self, disconnected_graph):
+        labels = cc_labels(disconnected_graph)
+        assert labels.tolist() == [0, 0, 0, 3, 3, 5]
+
+    def test_matches_networkx(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        from repro.graph.builder import symmetrize
+
+        undirected = symmetrize(random_graph.without_weights())
+        labels = cc_labels(undirected)
+        reference = sorted(
+            frozenset(component)
+            for component in nx.connected_components(to_networkx(undirected))
+        )
+        assert labels_to_partition(labels) == reference
+
+
+class TestSimulatedCC:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_all_strategies_compute_identical_labels(self, disconnected_graph, strategy):
+        reference = cc_labels(disconnected_graph)
+        result = run_cc(disconnected_graph, strategy=strategy)
+        assert np.array_equal(result.values, reference)
+
+    def test_first_iteration_streams_every_edge(self, paper_example_graph):
+        """§5.4: CC sets all vertices active, so the whole edge list is read."""
+        result = run_cc(paper_example_graph, strategy=AccessStrategy.MERGED_ALIGNED)
+        assert result.metrics.traffic.edges_processed >= paper_example_graph.num_edges
+
+    def test_source_is_none(self, paper_example_graph):
+        result = run_cc(paper_example_graph, strategy=AccessStrategy.UVM)
+        assert result.source is None
+        assert result.metrics.iterations >= 1
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 25), st.integers(0, 25)), min_size=1, max_size=100
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_cc_partition_matches_union_find(edges):
+    """Property: label propagation finds exactly the union-find components."""
+    sources = np.array([e[0] for e in edges])
+    destinations = np.array([e[1] for e in edges])
+    graph = from_edge_array(sources, destinations, directed=False)
+    labels = cc_labels(graph)
+
+    parent = list(range(graph.num_vertices))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent[find(a)] = find(b)
+
+    for u, v in edges:
+        union(u, v)
+    expected = {}
+    for vertex in range(graph.num_vertices):
+        expected.setdefault(find(vertex), set()).add(vertex)
+    assert labels_to_partition(labels) == sorted(frozenset(s) for s in expected.values())

@@ -1,0 +1,151 @@
+"""Tests for the §6 neighbor-list compression extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph.compression import (
+    CompressionSummary,
+    compress_graph,
+    compressed_list_sizes,
+    decode_neighbor_list,
+    encode_neighbor_list,
+    project_compressed_traversal,
+    varint_decode,
+    varint_encode,
+    varint_size,
+)
+from repro.timing import TimeBreakdown
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 16383, 16384, 2**31])
+    def test_roundtrip(self, value):
+        encoded = varint_encode(value)
+        decoded, offset = varint_decode(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_sizes(self):
+        assert len(varint_encode(0)) == 1
+        assert len(varint_encode(127)) == 1
+        assert len(varint_encode(128)) == 2
+        assert len(varint_encode(2**14)) == 3
+
+    def test_vectorized_size_matches_encoding(self):
+        values = np.array([0, 1, 127, 128, 16383, 16384, 10**9])
+        sizes = varint_size(values)
+        assert sizes.tolist() == [len(varint_encode(int(v))) for v in values]
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphFormatError):
+            varint_encode(-1)
+        with pytest.raises(GraphFormatError):
+            varint_size(np.array([-1]))
+
+    def test_truncated_decode_rejected(self):
+        with pytest.raises(GraphFormatError):
+            varint_decode(bytes([0x80]))
+
+
+class TestNeighborListCodec:
+    def test_roundtrip_simple(self):
+        neighbors = np.array([3, 10, 11, 500])
+        data = encode_neighbor_list(neighbors)
+        assert np.array_equal(decode_neighbor_list(data, 4), neighbors)
+
+    def test_empty_list(self):
+        assert encode_neighbor_list(np.array([], dtype=np.int64)) == b""
+        assert decode_neighbor_list(b"", 0).size == 0
+
+    def test_unsorted_input_is_sorted_first(self):
+        data = encode_neighbor_list(np.array([9, 2, 5]))
+        assert decode_neighbor_list(data, 3).tolist() == [2, 5, 9]
+
+    def test_close_neighbors_compress_well(self):
+        clustered = encode_neighbor_list(np.arange(1000, 1064))
+        scattered = encode_neighbor_list(np.arange(0, 64_000_000, 1_000_000))
+        assert len(clustered) < len(scattered)
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_neighbor_list(np.array([1, 2, 3])) + b"\x00"
+        with pytest.raises(GraphFormatError):
+            decode_neighbor_list(data, 3)
+
+    @given(
+        st.lists(st.integers(0, 2**40), min_size=0, max_size=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, neighbors):
+        array = np.array(sorted(neighbors), dtype=np.int64)
+        data = encode_neighbor_list(array)
+        assert np.array_equal(decode_neighbor_list(data, array.size), array)
+
+
+class TestGraphCompression:
+    def test_sizes_match_exact_encoding(self, paper_example_graph):
+        per_vertex = compressed_list_sizes(paper_example_graph)
+        for vertex in range(paper_example_graph.num_vertices):
+            expected = len(encode_neighbor_list(paper_example_graph.neighbors(vertex)))
+            assert per_vertex[vertex] == expected
+
+    def test_sizes_match_exact_encoding_on_random_graph(self, random_graph):
+        per_vertex = compressed_list_sizes(random_graph)
+        for vertex in range(0, random_graph.num_vertices, 37):
+            expected = len(encode_neighbor_list(random_graph.neighbors(vertex)))
+            assert per_vertex[vertex] == expected
+
+    def test_summary(self, random_graph):
+        summary = compress_graph(random_graph)
+        assert summary.original_bytes == random_graph.edge_list_bytes
+        assert 0 < summary.compressed_bytes < summary.original_bytes
+        assert summary.ratio == pytest.approx(
+            summary.compressed_bytes / summary.original_bytes
+        )
+        assert summary.savings_fraction == pytest.approx(1 - summary.ratio)
+        assert summary.bytes_per_edge < random_graph.element_bytes
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph(offsets=np.zeros(3, dtype=np.int64), edges=np.array([], dtype=np.int64))
+        summary = compress_graph(empty)
+        assert summary.compressed_bytes == 0
+        assert summary.ratio == 1.0
+
+
+class TestProjection:
+    def make_breakdown(self):
+        return TimeBreakdown(
+            interconnect_seconds=1.0,
+            dram_seconds=0.2,
+            compute_seconds=0.1,
+            kernel_launch_seconds=0.05,
+        )
+
+    def test_compression_shrinks_interconnect_time(self):
+        summary = CompressionSummary(original_bytes=100, compressed_bytes=40, num_edges=10)
+        projected = project_compressed_traversal(
+            self.make_breakdown(), summary, edges_processed=10
+        )
+        assert projected.interconnect_seconds == pytest.approx(0.4)
+        assert projected.total() < self.make_breakdown().total()
+
+    def test_decompression_cost_added_to_compute(self):
+        summary = CompressionSummary(original_bytes=100, compressed_bytes=40, num_edges=10)
+        projected = project_compressed_traversal(
+            self.make_breakdown(),
+            summary,
+            edges_processed=10**9,
+            decompress_edges_per_second=1e9,
+        )
+        assert projected.compute_seconds == pytest.approx(0.1 + 1.0)
+
+    def test_invalid_rate_rejected(self):
+        summary = CompressionSummary(100, 40, 10)
+        with pytest.raises(GraphFormatError):
+            project_compressed_traversal(
+                self.make_breakdown(), summary, 10, decompress_edges_per_second=0
+            )

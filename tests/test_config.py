@@ -1,0 +1,135 @@
+"""Tests for repro.config: the calibrated platform models."""
+
+import pytest
+
+from repro.config import (
+    DATASET_SCALE,
+    DRAMConfig,
+    GPUConfig,
+    PCIE3_X16,
+    PCIE4_X16,
+    PCIeConfig,
+    UVMConfig,
+    ampere_pcie3,
+    ampere_pcie4,
+    default_system,
+    titan_xp_pcie3,
+    volta_pcie3,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPCIeConfig:
+    def test_header_efficiency_matches_paper(self):
+        # §3.3: 32B requests have >=36% TLP overhead, 128B about 12.3%.
+        assert 1.0 - PCIE3_X16.header_efficiency(32) == pytest.approx(0.36, abs=0.01)
+        assert 1.0 - PCIE3_X16.header_efficiency(128) == pytest.approx(0.123, abs=0.005)
+
+    def test_memcpy_peak_close_to_measured(self):
+        # The paper measures ~12.3 GB/s with cudaMemcpy on PCIe 3.0 x16.
+        assert PCIE3_X16.block_transfer_gbps == pytest.approx(12.3, abs=0.5)
+        # And roughly double that on PCIe 4.0.
+        assert PCIE4_X16.block_transfer_gbps == pytest.approx(24.6, abs=1.0)
+
+    def test_latency_limit_for_32b_requests(self):
+        # §3.3: with 256 outstanding tags and ~1-1.6us RTT, a 32B-only stream
+        # is capped at single-digit GB/s.
+        capped = PCIE3_X16.latency_limited_gbps(32)
+        assert 4.0 < capped < 9.0
+
+    def test_effective_bandwidth_is_min_of_limits(self):
+        for size in (32, 64, 96, 128):
+            effective = PCIE3_X16.effective_read_gbps(size)
+            assert effective <= PCIE3_X16.payload_limited_gbps(size) + 1e-9
+            assert effective <= PCIE3_X16.latency_limited_gbps(size) + 1e-9
+
+    def test_larger_requests_are_more_efficient(self):
+        bandwidths = [PCIE3_X16.effective_read_gbps(size) for size in (32, 64, 96, 128)]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_invalid_generation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCIeConfig(generation=2)
+
+    def test_invalid_request_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCIE3_X16.header_efficiency(0)
+
+
+class TestDRAMConfig:
+    def test_minimum_access_rounding(self):
+        dram = DRAMConfig()
+        assert dram.bytes_touched(32) == 64
+        assert dram.bytes_touched(64) == 64
+        assert dram.bytes_touched(96) == 128
+        assert dram.bytes_touched(128) == 128
+
+    def test_rejects_nonpositive_request(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig().bytes_touched(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(min_access_bytes=0)
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(sequential_bandwidth_gbps=-1)
+
+
+class TestGPUConfig:
+    def test_device_memory_is_scaled_16gib(self):
+        gpu = GPUConfig()
+        assert gpu.memory_bytes == pytest.approx(16 * 1024**3 / DATASET_SCALE, rel=0.01)
+
+    def test_sector_geometry(self):
+        gpu = GPUConfig()
+        assert gpu.warp_size == 32
+        assert gpu.cacheline_bytes == 128
+        assert gpu.sector_bytes == 32
+        assert gpu.sectors_per_line == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GPUConfig(cacheline_bytes=100)
+        with pytest.raises(ConfigurationError):
+            GPUConfig(memory_bytes=0)
+
+
+class TestUVMConfig:
+    def test_defaults(self):
+        uvm = UVMConfig()
+        assert uvm.page_bytes == 4096
+        assert uvm.read_mostly is True
+        assert uvm.prefetch_pages >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UVMConfig(page_bytes=1000)
+        with pytest.raises(ConfigurationError):
+            UVMConfig(fault_service_overhead_us=-1.0)
+        with pytest.raises(ConfigurationError):
+            UVMConfig(prefetch_pages=0)
+
+
+class TestSystemPresets:
+    def test_default_is_volta(self):
+        assert default_system().pcie.generation == 3
+        assert "V100" in default_system().gpu.name
+
+    def test_ampere_differs_only_in_link(self):
+        gen3 = ampere_pcie3()
+        gen4 = ampere_pcie4()
+        assert gen3.pcie.generation == 3
+        assert gen4.pcie.generation == 4
+        assert gen3.gpu.name == gen4.gpu.name
+
+    def test_titan_has_less_memory_than_volta(self):
+        assert titan_xp_pcie3().gpu.memory_bytes < volta_pcie3().gpu.memory_bytes
+
+    def test_with_pcie_swaps_link(self):
+        system = volta_pcie3().with_pcie(PCIE4_X16)
+        assert system.pcie.generation == 4
+        assert "PCIe 4.0" in system.name
+
+    def test_with_gpu_memory(self):
+        system = volta_pcie3().with_gpu_memory(1234567)
+        assert system.gpu.memory_bytes == 1234567

@@ -1,0 +1,139 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+
+class TestConstructionAndValidation:
+    def test_figure1_graph(self, paper_example_graph):
+        # The CSR of Figure 1: offsets [0, 2, 6, 9, 10, 12].
+        graph = paper_example_graph
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 12
+        assert graph.offsets.tolist() == [0, 2, 6, 9, 10, 12]
+        assert graph.neighbors(1).tolist() == [0, 2, 3, 4]
+
+    def test_empty_graph(self):
+        graph = CSRGraph(offsets=np.array([0]), edges=np.array([], dtype=np.int64))
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert graph.average_degree() == 0.0
+        assert graph.max_degree() == 0
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(offsets=np.array([1, 2]), edges=np.array([0]))
+
+    def test_offsets_must_match_edge_count(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(offsets=np.array([0, 3]), edges=np.array([0, 0]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(offsets=np.array([0, 2, 1, 3]), edges=np.array([0, 1, 2]))
+
+    def test_edges_must_be_valid_vertices(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(offsets=np.array([0, 1]), edges=np.array([5]))
+
+    def test_weights_must_match_edges(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(
+                offsets=np.array([0, 2]),
+                edges=np.array([0, 0]),
+                weights=np.array([1.0]),
+            )
+
+    def test_element_bytes_must_be_4_or_8(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(
+                offsets=np.array([0, 1]), edges=np.array([0]), element_bytes=16
+            )
+
+
+class TestDegreesAndNeighbors:
+    def test_degrees(self, paper_example_graph):
+        assert paper_example_graph.degrees().tolist() == [2, 4, 3, 1, 2]
+        assert paper_example_graph.degree(1) == 4
+        assert paper_example_graph.max_degree() == 4
+        assert paper_example_graph.average_degree() == pytest.approx(12 / 5)
+
+    def test_neighbor_range(self, paper_example_graph):
+        assert paper_example_graph.neighbor_range(2) == (6, 9)
+
+    def test_invalid_vertex_rejected(self, paper_example_graph):
+        with pytest.raises(GraphFormatError):
+            paper_example_graph.degree(99)
+        with pytest.raises(GraphFormatError):
+            paper_example_graph.neighbors(-1)
+
+    def test_edge_sources(self, paper_example_graph):
+        sources = paper_example_graph.edge_sources()
+        assert sources.tolist() == [0, 0, 1, 1, 1, 1, 2, 2, 2, 3, 4, 4]
+
+    def test_iter_edges(self, path_graph):
+        edges = set(path_graph.iter_edges())
+        assert (0, 1) in edges and (1, 0) in edges
+        assert len(edges) == path_graph.num_edges
+
+    def test_neighbor_weights(self, random_graph):
+        weights = random_graph.neighbor_weights(0)
+        assert weights.size == random_graph.degree(0)
+
+    def test_neighbor_weights_requires_weights(self, path_graph):
+        with pytest.raises(GraphFormatError):
+            path_graph.neighbor_weights(0)
+
+
+class TestFootprint:
+    def test_byte_sizes_with_8_byte_elements(self, paper_example_graph):
+        graph = paper_example_graph
+        assert graph.edge_list_bytes == 12 * 8
+        assert graph.vertex_list_bytes == 6 * 8
+        assert graph.weight_list_bytes == 0
+        assert graph.total_bytes == 12 * 8 + 6 * 8
+
+    def test_with_element_bytes(self, paper_example_graph):
+        graph4 = paper_example_graph.with_element_bytes(4)
+        assert graph4.edge_list_bytes == 12 * 4
+        assert graph4.num_edges == paper_example_graph.num_edges
+        assert graph4.edges.tolist() == paper_example_graph.edges.tolist()
+
+    def test_weight_bytes_are_4_per_edge(self, random_graph):
+        assert random_graph.weight_list_bytes == random_graph.num_edges * 4
+
+
+class TestDerivedGraphs:
+    def test_with_and_without_weights(self, path_graph):
+        weights = np.arange(path_graph.num_edges, dtype=np.float32)
+        weighted = path_graph.with_weights(weights)
+        assert weighted.has_weights
+        assert not weighted.without_weights().has_weights
+
+    def test_renamed(self, path_graph):
+        assert path_graph.renamed("other").name == "other"
+
+    def test_reverse_of_undirected_is_same_edge_set(self, paper_example_graph):
+        reversed_graph = paper_example_graph.reverse()
+        original = set(paper_example_graph.iter_edges())
+        flipped = {(d, s) for s, d in reversed_graph.iter_edges()}
+        assert original == flipped
+
+    def test_reverse_directed(self):
+        from repro.graph.builder import from_edge_array
+
+        graph = from_edge_array(np.array([0, 0, 1]), np.array([1, 2, 2]), directed=True)
+        reversed_graph = graph.reverse()
+        assert set(reversed_graph.iter_edges()) == {(1, 0), (2, 0), (2, 1)}
+
+    def test_is_symmetric(self, paper_example_graph):
+        assert paper_example_graph.is_symmetric()
+
+    def test_is_not_symmetric(self):
+        from repro.graph.builder import from_edge_array
+
+        graph = from_edge_array(np.array([0]), np.array([1]), directed=True)
+        assert not graph.is_symmetric()

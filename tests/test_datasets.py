@@ -1,0 +1,130 @@
+"""Tests for the scaled Table 2 dataset analogs."""
+
+import numpy as np
+import pytest
+
+from repro.config import DATASET_SCALE
+from repro.errors import DatasetError
+from repro.graph.datasets import (
+    DATASET_SYMBOLS,
+    UNDIRECTED_SYMBOLS,
+    clear_cache,
+    dataset_specs,
+    get_spec,
+    load_dataset,
+    pick_sources,
+)
+
+#: A much smaller scale used so dataset tests stay fast.
+TEST_SCALE = DATASET_SCALE * 20
+
+
+class TestSpecs:
+    def test_all_six_datasets_present(self):
+        assert DATASET_SYMBOLS == ("GK", "GU", "FS", "ML", "SK", "UK5")
+        assert set(dataset_specs()) == set(DATASET_SYMBOLS)
+
+    def test_directedness_matches_table2(self):
+        specs = dataset_specs()
+        assert not specs["GK"].directed
+        assert not specs["GU"].directed
+        assert not specs["FS"].directed
+        assert not specs["ML"].directed
+        assert specs["SK"].directed
+        assert specs["UK5"].directed
+        assert UNDIRECTED_SYMBOLS == ("GK", "GU", "FS", "ML")
+
+    def test_paper_average_degrees(self):
+        specs = dataset_specs()
+        # §5.2: average degree ~38 for all graphs except ML (~222).
+        assert specs["ML"].paper_average_degree == pytest.approx(221, rel=0.05)
+        for symbol in ("GK", "GU", "SK", "UK5"):
+            assert 25 < specs[symbol].paper_average_degree < 60
+
+    def test_scaled_counts_preserve_average_degree(self):
+        for spec in dataset_specs().values():
+            vertices, edges = spec.scaled_counts(DATASET_SCALE)
+            scaled_degree = edges / vertices
+            assert scaled_degree == pytest.approx(spec.paper_average_degree, rel=0.05)
+
+    def test_get_spec_unknown_symbol(self):
+        with pytest.raises(DatasetError):
+            get_spec("NOPE")
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("gk").symbol == "GK"
+
+
+class TestLoading:
+    def test_load_matches_spec_size(self):
+        graph = load_dataset("GK", scale=TEST_SCALE, use_cache=False)
+        spec = get_spec("GK")
+        vertices, edges = spec.scaled_counts(TEST_SCALE)
+        assert graph.num_vertices == vertices
+        # Undirected symmetrization makes the exact count approximate.
+        assert graph.num_edges == pytest.approx(edges, rel=0.25)
+
+    def test_undirected_datasets_are_symmetric(self):
+        graph = load_dataset("FS", scale=DATASET_SCALE * 100, use_cache=False)
+        assert not graph.directed
+
+    def test_weights_attached_by_default(self):
+        graph = load_dataset("SK", scale=TEST_SCALE, use_cache=False)
+        assert graph.has_weights
+        assert graph.weights.min() >= 8
+        assert graph.weights.max() <= 72
+
+    def test_weights_can_be_skipped(self):
+        graph = load_dataset("SK", scale=TEST_SCALE, with_weights=False, use_cache=False)
+        assert not graph.has_weights
+
+    def test_element_bytes_4(self):
+        graph = load_dataset("SK", scale=TEST_SCALE, element_bytes=4, use_cache=False)
+        assert graph.element_bytes == 4
+
+    def test_metadata_recorded(self):
+        graph = load_dataset("UK5", scale=TEST_SCALE, use_cache=False)
+        assert graph.meta["symbol"] == "UK5"
+        assert graph.meta["full_name"] == "uk-2007-05"
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        first = load_dataset("SK", scale=TEST_SCALE)
+        second = load_dataset("SK", scale=TEST_SCALE)
+        assert first is second
+        clear_cache()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("BOGUS")
+
+    def test_deterministic_across_calls(self):
+        first = load_dataset("ML", scale=TEST_SCALE, use_cache=False)
+        second = load_dataset("ML", scale=TEST_SCALE, use_cache=False)
+        assert first.edges.tolist() == second.edges.tolist()
+
+
+class TestPickSources:
+    def test_sources_have_outgoing_edges(self):
+        graph = load_dataset("GK", scale=TEST_SCALE, use_cache=False)
+        sources = pick_sources(graph, 8, seed=1)
+        degrees = graph.degrees()
+        assert np.all(degrees[sources] > 0)
+
+    def test_sources_are_unique_and_deterministic(self):
+        graph = load_dataset("GK", scale=TEST_SCALE, use_cache=False)
+        first = pick_sources(graph, 8, seed=1)
+        second = pick_sources(graph, 8, seed=1)
+        assert first.tolist() == second.tolist()
+        assert len(set(first.tolist())) == len(first)
+
+    def test_requesting_more_sources_than_candidates(self, star_graph):
+        sources = pick_sources(star_graph, 100, seed=2)
+        assert len(sources) <= star_graph.num_vertices
+
+    def test_graph_without_edges_rejected(self):
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph(offsets=np.zeros(4, dtype=np.int64), edges=np.array([], dtype=np.int64))
+        with pytest.raises(DatasetError):
+            pick_sources(empty, 1)

@@ -1,0 +1,111 @@
+"""Tests for the figure/table reproduction entry points.
+
+These use a reduced harness (two graphs, one source, smaller scale) so they
+run quickly; the full-scale reproduction lives in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    ALL_FIGURES,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table2,
+)
+from repro.bench.harness import ExperimentConfig, ExperimentHarness
+from repro.config import DATASET_SCALE
+
+
+@pytest.fixture(scope="module")
+def harness():
+    config = ExperimentConfig(
+        symbols=("GK", "ML"), num_sources=1, scale=DATASET_SCALE * 10
+    )
+    return ExperimentHarness(config=config)
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        expected = {f"figure{i}" for i in range(4, 13)} | {"table2", "table3"}
+        assert set(ALL_FIGURES) == expected
+
+
+class TestFigure4:
+    def test_rows_and_ordering(self):
+        result = figure4()
+        patterns = result.column("pattern")
+        assert patterns == ["strided", "merged_aligned", "merged_misaligned", "uvm"]
+        strided = result.row_for("strided")[1]
+        aligned = result.row_for("merged_aligned")[1]
+        assert strided < aligned
+
+    def test_table_rendering(self):
+        text = figure4().to_table()
+        assert "Figure 4" in text
+        assert "pcie_gbps" in text
+
+
+class TestBFSFigures:
+    def test_figure5_distributions_sum_to_one(self, harness):
+        result = figure5(harness)
+        for row in result.rows:
+            assert sum(row[2:]) == pytest.approx(1.0, abs=0.01)
+
+    def test_figure5_aligned_has_more_128b_than_naive(self, harness):
+        result = figure5(harness)
+        by_key = {(row[0], row[1]): row for row in result.rows}
+        for symbol in harness.config.symbols:
+            naive_128 = by_key[(symbol, "naive")][5]
+            aligned_128 = by_key[(symbol, "merged_aligned")][5]
+            assert aligned_128 > naive_128
+
+    def test_figure6_cdf_is_monotone(self, harness):
+        result = figure6(harness)
+        for row in result.rows:
+            values = row[1:]
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_figure7_merging_reduces_requests(self, harness):
+        result = figure7(harness)
+        for row in result.rows:
+            naive, merged, aligned = row[1], row[2], row[3]
+            assert merged < naive
+            assert aligned <= merged
+
+    def test_figure8_ordering(self, harness):
+        result = figure8(harness)
+        for row in result.rows:
+            uvm, naive, merged, aligned = row[1:5]
+            assert naive < merged
+            assert merged <= aligned * 1.05
+        assert result.notes["memcpy_peak_gbps"] == pytest.approx(12.3, abs=0.5)
+
+    def test_figure9_emogi_beats_uvm(self, harness):
+        result = figure9(harness)
+        average = result.row_for("Avg")
+        assert average[3] > 1.0  # merged_aligned average speedup over UVM
+        assert average[1] < average[3]  # naive is the weakest variant
+
+    def test_figure10_emogi_amplification_is_low(self, harness):
+        result = figure10(harness)
+        for row in result.rows:
+            assert row[2] < 1.5  # EMOGI column
+
+
+class TestTable2:
+    def test_paper_counts_present(self):
+        result = table2()
+        row = result.row_for("GK")
+        assert row[2] == 134_200_000
+        assert row[3] == 4_220_000_000
+
+    def test_scaled_columns_with_harness(self, harness):
+        result = table2(harness)
+        assert "scaled_|V|" in result.headers
+        gk = result.row_for("GK")
+        assert gk[6] > 0

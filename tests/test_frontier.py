@@ -1,0 +1,58 @@
+"""Tests for frontier management and edge gathering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.traversal.frontier import (
+    all_vertices_frontier,
+    as_frontier,
+    frontier_from_mask,
+    gather_frontier_edges,
+)
+
+
+class TestFrontierConstruction:
+    def test_as_frontier_sorts_and_deduplicates(self):
+        frontier = as_frontier([5, 2, 5, 1])
+        assert frontier.tolist() == [1, 2, 5]
+
+    def test_frontier_from_mask(self):
+        mask = np.array([True, False, True, False])
+        assert frontier_from_mask(mask).tolist() == [0, 2]
+
+    def test_all_vertices_frontier(self, paper_example_graph):
+        frontier = all_vertices_frontier(paper_example_graph)
+        assert frontier.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestGatherFrontierEdges:
+    def test_single_vertex(self, paper_example_graph):
+        edges = gather_frontier_edges(paper_example_graph, np.array([1]))
+        assert edges.destinations.tolist() == [0, 2, 3, 4]
+        assert edges.sources.tolist() == [1, 1, 1, 1]
+        assert edges.num_edges == 4
+
+    def test_multiple_vertices(self, paper_example_graph):
+        edges = gather_frontier_edges(paper_example_graph, np.array([0, 3]))
+        assert edges.destinations.tolist() == [1, 2, 1]
+        assert edges.sources.tolist() == [0, 0, 3]
+
+    def test_edge_indices_point_into_edge_list(self, random_graph):
+        frontier = np.array([0, 5, 10])
+        edges = gather_frontier_edges(random_graph, frontier)
+        assert np.array_equal(
+            random_graph.edges[edges.edge_indices], edges.destinations
+        )
+
+    def test_empty_frontier(self, paper_example_graph):
+        edges = gather_frontier_edges(paper_example_graph, np.array([], dtype=np.int64))
+        assert edges.num_edges == 0
+
+    def test_vertex_with_no_neighbors(self, disconnected_graph):
+        edges = gather_frontier_edges(disconnected_graph, np.array([5]))
+        assert edges.num_edges == 0
+
+    def test_invalid_vertex_rejected(self, paper_example_graph):
+        with pytest.raises(SimulationError):
+            gather_frontier_edges(paper_example_graph, np.array([42]))

@@ -1,0 +1,119 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import (
+    dense_biomedical_graph,
+    powerlaw_graph,
+    random_weights,
+    rmat_graph,
+    uniform_random_graph,
+    web_graph,
+)
+
+GENERATORS = [
+    rmat_graph,
+    uniform_random_graph,
+    powerlaw_graph,
+    dense_biomedical_graph,
+    web_graph,
+]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestCommonProperties:
+    def test_requested_size(self, generator):
+        graph = generator(300, 3000, seed=1)
+        assert graph.num_vertices == 300
+        assert graph.num_edges == 3000
+
+    def test_deterministic_for_same_seed(self, generator):
+        first = generator(200, 1500, seed=42)
+        second = generator(200, 1500, seed=42)
+        assert first.offsets.tolist() == second.offsets.tolist()
+        assert first.edges.tolist() == second.edges.tolist()
+
+    def test_different_seed_changes_graph(self, generator):
+        first = generator(200, 1500, seed=1)
+        second = generator(200, 1500, seed=2)
+        assert (
+            first.edges.tolist() != second.edges.tolist()
+            or first.offsets.tolist() != second.offsets.tolist()
+        )
+
+    def test_valid_csr(self, generator):
+        graph = generator(150, 900, seed=3)
+        graph.validate()
+        assert graph.edges.min() >= 0
+        assert graph.edges.max() < graph.num_vertices
+
+    def test_rejects_nonpositive_sizes(self, generator):
+        with pytest.raises(GraphFormatError):
+            generator(0, 10, seed=1)
+        with pytest.raises(GraphFormatError):
+            generator(10, 0, seed=1)
+
+
+class TestDegreeShapes:
+    def test_uniform_degrees_are_narrow(self):
+        graph = uniform_random_graph(1000, 32000, seed=5, degree_spread=0.5)
+        degrees = graph.degrees()
+        mean = degrees.mean()
+        # GAP-urand-like: everything within mean * (1 +- spread) (plus rounding).
+        assert degrees.min() >= mean * 0.4
+        assert degrees.max() <= mean * 1.7
+
+    def test_rmat_degrees_are_skewed(self):
+        graph = rmat_graph(1024, 16384, seed=6)
+        degrees = graph.degrees()
+        # Heavy tail: the maximum is far above the mean, and some vertices are cold.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_powerlaw_skew_exceeds_uniform(self):
+        uniform = uniform_random_graph(1000, 30000, seed=7)
+        skewed = powerlaw_graph(1000, 30000, seed=7, exponent=2.1)
+        assert skewed.degrees().max() > uniform.degrees().max()
+
+    def test_biomedical_high_average_degree(self):
+        graph = dense_biomedical_graph(100, 22000, seed=8)
+        assert graph.average_degree() == pytest.approx(220, rel=0.01)
+        # Nearly all edges belong to long neighbor lists (Figure 6: ML).
+        degrees = graph.degrees()
+        long_list_edges = degrees[degrees >= 64].sum()
+        assert long_list_edges / graph.num_edges > 0.9
+
+    def test_web_graph_locality(self):
+        local = web_graph(2000, 30000, seed=9, locality=0.95, locality_scale=20.0,
+                          permute_ids=False, hub_cap_fraction=0.0)
+        spread = np.abs(local.edges - local.edge_sources())
+        # Most destinations are close to the source ID when locality is high.
+        assert np.median(spread) < 100
+
+    def test_web_graph_hub_cap_limits_max_degree(self):
+        capped = web_graph(2000, 40000, seed=10, hub_cap_fraction=0.001)
+        assert capped.degrees().max() < 0.05 * capped.num_edges
+
+    def test_web_graph_permutation_keeps_degree_distribution(self):
+        base = web_graph(500, 8000, seed=11, permute_ids=False)
+        permuted = web_graph(500, 8000, seed=11, permute_ids=True)
+        assert sorted(base.degrees().tolist()) == sorted(permuted.degrees().tolist())
+
+
+class TestRMATValidation:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(GraphFormatError):
+            rmat_graph(64, 256, seed=1, probabilities=(0.5, 0.2, 0.2, 0.2))
+
+
+class TestRandomWeights:
+    def test_range_matches_paper(self):
+        weights = random_weights(10000, seed=1)
+        # §5.2: random integer weights between 8 and 72.
+        assert weights.min() >= 8
+        assert weights.max() <= 72
+        assert weights.dtype == np.float32
+
+    def test_deterministic(self):
+        assert random_weights(100, seed=3).tolist() == random_weights(100, seed=3).tolist()

@@ -1,0 +1,86 @@
+"""Tests for the minimal SIMT execution model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.kernel import KernelLaunch, KernelStats
+from repro.gpu.simt import coalesce_thread_grid
+from repro.gpu.warp import WARP_SIZE, lanes_for_threads, num_warps, warp_of_threads
+from repro.memsim.coalescer import coalesce_warp_addresses
+
+
+class TestWarpHelpers:
+    def test_warp_size_is_32(self):
+        assert WARP_SIZE == 32
+
+    def test_num_warps_rounds_up(self):
+        assert num_warps(0) == 0
+        assert num_warps(1) == 1
+        assert num_warps(32) == 1
+        assert num_warps(33) == 2
+
+    def test_lanes(self):
+        lanes = lanes_for_threads(70)
+        assert lanes[0] == 0
+        assert lanes[31] == 31
+        assert lanes[32] == 0
+        assert lanes[69] == 5
+
+    def test_warp_of_threads(self):
+        warps = warp_of_threads(70)
+        assert warps[31] == 0
+        assert warps[32] == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            num_warps(-1)
+        with pytest.raises(SimulationError):
+            lanes_for_threads(-1)
+        with pytest.raises(SimulationError):
+            warp_of_threads(-1)
+
+
+class TestKernelStats:
+    def test_launch_properties(self):
+        launch = KernelLaunch(name="bfs", num_threads=100, iteration=2)
+        assert launch.num_warps == 4
+
+    def test_stats_accumulate(self):
+        stats = KernelStats()
+        stats.record(KernelLaunch("a", 64))
+        stats.record(KernelLaunch("b", 10))
+        assert stats.num_launches == 2
+        assert stats.total_threads == 74
+        assert stats.total_warps == 3
+        stats.reset()
+        assert stats.num_launches == 0
+
+
+class TestThreadGridCoalescing:
+    def test_single_warp_matches_warp_coalescer(self):
+        addresses = np.arange(32) * 8
+        grid = coalesce_thread_grid(addresses, access_bytes=8)
+        warp = coalesce_warp_addresses(addresses, access_bytes=8)
+        assert grid == warp
+
+    def test_multiple_warps_are_independent(self):
+        # Two warps each reading one full aligned 128B line (4-byte elements).
+        addresses = np.concatenate([np.arange(32) * 4, 4096 + np.arange(32) * 4])
+        grid = coalesce_thread_grid(addresses, access_bytes=4)
+        assert grid.counts[128] == 2
+
+    def test_partial_last_warp(self):
+        addresses = np.arange(40) * 4
+        grid = coalesce_thread_grid(addresses, access_bytes=4)
+        # First warp: one 128B line; last 8 threads: one 32B sector.
+        assert grid.counts[128] == 1
+        assert grid.counts[32] == 1
+
+    def test_active_mask(self):
+        addresses = np.arange(64) * 4
+        mask = np.zeros(64, dtype=bool)
+        mask[:32] = True
+        grid = coalesce_thread_grid(addresses, access_bytes=4, active_mask=mask)
+        assert grid.counts[128] == 1
+        assert grid.total_requests == 1

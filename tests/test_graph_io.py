@@ -1,0 +1,69 @@
+"""Tests for graph serialization (npz archives and edge-list text files)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_unweighted(self, paper_example_graph, tmp_path):
+        path = save_npz(paper_example_graph, tmp_path / "graph.npz")
+        loaded = load_npz(path)
+        assert loaded.offsets.tolist() == paper_example_graph.offsets.tolist()
+        assert loaded.edges.tolist() == paper_example_graph.edges.tolist()
+        assert loaded.directed == paper_example_graph.directed
+        assert loaded.element_bytes == paper_example_graph.element_bytes
+        assert loaded.name == paper_example_graph.name
+        assert not loaded.has_weights
+
+    def test_roundtrip_weighted(self, random_graph, tmp_path):
+        path = save_npz(random_graph, tmp_path / "weighted.npz")
+        loaded = load_npz(path)
+        assert loaded.has_weights
+        assert np.allclose(loaded.weights, random_graph.weights)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_npz(tmp_path / "missing.npz")
+
+    def test_creates_parent_directories(self, path_graph, tmp_path):
+        path = save_npz(path_graph, tmp_path / "nested" / "dir" / "g.npz")
+        assert path.exists()
+
+
+class TestEdgeListText:
+    def test_roundtrip_directed(self, tmp_path):
+        from repro.graph.builder import from_edge_array
+
+        graph = from_edge_array(np.array([0, 1, 2]), np.array([1, 2, 0]), directed=True)
+        path = write_edge_list(graph, tmp_path / "edges.txt")
+        loaded = read_edge_list(path, directed=True)
+        assert set(loaded.iter_edges()) == set(graph.iter_edges())
+
+    def test_roundtrip_with_weights(self, random_graph, tmp_path):
+        path = write_edge_list(random_graph, tmp_path / "weighted.txt")
+        loaded = read_edge_list(path, directed=True)
+        assert loaded.has_weights
+        assert loaded.num_edges == random_graph.num_edges
+
+    def test_ignores_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "comments.txt"
+        path.write_text("# a comment\n\n0 1\n1 2\n")
+        graph = read_edge_list(path, directed=True)
+        assert graph.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(tmp_path / "missing.txt")
+
+    def test_default_name_is_file_stem(self, path_graph, tmp_path):
+        path = write_edge_list(path_graph, tmp_path / "mygraph.txt")
+        assert read_edge_list(path).name == "mygraph"

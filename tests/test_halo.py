@@ -1,0 +1,72 @@
+"""Tests for the HALO-style baseline (reordering + UVM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.halo import HaloRun, run_halo
+from repro.config import titan_xp_pcie3
+from repro.errors import ConfigurationError
+from repro.graph.reorder import halo_order
+from repro.traversal.bfs import bfs_levels
+from repro.types import AccessStrategy, Application
+
+
+class TestHaloCorrectness:
+    def test_bfs_levels_match_original_graph(self, random_graph):
+        source = 3
+        halo = run_halo(Application.BFS, random_graph, source=source)
+        permutation = halo_order(random_graph, source=source)
+        original_levels = bfs_levels(random_graph, source)
+        # Vertex v of the original graph is vertex permutation[v] in HALO's run.
+        assert np.array_equal(original_levels, halo.result.values[permutation])
+
+    def test_cc_supported_without_source(self, disconnected_graph):
+        halo = run_halo(Application.CC, disconnected_graph)
+        assert halo.result.application is Application.CC
+
+    def test_source_required_for_bfs(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            run_halo(Application.BFS, random_graph)
+
+    def test_uses_uvm_underneath(self, random_graph):
+        halo = run_halo(Application.BFS, random_graph, source=0)
+        assert halo.result.strategy is AccessStrategy.UVM
+        assert halo.result.metrics.traffic.uvm_migrated_bytes > 0
+
+
+class TestHaloCostModel:
+    def test_preprocessing_excluded_by_default(self, random_graph):
+        halo = run_halo(Application.BFS, random_graph, source=0)
+        assert isinstance(halo, HaloRun)
+        assert halo.preprocessing_seconds > 0
+        assert halo.seconds == pytest.approx(halo.result.metrics.seconds)
+
+    def test_preprocessing_can_be_included(self, random_graph):
+        halo = run_halo(
+            Application.BFS, random_graph, source=0, include_preprocessing=True
+        )
+        assert halo.seconds == pytest.approx(
+            halo.result.metrics.seconds + halo.preprocessing_seconds
+        )
+
+    def test_accepts_alternate_platform(self, random_graph):
+        halo = run_halo(
+            Application.BFS, random_graph, source=0, system=titan_xp_pcie3()
+        )
+        assert "Titan" in halo.result.metrics.system_name
+
+
+class TestHaloVersusPlainUVM:
+    def test_reordering_does_not_hurt_on_large_graphs(self):
+        """HALO's whole point: locality ordering should not increase UVM traffic."""
+        from repro.graph.datasets import load_dataset, pick_sources
+        from repro.traversal.api import bfs
+
+        graph = load_dataset("GK", scale=20000, use_cache=False)
+        source = int(pick_sources(graph, 1, seed=5)[0])
+        plain = bfs(graph, source, strategy=AccessStrategy.UVM)
+        halo = run_halo(Application.BFS, graph, source=source)
+        assert (
+            halo.result.metrics.traffic.uvm_migrated_bytes
+            <= plain.metrics.traffic.uvm_migrated_bytes * 1.05
+        )

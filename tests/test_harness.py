@@ -1,0 +1,72 @@
+"""Tests for the experiment harness used by the figure reproductions."""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, ExperimentHarness
+from repro.config import DATASET_SCALE, ampere_pcie4
+from repro.types import AccessStrategy, Application
+
+#: Small configuration so harness tests run quickly.
+SMALL = ExperimentConfig(symbols=("GK", "SK"), num_sources=1, scale=DATASET_SCALE * 20)
+
+
+@pytest.fixture
+def harness():
+    return ExperimentHarness(config=SMALL)
+
+
+class TestConfig:
+    def test_defaults_cover_all_graphs(self):
+        config = ExperimentConfig()
+        assert len(config.symbols) == 6
+        assert config.num_sources >= 1
+
+    def test_small_shrinks_work(self):
+        config = ExperimentConfig()
+        small = config.small()
+        assert small.scale > config.scale
+        assert small.num_sources <= config.num_sources
+
+
+class TestHarness:
+    def test_graph_loading_and_caching(self, harness):
+        first = harness.graph("GK")
+        second = harness.graph("GK")
+        assert first is second
+        assert first.name == "GK"
+
+    def test_graph_element_bytes_variant(self, harness):
+        graph8 = harness.graph("GK")
+        graph4 = harness.graph("GK", element_bytes=4)
+        assert graph8.element_bytes == 8
+        assert graph4.element_bytes == 4
+
+    def test_sources_are_stable(self, harness):
+        assert harness.sources("GK").tolist() == harness.sources("GK").tolist()
+        assert len(harness.sources("GK")) == SMALL.num_sources
+
+    def test_run_returns_aggregate_and_caches(self, harness):
+        first = harness.run(Application.BFS, "GK", AccessStrategy.MERGED_ALIGNED)
+        second = harness.run(Application.BFS, "GK", AccessStrategy.MERGED_ALIGNED)
+        assert first is second
+        assert first.num_runs == SMALL.num_sources
+
+    def test_run_distinguishes_systems(self, harness):
+        default_run = harness.run(Application.BFS, "GK", AccessStrategy.MERGED_ALIGNED)
+        pcie4_run = harness.run(
+            Application.BFS, "GK", AccessStrategy.MERGED_ALIGNED, system=ampere_pcie4()
+        )
+        assert default_run is not pcie4_run
+        assert pcie4_run.mean_seconds < default_run.mean_seconds
+
+    def test_speedup_over_uvm(self, harness):
+        speedup = harness.speedup_over_uvm(
+            Application.BFS, "GK", AccessStrategy.MERGED_ALIGNED
+        )
+        assert speedup > 0
+
+    def test_clear(self, harness):
+        harness.run(Application.BFS, "GK", AccessStrategy.UVM)
+        harness.clear()
+        assert not harness._runs
+        assert not harness._graphs

@@ -1,0 +1,134 @@
+"""Integration tests: the paper's headline shapes on the full-scale datasets.
+
+These run on the same 1/2000-scale datasets the benchmarks use (a few million
+edge entries), so each test costs a noticeable fraction of a second to a few
+seconds.  They assert the *qualitative* results of the evaluation section:
+who wins, in which order, and roughly by how much.
+"""
+
+import pytest
+
+from repro.config import ampere_pcie3, ampere_pcie4
+from repro.graph.datasets import load_dataset, pick_sources
+from repro.traversal.api import bfs, cc, sssp
+from repro.types import AccessStrategy
+
+
+@pytest.fixture(scope="module")
+def gk_runs():
+    """BFS on the GK analog under all four strategies (shared by several tests)."""
+    graph = load_dataset("GK")
+    source = int(pick_sources(graph, 1, seed=42)[0])
+    return {
+        strategy: bfs(graph, source, strategy=strategy) for strategy in AccessStrategy
+    }
+
+
+class TestFigure9Shapes:
+    def test_strategy_ordering(self, gk_runs):
+        """Naive < UVM < Merged <= Merged+Aligned (Figure 9)."""
+        uvm = gk_runs[AccessStrategy.UVM].seconds
+        naive = gk_runs[AccessStrategy.NAIVE].seconds
+        merged = gk_runs[AccessStrategy.MERGED].seconds
+        aligned = gk_runs[AccessStrategy.MERGED_ALIGNED].seconds
+        assert naive > uvm
+        assert merged < uvm
+        assert aligned <= merged
+
+    def test_emogi_speedup_in_paper_ballpark(self, gk_runs):
+        """EMOGI lands around 3-4x over UVM on GK (the paper averages 3.56x)."""
+        speedup = gk_runs[AccessStrategy.UVM].seconds / gk_runs[
+            AccessStrategy.MERGED_ALIGNED
+        ].seconds
+        assert 2.0 < speedup < 6.0
+
+    def test_naive_is_below_uvm_but_not_catastrophic(self, gk_runs):
+        ratio = gk_runs[AccessStrategy.UVM].seconds / gk_runs[AccessStrategy.NAIVE].seconds
+        assert 0.3 < ratio < 1.0
+
+
+class TestFigure5And7Shapes:
+    def test_request_size_distribution_improves_with_optimizations(self, gk_runs):
+        naive = gk_runs[AccessStrategy.NAIVE].metrics.request_size_distribution
+        merged = gk_runs[AccessStrategy.MERGED].metrics.request_size_distribution
+        aligned = gk_runs[AccessStrategy.MERGED_ALIGNED].metrics.request_size_distribution
+        assert naive[32] > 0.99
+        assert merged[128] > 0.25
+        assert aligned[128] > merged[128]
+
+    def test_request_counts_drop_as_in_figure7(self, gk_runs):
+        naive = gk_runs[AccessStrategy.NAIVE].metrics.total_pcie_requests
+        merged = gk_runs[AccessStrategy.MERGED].metrics.total_pcie_requests
+        aligned = gk_runs[AccessStrategy.MERGED_ALIGNED].metrics.total_pcie_requests
+        # The paper reports up to 83.3% reduction from merging and up to a
+        # further 28.8% from aligning.
+        assert merged < 0.4 * naive
+        assert aligned < merged
+
+
+class TestFigure8Shapes:
+    def test_bandwidth_ordering(self, gk_runs):
+        uvm = gk_runs[AccessStrategy.UVM].metrics.achieved_bandwidth_gbps
+        naive = gk_runs[AccessStrategy.NAIVE].metrics.achieved_bandwidth_gbps
+        aligned = gk_runs[AccessStrategy.MERGED_ALIGNED].metrics.achieved_bandwidth_gbps
+        assert naive < uvm < aligned
+        # EMOGI approaches the ~12.3 GB/s cudaMemcpy ceiling.
+        assert aligned > 10.5
+
+
+class TestFigure10Shapes:
+    def test_uvm_amplification_exceeds_emogi(self, gk_runs):
+        uvm_amp = gk_runs[AccessStrategy.UVM].metrics.io_amplification
+        emogi_amp = gk_runs[AccessStrategy.MERGED_ALIGNED].metrics.io_amplification
+        assert uvm_amp > 2.0
+        assert emogi_amp < 1.31  # the paper's stated EMOGI bound
+
+    def test_sk_almost_fits_so_uvm_barely_amplifies(self):
+        graph = load_dataset("SK")
+        source = int(pick_sources(graph, 1, seed=1)[0])
+        uvm = bfs(graph, source, strategy=AccessStrategy.UVM)
+        assert uvm.metrics.io_amplification < 1.3
+
+
+class TestFigure11Shapes:
+    def test_sssp_also_benefits(self):
+        graph = load_dataset("FS")
+        source = int(pick_sources(graph, 1, seed=2)[0])
+        uvm = sssp(graph, source, strategy=AccessStrategy.UVM)
+        emogi = sssp(graph, source, strategy=AccessStrategy.MERGED_ALIGNED)
+        assert uvm.seconds / emogi.seconds > 1.5
+
+    def test_cc_speedup_is_smaller_than_bfs(self):
+        """§5.4: CC streams the edge list, so UVM is comparatively better."""
+        graph = load_dataset("GK")
+        source = int(pick_sources(graph, 1, seed=42)[0])
+        bfs_speedup = (
+            bfs(graph, source, strategy=AccessStrategy.UVM).seconds
+            / bfs(graph, source, strategy=AccessStrategy.MERGED_ALIGNED).seconds
+        )
+        cc_speedup = (
+            cc(graph, strategy=AccessStrategy.UVM).seconds
+            / cc(graph, strategy=AccessStrategy.MERGED_ALIGNED).seconds
+        )
+        assert cc_speedup > 1.0
+        assert cc_speedup < bfs_speedup
+
+
+class TestFigure12Shapes:
+    def test_emogi_scales_better_than_uvm_with_pcie4(self):
+        graph = load_dataset("GU")
+        source = int(pick_sources(graph, 1, seed=3)[0])
+        times = {}
+        for label, system in (("gen3", ampere_pcie3()), ("gen4", ampere_pcie4())):
+            for strategy in (AccessStrategy.UVM, AccessStrategy.MERGED_ALIGNED):
+                times[(label, strategy)] = bfs(
+                    graph, source, strategy=strategy, system=system
+                ).seconds
+        uvm_scaling = times[("gen3", AccessStrategy.UVM)] / times[("gen4", AccessStrategy.UVM)]
+        emogi_scaling = (
+            times[("gen3", AccessStrategy.MERGED_ALIGNED)]
+            / times[("gen4", AccessStrategy.MERGED_ALIGNED)]
+        )
+        assert emogi_scaling > uvm_scaling
+        assert emogi_scaling > 1.5
+        assert uvm_scaling < 1.8

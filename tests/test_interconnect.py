@@ -1,0 +1,91 @@
+"""Tests for the PCIe link model."""
+
+import pytest
+
+from repro.config import DRAMConfig, PCIE3_X16, PCIE4_X16
+from repro.errors import SimulationError
+from repro.memsim.coalescer import RequestHistogram
+from repro.memsim.interconnect import PCIeLink
+
+
+@pytest.fixture
+def link():
+    return PCIeLink(PCIE3_X16, DRAMConfig())
+
+
+class TestRequestStreams:
+    def test_empty_stream_takes_no_time(self, link):
+        result = link.transfer_requests(RequestHistogram())
+        assert result.link_seconds == 0.0
+        assert result.payload_bytes == 0
+
+    def test_128b_stream_achieves_memcpy_class_bandwidth(self, link):
+        histogram = RequestHistogram.single(128, 1_000_000)
+        result = link.transfer_requests(histogram)
+        assert result.achieved_payload_gbps == pytest.approx(12.3, abs=0.5)
+
+    def test_32b_stream_is_latency_limited(self, link):
+        histogram = RequestHistogram.single(32, 1_000_000)
+        result = link.transfer_requests(histogram)
+        # The paper's strided pattern lands around 4.7-5.5 GB/s.
+        assert 4.0 < result.achieved_payload_gbps < 6.5
+
+    def test_larger_requests_always_help(self, link):
+        bandwidths = []
+        for size in (32, 64, 96, 128):
+            histogram = RequestHistogram.single(size, 100_000)
+            bandwidths.append(link.transfer_requests(histogram).achieved_payload_gbps)
+        assert bandwidths == sorted(bandwidths)
+
+    def test_wire_bytes_include_tlp_headers(self, link):
+        histogram = RequestHistogram.single(128, 10)
+        result = link.transfer_requests(histogram)
+        assert result.wire_bytes == 10 * (128 + PCIE3_X16.tlp_header_bytes)
+
+    def test_dram_bytes_round_up_to_64(self, link):
+        histogram = RequestHistogram.single(32, 10)
+        result = link.transfer_requests(histogram)
+        assert result.dram_bytes == 10 * 64
+
+    def test_mixed_stream(self, link):
+        histogram = RequestHistogram({32: 100, 64: 0, 96: 100, 128: 100})
+        result = link.transfer_requests(histogram)
+        assert result.num_requests == 300
+        assert result.payload_bytes == 100 * 32 + 100 * 96 + 100 * 128
+
+    def test_pcie4_doubles_128b_bandwidth(self):
+        gen3 = PCIeLink(PCIE3_X16).transfer_requests(RequestHistogram.single(128, 100_000))
+        gen4 = PCIeLink(PCIE4_X16).transfer_requests(RequestHistogram.single(128, 100_000))
+        assert gen4.achieved_payload_gbps == pytest.approx(
+            2 * gen3.achieved_payload_gbps, rel=0.05
+        )
+
+
+class TestBlockTransfers:
+    def test_zero_bytes(self, link):
+        result = link.transfer_block(0)
+        assert result.link_seconds == 0.0
+
+    def test_negative_rejected(self, link):
+        with pytest.raises(SimulationError):
+            link.transfer_block(-1)
+
+    def test_peak_bandwidth_matches_memcpy(self, link):
+        result = link.transfer_block(1_000_000_000)
+        assert result.achieved_payload_gbps == pytest.approx(link.memcpy_peak_gbps, rel=0.01)
+
+    def test_block_transfer_faster_than_32b_stream(self, link):
+        num_bytes = 32 * 100_000
+        stream = link.transfer_requests(RequestHistogram.single(32, 100_000))
+        block = link.transfer_block(num_bytes)
+        assert block.link_seconds < stream.link_seconds
+
+
+class TestReferenceFigures:
+    def test_memcpy_peak(self, link):
+        assert link.memcpy_peak_gbps == pytest.approx(12.3, abs=0.5)
+
+    def test_steady_state_uses_config(self, link):
+        assert link.steady_state_gbps(128) == pytest.approx(
+            PCIE3_X16.effective_read_gbps(128)
+        )

@@ -1,0 +1,131 @@
+"""Tests for device memory and the simulated address space."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memsim.address_space import ALLOCATION_ALIGNMENT, AddressSpace
+from repro.memsim.gpu_memory import DeviceMemory
+from repro.types import MemorySpace
+
+
+class TestDeviceMemory:
+    def test_allocate_and_free(self):
+        memory = DeviceMemory(capacity_bytes=1000)
+        memory.allocate("a", 400)
+        memory.allocate("b", 300)
+        assert memory.allocated_bytes == 700
+        assert memory.free_bytes == 300
+        memory.free("a")
+        assert memory.free_bytes == 700
+
+    def test_over_allocation_rejected(self):
+        memory = DeviceMemory(capacity_bytes=100)
+        with pytest.raises(AllocationError):
+            memory.allocate("big", 200)
+
+    def test_duplicate_name_rejected(self):
+        memory = DeviceMemory(capacity_bytes=100)
+        memory.allocate("x", 10)
+        with pytest.raises(AllocationError):
+            memory.allocate("x", 10)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(AllocationError):
+            DeviceMemory(capacity_bytes=100).free("nope")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(AllocationError):
+            DeviceMemory(capacity_bytes=100).allocate("x", -1)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            DeviceMemory(capacity_bytes=0)
+
+    def test_page_cache_capacity(self):
+        memory = DeviceMemory(capacity_bytes=100_000)
+        memory.allocate("static", 60_000)
+        assert memory.page_cache_capacity(4096) == (100_000 - 60_000) // 4096
+
+    def test_page_cache_capacity_invalid_page(self):
+        with pytest.raises(AllocationError):
+            DeviceMemory(capacity_bytes=100).page_cache_capacity(0)
+
+    def test_can_fit(self):
+        memory = DeviceMemory(capacity_bytes=100)
+        assert memory.can_fit(100)
+        memory.allocate("x", 60)
+        assert not memory.can_fit(50)
+
+    def test_reset(self):
+        memory = DeviceMemory(capacity_bytes=100)
+        memory.allocate("x", 60)
+        memory.reset()
+        assert memory.free_bytes == 100
+
+
+class TestAddressSpace:
+    @pytest.fixture
+    def space(self):
+        return AddressSpace(DeviceMemory(capacity_bytes=10_000_000))
+
+    def test_allocations_are_page_aligned(self, space):
+        allocation = space.allocate("edges", 1234, MemorySpace.HOST_PINNED)
+        assert allocation.base_address % ALLOCATION_ALIGNMENT == 0
+        assert allocation.size_bytes == 1234
+
+    def test_allocations_do_not_overlap(self, space):
+        first = space.allocate("a", 10_000, MemorySpace.HOST_PINNED)
+        second = space.allocate("b", 10_000, MemorySpace.HOST_PINNED)
+        assert second.base_address >= first.end_address
+
+    def test_misaligned_allocation(self, space):
+        allocation = space.allocate(
+            "edges", 1000, MemorySpace.HOST_PINNED, misalign_bytes=32
+        )
+        assert allocation.base_address % ALLOCATION_ALIGNMENT == 32
+
+    def test_misalign_must_be_within_page(self, space):
+        with pytest.raises(AllocationError):
+            space.allocate("edges", 100, MemorySpace.HOST_PINNED, misalign_bytes=4096)
+
+    def test_device_allocations_consume_device_memory(self, space):
+        space.allocate("labels", 5_000_000, MemorySpace.DEVICE)
+        assert space.device.allocated_bytes == 5_000_000
+        space.free("labels")
+        assert space.device.allocated_bytes == 0
+
+    def test_host_allocations_do_not_consume_device_memory(self, space):
+        space.allocate("edges", 5_000_000, MemorySpace.HOST_PINNED)
+        assert space.device.allocated_bytes == 0
+
+    def test_duplicate_name_rejected(self, space):
+        space.allocate("x", 10, MemorySpace.UVM)
+        with pytest.raises(AllocationError):
+            space.allocate("x", 10, MemorySpace.UVM)
+
+    def test_get_and_free_unknown(self, space):
+        with pytest.raises(AllocationError):
+            space.get("nope")
+        with pytest.raises(AllocationError):
+            space.free("nope")
+
+    def test_total_bytes_per_space(self, space):
+        space.allocate("a", 100, MemorySpace.UVM)
+        space.allocate("b", 200, MemorySpace.UVM)
+        space.allocate("c", 300, MemorySpace.DEVICE)
+        assert space.total_bytes(MemorySpace.UVM) == 300
+        assert space.total_bytes(MemorySpace.DEVICE) == 300
+        assert space.total_bytes(MemorySpace.HOST_PINNED) == 0
+
+    def test_element_address(self, space):
+        allocation = space.allocate("edges", 80, MemorySpace.HOST_PINNED, element_bytes=8)
+        assert allocation.num_elements == 10
+        assert allocation.element_address(3) == allocation.base_address + 24
+        with pytest.raises(AllocationError):
+            allocation.element_address(10)
+
+    def test_contains(self, space):
+        allocation = space.allocate("edges", 64, MemorySpace.HOST_PINNED)
+        assert allocation.contains(allocation.base_address)
+        assert allocation.contains(allocation.end_address - 1)
+        assert not allocation.contains(allocation.end_address)

@@ -1,0 +1,100 @@
+"""Tests for the traffic record and the calibrated timing model."""
+
+import pytest
+
+from repro.config import ampere_pcie4, default_system
+from repro.memsim.coalescer import RequestHistogram
+from repro.memsim.metrics import TimingModel, TrafficRecord
+
+
+class TestTrafficRecord:
+    def test_host_bytes_combines_all_paths(self):
+        record = TrafficRecord()
+        record.request_histogram.add(128, 2)
+        record.uvm_migrated_bytes = 4096
+        record.block_transfer_bytes = 1000
+        assert record.zero_copy_bytes == 256
+        assert record.host_bytes_read == 256 + 4096 + 1000
+
+    def test_io_amplification(self):
+        record = TrafficRecord()
+        record.uvm_migrated_bytes = 2000
+        assert record.io_amplification(1000) == pytest.approx(2.0)
+        assert record.io_amplification(0) == 0.0
+
+    def test_merge(self):
+        first = TrafficRecord(edges_processed=10, kernel_launches=1)
+        first.request_histogram.add(32, 1)
+        second = TrafficRecord(edges_processed=5, kernel_launches=2, uvm_migrations=3)
+        second.request_histogram.add(32, 4)
+        first.merge(second)
+        assert first.edges_processed == 15
+        assert first.kernel_launches == 3
+        assert first.uvm_migrations == 3
+        assert first.request_histogram.counts[32] == 5
+
+
+class TestTimingModel:
+    @pytest.fixture
+    def model(self):
+        return TimingModel(default_system())
+
+    def test_zero_copy_time_scales_with_requests(self, model):
+        small = model.zero_copy_time(RequestHistogram.single(128, 1000))
+        large = model.zero_copy_time(RequestHistogram.single(128, 10_000))
+        assert large.interconnect_seconds == pytest.approx(
+            10 * small.interconnect_seconds, rel=0.01
+        )
+
+    def test_uvm_time_includes_fault_overhead(self, model):
+        with_faults = model.uvm_time(migrated_bytes=1 << 20, migrations=256)
+        without_faults = model.uvm_time(migrated_bytes=1 << 20, migrations=0)
+        assert with_faults.fault_handling_seconds > 0
+        assert without_faults.fault_handling_seconds == 0
+        assert with_faults.total() > without_faults.total()
+
+    def test_uvm_fault_overhead_does_not_scale_with_link(self):
+        gen3 = TimingModel(default_system()).uvm_time(1 << 20, 256)
+        gen4 = TimingModel(ampere_pcie4()).uvm_time(1 << 20, 256)
+        assert gen4.interconnect_seconds < gen3.interconnect_seconds
+        assert gen4.fault_handling_seconds == pytest.approx(gen3.fault_handling_seconds)
+
+    def test_block_transfer_time(self, model):
+        breakdown = model.block_transfer_time(12_300_000_000, include_launch=False)
+        assert breakdown.interconnect_seconds == pytest.approx(1.0, rel=0.05)
+
+    def test_block_transfer_launch_overhead(self, model):
+        with_launch = model.block_transfer_time(1000, include_launch=True)
+        without_launch = model.block_transfer_time(1000, include_launch=False)
+        assert with_launch.host_preprocess_seconds > 0
+        assert without_launch.host_preprocess_seconds == 0
+
+    def test_compute_time(self, model):
+        breakdown = model.compute_time(edges=10_000_000, vertices=1_000_000)
+        expected = (
+            10_000_000 / default_system().gpu.compute_edges_per_second
+            + 1_000_000 / default_system().gpu.compute_vertices_per_second
+        )
+        assert breakdown.compute_seconds == pytest.approx(expected)
+
+    def test_kernel_launch_time(self, model):
+        breakdown = model.kernel_launch_time(5)
+        assert breakdown.kernel_launch_seconds == pytest.approx(
+            5 * default_system().gpu.kernel_launch_overhead_us * 1e-6
+        )
+
+    def test_host_gather_time(self, model):
+        breakdown = model.host_gather_time(1_000_000)
+        assert breakdown.host_preprocess_seconds == pytest.approx(
+            1_000_000 * default_system().host.subgraph_gather_ns_per_edge * 1e-9
+        )
+
+    def test_memcpy_peak(self, model):
+        assert model.memcpy_peak_gbps == pytest.approx(12.3, abs=0.5)
+
+    def test_zero_copy_128b_faster_than_32b_for_same_bytes(self, model):
+        bytes_needed = 128 * 10_000
+        merged = model.zero_copy_time(RequestHistogram.single(128, 10_000))
+        strided = model.zero_copy_time(RequestHistogram.single(32, 40_000))
+        assert merged.total() < strided.total()
+        assert bytes_needed == RequestHistogram.single(32, 40_000).total_bytes

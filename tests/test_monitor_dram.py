@@ -1,0 +1,106 @@
+"""Tests for the PCIe traffic monitor (the FPGA analog) and the DRAM model."""
+
+import pytest
+
+from repro.config import DRAMConfig
+from repro.memsim.coalescer import RequestHistogram
+from repro.memsim.dram import DRAMModel
+from repro.memsim.monitor import PCIeTrafficMonitor
+
+
+class TestTrafficMonitor:
+    def test_records_request_histograms(self):
+        monitor = PCIeTrafficMonitor()
+        monitor.record_requests(RequestHistogram.single(128, 4))
+        monitor.record_requests(RequestHistogram.single(32, 2))
+        assert monitor.total_requests == 6
+        assert monitor.zero_copy_bytes == 4 * 128 + 2 * 32
+        assert monitor.requests_of_size(128) == 4
+
+    def test_request_size_distribution(self):
+        monitor = PCIeTrafficMonitor()
+        monitor.record_requests(RequestHistogram({32: 1, 64: 0, 96: 0, 128: 3}))
+        distribution = monitor.request_size_distribution()
+        assert distribution[128] == pytest.approx(0.75)
+
+    def test_block_transfers(self):
+        monitor = PCIeTrafficMonitor()
+        monitor.record_block_transfer(4096 * 3, pages=3)
+        assert monitor.block_transfer_bytes == 4096 * 3
+        assert monitor.block_transfers == 1
+        assert monitor.migrated_pages == 3
+        assert monitor.total_host_bytes_read == 4096 * 3
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeTrafficMonitor().record_block_transfer(-1)
+
+    def test_invalid_size_query_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeTrafficMonitor().requests_of_size(48)
+
+    def test_combined_host_bytes(self):
+        monitor = PCIeTrafficMonitor()
+        monitor.record_requests(RequestHistogram.single(128, 1))
+        monitor.record_block_transfer(4096)
+        assert monitor.total_host_bytes_read == 128 + 4096
+
+    def test_snapshot_is_independent(self):
+        monitor = PCIeTrafficMonitor()
+        monitor.record_requests(RequestHistogram.single(32, 1))
+        snapshot = monitor.snapshot()
+        monitor.record_requests(RequestHistogram.single(32, 5))
+        assert snapshot.histogram.total_requests == 1
+        assert monitor.total_requests == 6
+
+    def test_peak_requests_per_event(self):
+        monitor = PCIeTrafficMonitor()
+        monitor.record_requests(RequestHistogram.single(32, 10))
+        monitor.record_requests(RequestHistogram.single(32, 3))
+        assert monitor.peak_requests_per_event == 10
+
+    def test_reset(self):
+        monitor = PCIeTrafficMonitor()
+        monitor.record_requests(RequestHistogram.single(32, 1))
+        monitor.record_block_transfer(100)
+        monitor.reset()
+        assert monitor.total_requests == 0
+        assert monitor.total_host_bytes_read == 0
+
+
+class TestDRAMModel:
+    def test_serve_requests_rounds_to_64(self):
+        dram = DRAMModel(DRAMConfig())
+        touched = dram.serve_requests(RequestHistogram({32: 4, 64: 0, 96: 2, 128: 1}))
+        assert touched == 4 * 64 + 2 * 128 + 1 * 128
+        assert dram.bytes_touched == touched
+
+    def test_serve_block(self):
+        dram = DRAMModel(DRAMConfig())
+        assert dram.serve_block(100) == 128
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMModel(DRAMConfig()).serve_block(-5)
+
+    def test_seconds_for(self):
+        dram = DRAMModel(DRAMConfig(sequential_bandwidth_gbps=10.0))
+        assert dram.seconds_for(10e9) == pytest.approx(1.0)
+
+    def test_total_seconds_accumulates(self):
+        dram = DRAMModel(DRAMConfig(sequential_bandwidth_gbps=10.0))
+        dram.serve_block(10_000_000_000)
+        assert dram.total_seconds == pytest.approx(1.0, rel=0.01)
+
+    def test_reset(self):
+        dram = DRAMModel(DRAMConfig())
+        dram.serve_block(4096)
+        dram.reset()
+        assert dram.bytes_touched == 0
+
+    def test_32b_requests_waste_half_the_dram_bandwidth(self):
+        """§3.3: 32-byte PCIe requests read twice their size from DRAM."""
+        dram = DRAMModel(DRAMConfig())
+        histogram = RequestHistogram.single(32, 1000)
+        touched = dram.serve_requests(histogram)
+        assert touched == 2 * histogram.total_bytes

@@ -1,0 +1,88 @@
+"""Tests for the PageRank extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traversal.pagerank import pagerank_scores, run_pagerank
+from repro.types import ALL_STRATEGIES, AccessStrategy
+
+from .conftest import to_networkx
+
+
+class TestReferencePageRank:
+    def test_scores_sum_to_one(self, random_graph):
+        scores = pagerank_scores(random_graph)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(scores > 0)
+
+    def test_star_center_has_highest_rank(self, star_graph):
+        scores = pagerank_scores(star_graph)
+        assert int(np.argmax(scores)) == 0
+
+    def test_symmetric_path_is_symmetric(self, path_graph):
+        scores = pagerank_scores(path_graph)
+        assert scores[0] == pytest.approx(scores[5], rel=1e-4)
+        assert scores[1] == pytest.approx(scores[4], rel=1e-4)
+
+    def test_matches_networkx(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        from repro.graph.builder import from_edge_array
+
+        # networkx collapses parallel edges, so compare on a deduplicated graph.
+        simple = from_edge_array(
+            random_graph.edge_sources(),
+            random_graph.edges,
+            num_vertices=random_graph.num_vertices,
+            directed=True,
+            deduplicate=True,
+            name="simple",
+        )
+        reference = nx.pagerank(to_networkx(simple), alpha=0.85, tol=1e-10)
+        scores = pagerank_scores(simple, tolerance=1e-10, max_iterations=200)
+        for vertex in range(simple.num_vertices):
+            assert scores[vertex] == pytest.approx(reference[vertex], abs=1e-5)
+
+    def test_parameter_validation(self, path_graph):
+        with pytest.raises(ConfigurationError):
+            pagerank_scores(path_graph, damping=1.5)
+        with pytest.raises(ConfigurationError):
+            pagerank_scores(path_graph, tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            pagerank_scores(path_graph, max_iterations=0)
+
+
+class TestSimulatedPageRank:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_all_strategies_compute_identical_scores(self, disconnected_graph, strategy):
+        reference = pagerank_scores(disconnected_graph)
+        result = run_pagerank(disconnected_graph, strategy=strategy)
+        assert np.allclose(result.values, reference)
+
+    def test_streams_the_edge_list_every_iteration(self, paper_example_graph):
+        result = run_pagerank(paper_example_graph, max_iterations=5, tolerance=1e-30)
+        traffic = result.metrics.traffic
+        assert result.iterations == 5
+        assert traffic.edges_processed == 5 * paper_example_graph.num_edges
+
+    def test_converges_and_reports_it(self, random_graph):
+        result = run_pagerank(random_graph, tolerance=1e-4)
+        assert result.converged
+        assert result.iterations < 100
+
+    def test_top_vertices(self, star_graph):
+        result = run_pagerank(star_graph)
+        assert result.top_vertices(1).tolist() == [0]
+        assert len(result.top_vertices(100)) == star_graph.num_vertices
+
+    def test_emogi_beats_uvm_like_other_streaming_apps(self):
+        """On an out-of-memory graph, EMOGI wins for PageRank too (cf. CC, §5.4)."""
+        from repro.graph.datasets import load_dataset
+
+        graph = load_dataset("GK")  # default scale: ~2x the simulated GPU memory
+        uvm = run_pagerank(graph, strategy=AccessStrategy.UVM, max_iterations=3, tolerance=1e-30)
+        emogi = run_pagerank(
+            graph, strategy=AccessStrategy.MERGED_ALIGNED, max_iterations=3, tolerance=1e-30
+        )
+        assert np.allclose(uvm.values, emogi.values)
+        assert emogi.seconds < uvm.seconds

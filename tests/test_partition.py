@@ -1,0 +1,72 @@
+"""Tests for active-subgraph compaction (the Subway substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.partition import extract_active_subgraph
+
+
+class TestExtractActiveSubgraph:
+    def test_single_vertex(self, paper_example_graph):
+        subgraph = extract_active_subgraph(paper_example_graph, np.array([1]))
+        assert subgraph.num_active == 1
+        assert subgraph.edges.tolist() == paper_example_graph.neighbors(1).tolist()
+        assert subgraph.local_offsets.tolist() == [0, 4]
+
+    def test_multiple_vertices_in_order(self, paper_example_graph):
+        subgraph = extract_active_subgraph(paper_example_graph, np.array([0, 3]))
+        assert subgraph.edges.tolist() == [1, 2, 1]
+        assert subgraph.local_offsets.tolist() == [0, 2, 3]
+
+    def test_whole_graph(self, paper_example_graph):
+        everything = np.arange(paper_example_graph.num_vertices)
+        subgraph = extract_active_subgraph(paper_example_graph, everything)
+        assert subgraph.edges.tolist() == paper_example_graph.edges.tolist()
+        assert subgraph.num_edges == paper_example_graph.num_edges
+
+    def test_vertices_with_no_neighbors(self, disconnected_graph):
+        subgraph = extract_active_subgraph(disconnected_graph, np.array([5]))
+        assert subgraph.num_edges == 0
+        assert subgraph.local_offsets.tolist() == [0, 0]
+
+    def test_empty_frontier(self, paper_example_graph):
+        subgraph = extract_active_subgraph(paper_example_graph, np.array([], dtype=np.int64))
+        assert subgraph.num_active == 0
+        assert subgraph.num_edges == 0
+        assert subgraph.transfer_bytes == subgraph.offset_bytes
+
+    def test_weights_follow_edges(self, random_graph):
+        active = np.array([0, 1, 2])
+        subgraph = extract_active_subgraph(random_graph, active, include_weights=True)
+        expected = np.concatenate([random_graph.neighbor_weights(v) for v in active])
+        assert np.allclose(subgraph.weights, expected)
+        assert subgraph.weight_bytes == subgraph.num_edges * 4
+
+    def test_transfer_bytes_accounting(self, paper_example_graph):
+        subgraph = extract_active_subgraph(paper_example_graph, np.array([1, 2]))
+        expected_edge_bytes = subgraph.num_edges * paper_example_graph.element_bytes
+        expected_offset_bytes = 3 * paper_example_graph.element_bytes
+        assert subgraph.edge_bytes == expected_edge_bytes
+        assert subgraph.offset_bytes == expected_offset_bytes
+        assert subgraph.transfer_bytes == expected_edge_bytes + expected_offset_bytes
+
+    def test_4_byte_elements_halve_transfer(self, paper_example_graph):
+        graph4 = paper_example_graph.with_element_bytes(4)
+        sub8 = extract_active_subgraph(paper_example_graph, np.array([1]))
+        sub4 = extract_active_subgraph(graph4, np.array([1]))
+        assert sub4.edge_bytes * 2 == sub8.edge_bytes
+
+    def test_out_of_range_vertices_rejected(self, paper_example_graph):
+        with pytest.raises(GraphFormatError):
+            extract_active_subgraph(paper_example_graph, np.array([99]))
+
+    def test_matches_manual_gather_on_random_graph(self, random_graph):
+        rng = np.random.default_rng(0)
+        active = np.unique(rng.integers(0, random_graph.num_vertices, size=50))
+        subgraph = extract_active_subgraph(random_graph, active)
+        expected = np.concatenate(
+            [random_graph.neighbors(int(v)) for v in active]
+            or [np.array([], dtype=np.int64)]
+        )
+        assert subgraph.edges.tolist() == expected.tolist()

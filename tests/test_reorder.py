@@ -1,0 +1,87 @@
+"""Tests for vertex reordering (the HALO substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.reorder import apply_permutation, bfs_order, degree_order, halo_order
+from repro.traversal.bfs import bfs_levels
+
+
+def is_permutation(array, n):
+    return sorted(array.tolist()) == list(range(n))
+
+
+class TestOrders:
+    def test_degree_order_is_permutation(self, random_graph):
+        order = degree_order(random_graph)
+        assert is_permutation(order, random_graph.num_vertices)
+
+    def test_degree_order_puts_hubs_first(self, star_graph):
+        order = degree_order(star_graph)
+        # Vertex 0 (the hub) must receive the smallest new ID.
+        assert order[0] == 0
+
+    def test_bfs_order_is_permutation(self, random_graph):
+        order = bfs_order(random_graph, source=0)
+        assert is_permutation(order, random_graph.num_vertices)
+
+    def test_bfs_order_assigns_source_zero(self, path_graph):
+        order = bfs_order(path_graph, source=3)
+        assert order[3] == 0
+
+    def test_bfs_order_handles_unreachable(self, disconnected_graph):
+        order = bfs_order(disconnected_graph, source=0)
+        assert is_permutation(order, disconnected_graph.num_vertices)
+
+    def test_halo_order_is_permutation(self, random_graph):
+        order = halo_order(random_graph)
+        assert is_permutation(order, random_graph.num_vertices)
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph(offsets=np.array([0]), edges=np.array([], dtype=np.int64))
+        assert bfs_order(empty).size == 0
+
+
+class TestApplyPermutation:
+    def test_identity(self, paper_example_graph):
+        identity = np.arange(paper_example_graph.num_vertices)
+        same = apply_permutation(paper_example_graph, identity)
+        assert set(same.iter_edges()) == set(paper_example_graph.iter_edges())
+
+    def test_relabels_edges(self, path_graph):
+        # Reverse the path: vertex v -> 5 - v.
+        permutation = np.arange(path_graph.num_vertices)[::-1].copy()
+        reordered = apply_permutation(path_graph, permutation)
+        expected = {(5 - s, 5 - d) for s, d in path_graph.iter_edges()}
+        assert set(reordered.iter_edges()) == expected
+
+    def test_preserves_degree_multiset(self, random_graph):
+        permutation = degree_order(random_graph)
+        reordered = apply_permutation(random_graph, permutation)
+        assert sorted(reordered.degrees().tolist()) == sorted(random_graph.degrees().tolist())
+
+    def test_preserves_bfs_level_multiset(self, random_graph):
+        """Reordering must not change the traversal result (graph isomorphism)."""
+        permutation = halo_order(random_graph)
+        reordered = apply_permutation(random_graph, permutation)
+        source = 0
+        original_levels = bfs_levels(random_graph, source)
+        reordered_levels = bfs_levels(reordered, int(permutation[source]))
+        # Level of vertex v in the original equals level of permutation[v] in the
+        # reordered graph.
+        assert np.array_equal(original_levels, reordered_levels[permutation])
+
+    def test_keeps_weights_with_their_edges(self, random_graph):
+        permutation = degree_order(random_graph)
+        reordered = apply_permutation(random_graph, permutation)
+        assert reordered.has_weights
+        assert np.isclose(sorted(reordered.weights), sorted(random_graph.weights)).all()
+
+    def test_invalid_permutation_rejected(self, path_graph):
+        with pytest.raises(GraphFormatError):
+            apply_permutation(path_graph, np.zeros(path_graph.num_vertices, dtype=np.int64))
+        with pytest.raises(GraphFormatError):
+            apply_permutation(path_graph, np.array([0, 1]))

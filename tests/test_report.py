@@ -1,0 +1,52 @@
+"""Tests for the plain-text table renderer."""
+
+from repro.bench.report import format_key_values, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("| name")
+        assert lines[1].startswith("|-")
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+
+    def test_columns_are_aligned(self):
+        table = format_table(["col"], [["short"], ["a much longer cell"]])
+        lines = [line for line in table.splitlines() if line.startswith("|")]
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.123456], [12.3456], [12345.6]])
+        assert "0.123" in table
+        assert "12.35" in table
+        assert "12,346" in table
+
+    def test_int_formatting_uses_thousands_separator(self):
+        table = format_table(["v"], [[1234567]])
+        assert "1,234,567" in table
+
+    def test_zero(self):
+        assert "| 0" in format_table(["v"], [[0.0]])
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "| a" in table
+
+
+class TestFormatKeyValues:
+    def test_alignment(self):
+        text = format_key_values({"short": 1, "a_longer_key": 2.5})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title(self):
+        text = format_key_values({"a": 1}, title="Header")
+        assert text.splitlines()[0] == "Header"
+
+    def test_empty(self):
+        assert format_key_values({}) == ""

@@ -1,0 +1,92 @@
+"""Tests for result containers (TraversalMetrics, AggregateResult)."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.metrics import TrafficRecord
+from repro.timing import TimeBreakdown
+from repro.traversal.results import AggregateResult, TraversalMetrics, TraversalResult
+from repro.types import AccessStrategy, Application
+
+
+def make_metrics(seconds=1.0, zero_copy_bytes=0, uvm_bytes=0, dataset_bytes=1000):
+    traffic = TrafficRecord()
+    if zero_copy_bytes:
+        traffic.request_histogram.add(128, zero_copy_bytes // 128)
+    traffic.uvm_migrated_bytes = uvm_bytes
+    return TraversalMetrics(
+        seconds=seconds,
+        breakdown=TimeBreakdown(interconnect_seconds=seconds),
+        traffic=traffic,
+        iterations=3,
+        dataset_bytes=dataset_bytes,
+        strategy=AccessStrategy.MERGED_ALIGNED,
+        system_name="test",
+    )
+
+
+def make_result(seconds=1.0, **kwargs):
+    return TraversalResult(
+        application=Application.BFS,
+        graph_name="G",
+        strategy=AccessStrategy.MERGED_ALIGNED,
+        source=0,
+        values=np.zeros(4),
+        metrics=make_metrics(seconds=seconds, **kwargs),
+    )
+
+
+class TestTraversalMetrics:
+    def test_io_amplification(self):
+        metrics = make_metrics(uvm_bytes=5000, dataset_bytes=1000)
+        assert metrics.io_amplification == pytest.approx(5.0)
+
+    def test_achieved_bandwidth(self):
+        metrics = make_metrics(seconds=2.0, zero_copy_bytes=256 * 10**6)
+        assert metrics.achieved_bandwidth_gbps == pytest.approx(0.128, rel=0.01)
+
+    def test_bandwidth_zero_time(self):
+        metrics = make_metrics(seconds=0.0)
+        assert metrics.achieved_bandwidth_gbps == 0.0
+
+    def test_request_distribution(self):
+        metrics = make_metrics(zero_copy_bytes=1280)
+        assert metrics.request_size_distribution[128] == pytest.approx(1.0)
+        assert metrics.total_pcie_requests == 10
+
+    def test_speedup_over(self):
+        fast = make_metrics(seconds=1.0)
+        slow = make_metrics(seconds=3.0)
+        assert fast.speedup_over(slow) == pytest.approx(3.0)
+        assert slow.speedup_over(fast) == pytest.approx(1 / 3)
+
+
+class TestAggregateResult:
+    def test_means(self):
+        aggregate = AggregateResult(Application.BFS, "G", AccessStrategy.MERGED_ALIGNED)
+        aggregate.add(make_result(seconds=1.0))
+        aggregate.add(make_result(seconds=3.0))
+        assert aggregate.num_runs == 2
+        assert aggregate.mean_seconds == pytest.approx(2.0)
+
+    def test_empty_aggregate(self):
+        aggregate = AggregateResult(Application.BFS, "G", AccessStrategy.UVM)
+        assert aggregate.mean_seconds == 0.0
+        assert aggregate.mean_io_amplification == 0.0
+        assert aggregate.mean_bandwidth_gbps == 0.0
+        assert aggregate.mean_pcie_requests == 0.0
+        assert sum(aggregate.mean_request_size_distribution().values()) == 0.0
+
+    def test_speedup_over(self):
+        emogi = AggregateResult(Application.BFS, "G", AccessStrategy.MERGED_ALIGNED)
+        emogi.add(make_result(seconds=1.0))
+        uvm = AggregateResult(Application.BFS, "G", AccessStrategy.UVM)
+        uvm.add(make_result(seconds=4.0))
+        assert emogi.speedup_over(uvm) == pytest.approx(4.0)
+
+    def test_mean_distribution(self):
+        aggregate = AggregateResult(Application.BFS, "G", AccessStrategy.MERGED_ALIGNED)
+        aggregate.add(make_result(zero_copy_bytes=1280))
+        aggregate.add(make_result(zero_copy_bytes=2560))
+        distribution = aggregate.mean_request_size_distribution()
+        assert distribution[128] == pytest.approx(1.0)

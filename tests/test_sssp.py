@@ -1,0 +1,82 @@
+"""SSSP correctness tests against networkx/scipy references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.traversal.bfs import bfs_levels
+from repro.traversal.sssp import UNREACHABLE, run_sssp, sssp_distances
+from repro.types import ALL_STRATEGIES, AccessStrategy
+
+from .conftest import to_networkx
+
+
+class TestReferenceSSSP:
+    def test_unweighted_equals_bfs_levels(self, path_graph):
+        distances = sssp_distances(path_graph, 0)
+        levels = bfs_levels(path_graph, 0)
+        assert np.array_equal(distances, levels.astype(float))
+
+    def test_weighted_path(self):
+        from repro.graph.builder import from_edge_array
+
+        graph = from_edge_array(
+            np.array([0, 1, 0]),
+            np.array([1, 2, 2]),
+            weights=np.array([1.0, 1.0, 5.0]),
+            directed=True,
+        )
+        distances = sssp_distances(graph, 0)
+        # Going through vertex 1 (cost 2) beats the direct edge (cost 5).
+        assert distances.tolist() == [0.0, 1.0, 2.0]
+
+    def test_unreachable_is_inf(self, disconnected_graph):
+        distances = sssp_distances(disconnected_graph, 0)
+        assert distances[3] == UNREACHABLE
+        assert np.isinf(distances[5])
+
+    def test_matches_networkx_dijkstra(self, random_graph):
+        nx = pytest.importorskip("networkx")
+        reference = nx.single_source_dijkstra_path_length(
+            to_networkx(random_graph, weighted=True), 0
+        )
+        distances = sssp_distances(random_graph, 0)
+        for vertex in range(random_graph.num_vertices):
+            if vertex in reference:
+                assert distances[vertex] == pytest.approx(reference[vertex])
+            else:
+                assert np.isinf(distances[vertex])
+
+    def test_invalid_source(self, random_graph):
+        with pytest.raises(SimulationError):
+            sssp_distances(random_graph, random_graph.num_vertices)
+
+
+class TestSimulatedSSSP:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_all_strategies_compute_identical_distances(self, random_graph, strategy):
+        reference = sssp_distances(random_graph, 5)
+        result = run_sssp(random_graph, 5, strategy=strategy)
+        assert np.allclose(result.values, reference, equal_nan=True)
+
+    def test_weights_travel_over_the_link(self, random_graph):
+        """SSSP must move more bytes than BFS: it also reads the weight list."""
+        from repro.traversal.bfs import run_bfs
+
+        bfs_result = run_bfs(random_graph, 5, strategy=AccessStrategy.MERGED_ALIGNED)
+        sssp_result = run_sssp(random_graph, 5, strategy=AccessStrategy.MERGED_ALIGNED)
+        assert (
+            sssp_result.metrics.traffic.zero_copy_bytes
+            > bfs_result.metrics.traffic.zero_copy_bytes
+        )
+        # And the dataset it is charged against includes the weight list (§5.2).
+        assert sssp_result.metrics.dataset_bytes > bfs_result.metrics.dataset_bytes
+
+    def test_unweighted_graph_uses_unit_weights(self, path_graph):
+        result = run_sssp(path_graph, 0, strategy=AccessStrategy.MERGED_ALIGNED)
+        assert result.values.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_metrics_present(self, random_graph):
+        result = run_sssp(random_graph, 0, strategy=AccessStrategy.UVM)
+        assert result.metrics.seconds > 0
+        assert result.metrics.traffic.uvm_migrated_bytes > 0

@@ -1,0 +1,70 @@
+"""Tests for repro.timing."""
+
+import pytest
+
+from repro.timing import GB, TimeBreakdown, ns, to_gbps, transfer_seconds, us
+
+
+class TestUnits:
+    def test_us(self):
+        assert us(1.5) == pytest.approx(1.5e-6)
+
+    def test_ns(self):
+        assert ns(120) == pytest.approx(120e-9)
+
+    def test_to_gbps(self):
+        assert to_gbps(GB, 1.0) == pytest.approx(1.0)
+        assert to_gbps(2 * GB, 0.5) == pytest.approx(4.0)
+
+    def test_to_gbps_zero_interval(self):
+        assert to_gbps(100, 0.0) == 0.0
+
+    def test_transfer_seconds(self):
+        assert transfer_seconds(12.3 * GB, 12.3) == pytest.approx(1.0)
+
+    def test_transfer_seconds_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(-1, 10.0)
+        with pytest.raises(ValueError):
+            transfer_seconds(100, 0.0)
+
+
+class TestTimeBreakdown:
+    def test_total_overlaps_transfer_and_compute(self):
+        breakdown = TimeBreakdown(
+            interconnect_seconds=2.0, dram_seconds=0.5, compute_seconds=1.0
+        )
+        # Only the slowest overlapped component counts.
+        assert breakdown.total() == pytest.approx(2.0)
+
+    def test_total_adds_serial_components(self):
+        breakdown = TimeBreakdown(
+            interconnect_seconds=1.0,
+            fault_handling_seconds=0.25,
+            host_preprocess_seconds=0.25,
+            kernel_launch_seconds=0.5,
+        )
+        assert breakdown.total() == pytest.approx(2.0)
+
+    def test_extra_components_are_serial(self):
+        breakdown = TimeBreakdown(extra={"subway_iteration": 1.5})
+        assert breakdown.total() == pytest.approx(1.5)
+
+    def test_add_accumulates_all_fields(self):
+        first = TimeBreakdown(
+            interconnect_seconds=1.0, compute_seconds=0.5, extra={"x": 0.1}
+        )
+        second = TimeBreakdown(
+            interconnect_seconds=2.0,
+            compute_seconds=0.25,
+            fault_handling_seconds=0.5,
+            extra={"x": 0.2, "y": 0.3},
+        )
+        first.add(second)
+        assert first.interconnect_seconds == pytest.approx(3.0)
+        assert first.compute_seconds == pytest.approx(0.75)
+        assert first.fault_handling_seconds == pytest.approx(0.5)
+        assert first.extra == pytest.approx({"x": 0.3, "y": 0.3})
+
+    def test_empty_breakdown_is_zero(self):
+        assert TimeBreakdown().total() == 0.0

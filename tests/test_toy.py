@@ -1,0 +1,101 @@
+"""Tests for the §3.3 toy array-copy kernels (Figures 3 and 4)."""
+
+import pytest
+
+from repro.config import ampere_pcie4, default_system
+from repro.errors import ConfigurationError
+from repro.traversal.toy import (
+    AccessPattern,
+    run_array_copy,
+    run_uvm_array_scan,
+)
+
+ARRAY_BYTES = 8 * 1024 * 1024  # keep the unit tests fast
+
+
+class TestAccessPatterns:
+    def test_strided_generates_only_32b_requests(self):
+        result = run_array_copy(AccessPattern.STRIDED, array_bytes=ARRAY_BYTES)
+        histogram = result.histogram
+        assert histogram.counts[32] == histogram.total_requests
+        assert histogram.total_requests >= ARRAY_BYTES // 32
+
+    def test_merged_aligned_generates_only_128b_requests(self):
+        result = run_array_copy(AccessPattern.MERGED_ALIGNED, array_bytes=ARRAY_BYTES)
+        histogram = result.histogram
+        assert histogram.counts[128] == histogram.total_requests
+        assert histogram.total_bytes == ARRAY_BYTES
+
+    def test_misaligned_splits_into_32_and_96(self):
+        result = run_array_copy(AccessPattern.MERGED_MISALIGNED, array_bytes=ARRAY_BYTES)
+        histogram = result.histogram
+        assert histogram.counts[128] == 0
+        assert histogram.counts[96] > 0
+        assert histogram.counts[32] > 0
+        assert histogram.total_bytes == ARRAY_BYTES
+
+
+class TestBandwidthShapes:
+    """The Figure 4 ordering: strided << misaligned <= aligned ~= memcpy peak."""
+
+    def test_strided_bandwidth_far_below_peak(self, system):
+        result = run_array_copy(AccessPattern.STRIDED, system=system, array_bytes=ARRAY_BYTES)
+        assert result.pcie_bandwidth_gbps < 0.6 * system.pcie.block_transfer_gbps
+
+    def test_aligned_bandwidth_close_to_memcpy_peak(self, system):
+        result = run_array_copy(
+            AccessPattern.MERGED_ALIGNED, system=system, array_bytes=ARRAY_BYTES
+        )
+        assert result.pcie_bandwidth_gbps == pytest.approx(
+            system.pcie.block_transfer_gbps, rel=0.05
+        )
+
+    def test_misaligned_is_between_strided_and_aligned(self, system):
+        strided = run_array_copy(AccessPattern.STRIDED, array_bytes=ARRAY_BYTES)
+        misaligned = run_array_copy(AccessPattern.MERGED_MISALIGNED, array_bytes=ARRAY_BYTES)
+        aligned = run_array_copy(AccessPattern.MERGED_ALIGNED, array_bytes=ARRAY_BYTES)
+        assert strided.pcie_bandwidth_gbps < misaligned.pcie_bandwidth_gbps
+        assert misaligned.pcie_bandwidth_gbps <= aligned.pcie_bandwidth_gbps
+
+    def test_strided_dram_traffic_is_double_the_payload(self):
+        result = run_array_copy(AccessPattern.STRIDED, array_bytes=ARRAY_BYTES)
+        assert result.dram_bandwidth_gbps == pytest.approx(
+            2 * result.pcie_bandwidth_gbps, rel=0.01
+        )
+
+    def test_uvm_reference_around_9_gbps(self, system):
+        result = run_uvm_array_scan(system=system, array_bytes=ARRAY_BYTES)
+        assert result.pcie_bandwidth_gbps == pytest.approx(9.0, abs=1.0)
+
+    def test_aligned_scales_with_pcie4(self):
+        gen3 = run_array_copy(AccessPattern.MERGED_ALIGNED, array_bytes=ARRAY_BYTES)
+        gen4 = run_array_copy(
+            AccessPattern.MERGED_ALIGNED, system=ampere_pcie4(), array_bytes=ARRAY_BYTES
+        )
+        assert gen4.pcie_bandwidth_gbps == pytest.approx(
+            2 * gen3.pcie_bandwidth_gbps, rel=0.1
+        )
+
+    def test_uvm_does_not_scale_with_pcie4(self):
+        gen3 = run_uvm_array_scan(array_bytes=ARRAY_BYTES)
+        gen4 = run_uvm_array_scan(system=ampere_pcie4(), array_bytes=ARRAY_BYTES)
+        assert gen4.pcie_bandwidth_gbps < 2 * gen3.pcie_bandwidth_gbps * 0.9
+
+
+class TestValidation:
+    def test_invalid_array_size(self):
+        with pytest.raises(ConfigurationError):
+            run_array_copy(AccessPattern.STRIDED, array_bytes=0)
+        with pytest.raises(ConfigurationError):
+            run_uvm_array_scan(array_bytes=-1)
+
+    def test_result_fields(self):
+        result = run_array_copy(AccessPattern.MERGED_ALIGNED, array_bytes=ARRAY_BYTES)
+        assert result.pattern == "merged_aligned"
+        assert result.seconds > 0
+        assert result.bytes_transferred == ARRAY_BYTES
+
+    def test_default_system_is_volta(self):
+        result = run_array_copy(AccessPattern.MERGED_ALIGNED, array_bytes=ARRAY_BYTES)
+        expected = default_system().pcie.block_transfer_gbps
+        assert result.pcie_bandwidth_gbps == pytest.approx(expected, rel=0.05)

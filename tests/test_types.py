@@ -1,0 +1,82 @@
+"""Tests for repro.types."""
+
+import pytest
+
+from repro.types import (
+    ALL_STRATEGIES,
+    AccessStrategy,
+    Application,
+    ByteSize,
+    EMOGI_STRATEGY,
+    MemorySpace,
+    gibibytes,
+    gigabytes,
+)
+
+
+class TestAccessStrategy:
+    def test_four_strategies(self):
+        assert len(ALL_STRATEGIES) == 4
+        assert set(ALL_STRATEGIES) == set(AccessStrategy)
+
+    def test_emogi_is_merged_aligned(self):
+        assert EMOGI_STRATEGY is AccessStrategy.MERGED_ALIGNED
+
+    def test_zero_copy_flag(self):
+        assert not AccessStrategy.UVM.is_zero_copy
+        assert AccessStrategy.NAIVE.is_zero_copy
+        assert AccessStrategy.MERGED.is_zero_copy
+        assert AccessStrategy.MERGED_ALIGNED.is_zero_copy
+
+    def test_constructible_from_value(self):
+        assert AccessStrategy("uvm") is AccessStrategy.UVM
+        assert AccessStrategy("merged_aligned") is AccessStrategy.MERGED_ALIGNED
+
+
+class TestApplication:
+    def test_values(self):
+        assert {a.value for a in Application} == {"bfs", "sssp", "cc"}
+
+    def test_from_string(self):
+        assert Application("bfs") is Application.BFS
+
+
+class TestMemorySpace:
+    def test_three_spaces(self):
+        assert {m.value for m in MemorySpace} == {"device", "host_pinned", "uvm"}
+
+
+class TestByteSize:
+    def test_conversions(self):
+        size = ByteSize(3 * 1024**3)
+        assert size.gib == pytest.approx(3.0)
+        assert size.mib == pytest.approx(3 * 1024)
+        assert size.kib == pytest.approx(3 * 1024**2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ByteSize(-1)
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (512, "512 B"),
+            (2048, "2.00 KiB"),
+            (3 * 1024**2, "3.00 MiB"),
+            (5 * 1024**3, "5.00 GiB"),
+        ],
+    )
+    def test_str(self, value, expected):
+        assert str(ByteSize(value)) == expected
+
+
+class TestUnitHelpers:
+    def test_gigabytes_is_decimal(self):
+        assert gigabytes(1) == 1_000_000_000
+
+    def test_gibibytes_is_binary(self):
+        assert gibibytes(1) == 1024**3
+
+    def test_fractional(self):
+        assert gigabytes(0.5) == 500_000_000
+        assert gibibytes(0.5) == 512 * 1024**2

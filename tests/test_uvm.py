@@ -1,0 +1,168 @@
+"""Tests for the UVM page-migration simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config import UVMConfig
+from repro.errors import SimulationError
+from repro.memsim.address_space import AddressSpace
+from repro.memsim.gpu_memory import DeviceMemory
+from repro.memsim.uvm import UVMSpace
+from repro.types import MemorySpace
+
+PAGE = 4096
+
+
+def make_uvm(size_pages=64, capacity_pages=16, prefetch_pages=1, overhead_us=0.12):
+    device = DeviceMemory(capacity_bytes=max(capacity_pages, 1) * PAGE + PAGE)
+    space = AddressSpace(device)
+    allocation = space.allocate("edges", size_pages * PAGE, MemorySpace.UVM)
+    config = UVMConfig(
+        page_bytes=PAGE,
+        fault_service_overhead_us=overhead_us,
+        prefetch_pages=prefetch_pages,
+    )
+    return UVMSpace(allocation, config, capacity_pages=capacity_pages)
+
+
+class TestBasicMigration:
+    def test_first_touch_faults(self):
+        uvm = make_uvm()
+        result = uvm.access_byte_ranges(np.array([0]), np.array([PAGE]))
+        assert result.pages_touched == 1
+        assert result.page_faults == 1
+        assert result.migrated_bytes == PAGE
+        assert uvm.is_resident(0)
+
+    def test_second_touch_hits(self):
+        uvm = make_uvm()
+        uvm.access_byte_ranges(np.array([0]), np.array([PAGE]))
+        result = uvm.access_byte_ranges(np.array([0]), np.array([PAGE]))
+        assert result.page_faults == 0
+        assert result.hit_pages == 1
+
+    def test_range_spanning_pages(self):
+        uvm = make_uvm()
+        result = uvm.access_byte_ranges(np.array([100]), np.array([3 * PAGE + 10]))
+        assert result.pages_touched == 4
+        assert result.page_faults == 4
+
+    def test_multiple_ranges_sharing_a_page_count_once(self):
+        uvm = make_uvm()
+        result = uvm.access_byte_ranges(
+            np.array([0, 128, 256]), np.array([64, 192, 320])
+        )
+        assert result.pages_touched == 1
+        assert result.page_faults == 1
+
+    def test_empty_and_zero_length_ranges(self):
+        uvm = make_uvm()
+        result = uvm.access_byte_ranges(np.array([10]), np.array([10]))
+        assert result.pages_touched == 0
+        result = uvm.access_byte_ranges(np.array([]), np.array([]))
+        assert result.pages_touched == 0
+
+    def test_out_of_bounds_rejected(self):
+        uvm = make_uvm(size_pages=2)
+        with pytest.raises(SimulationError):
+            uvm.access_byte_ranges(np.array([0]), np.array([3 * PAGE]))
+        with pytest.raises(SimulationError):
+            uvm.access_byte_ranges(np.array([-1]), np.array([10]))
+
+    def test_mismatched_arrays_rejected(self):
+        uvm = make_uvm()
+        with pytest.raises(SimulationError):
+            uvm.access_byte_ranges(np.array([0, 1]), np.array([10]))
+
+
+class TestCapacityAndEviction:
+    def test_graph_fitting_in_memory_never_remigrates(self):
+        """The SK case: once everything is resident, amplification stays 1.0."""
+        uvm = make_uvm(size_pages=8, capacity_pages=16)
+        for _ in range(5):
+            uvm.access_byte_ranges(np.array([0]), np.array([8 * PAGE]))
+        assert uvm.total_migrated_bytes == 8 * PAGE
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        """Repeated sweeps over a too-large region must keep migrating pages."""
+        uvm = make_uvm(size_pages=64, capacity_pages=16)
+        uvm.access_byte_ranges(np.array([0]), np.array([64 * PAGE]))
+        first_pass = uvm.total_migrated_bytes
+        uvm.access_byte_ranges(np.array([0]), np.array([64 * PAGE]))
+        assert uvm.total_migrated_bytes > first_pass
+        assert uvm.resident_pages <= 16 + 16  # capacity plus one in-flight chunk
+
+    def test_eviction_is_lru(self):
+        uvm = make_uvm(size_pages=8, capacity_pages=2)
+        uvm.access_pages(np.array([0]))
+        uvm.access_pages(np.array([1]))
+        uvm.access_pages(np.array([2]))  # should evict page 0, the oldest
+        assert not uvm.is_resident(0)
+        assert uvm.is_resident(1)
+        assert uvm.is_resident(2)
+
+    def test_zero_capacity_always_faults(self):
+        uvm = make_uvm(size_pages=4, capacity_pages=0)
+        uvm.access_pages(np.array([1]))
+        uvm.access_pages(np.array([1]))
+        assert uvm.total_faults == 2
+
+    def test_evictions_counted(self):
+        uvm = make_uvm(size_pages=32, capacity_pages=4)
+        uvm.access_byte_ranges(np.array([0]), np.array([32 * PAGE]))
+        assert uvm.total_evictions > 0
+
+
+class TestPrefetchGranularity:
+    def test_fault_migrates_whole_prefetch_block(self):
+        uvm = make_uvm(size_pages=64, capacity_pages=64, prefetch_pages=4)
+        result = uvm.access_pages(np.array([5]))
+        assert result.page_faults == 4  # pages 4..7
+        assert uvm.is_resident(4) and uvm.is_resident(7)
+        assert not uvm.is_resident(8)
+
+    def test_resident_pages_of_block_not_migrated_again(self):
+        uvm = make_uvm(size_pages=64, capacity_pages=64, prefetch_pages=4)
+        uvm.access_pages(np.array([5]))
+        result = uvm.access_pages(np.array([6]))
+        assert result.page_faults == 0
+
+    def test_block_clamped_at_region_end(self):
+        uvm = make_uvm(size_pages=6, capacity_pages=16, prefetch_pages=4)
+        result = uvm.access_pages(np.array([5]))
+        assert result.page_faults == 2  # pages 4 and 5 only
+
+    def test_prefetch_increases_amplification_for_sparse_access(self):
+        sparse_pages = np.array([0, 16, 32, 48])
+        no_prefetch = make_uvm(size_pages=64, capacity_pages=64, prefetch_pages=1)
+        with_prefetch = make_uvm(size_pages=64, capacity_pages=64, prefetch_pages=8)
+        no_prefetch.access_pages(sparse_pages)
+        with_prefetch.access_pages(sparse_pages)
+        assert with_prefetch.total_migrated_bytes > no_prefetch.total_migrated_bytes
+
+
+class TestAccounting:
+    def test_fault_handling_seconds(self):
+        uvm = make_uvm(overhead_us=0.5)
+        uvm.access_byte_ranges(np.array([0]), np.array([4 * PAGE]))
+        assert uvm.fault_handling_seconds() == pytest.approx(4 * 0.5e-6)
+        assert uvm.fault_handling_seconds(10) == pytest.approx(10 * 0.5e-6)
+
+    def test_reset(self):
+        uvm = make_uvm()
+        uvm.access_byte_ranges(np.array([0]), np.array([2 * PAGE]))
+        uvm.reset()
+        assert uvm.total_faults == 0
+        assert uvm.resident_pages == 0
+        assert uvm.total_migrated_bytes == 0
+
+    def test_invalid_page_queries(self):
+        uvm = make_uvm(size_pages=4)
+        with pytest.raises(SimulationError):
+            uvm.is_resident(99)
+        with pytest.raises(SimulationError):
+            uvm.access_pages(np.array([99]))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            make_uvm(capacity_pages=-1)

@@ -1,0 +1,127 @@
+"""Tests for the zero-copy access path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim.address_space import AddressSpace
+from repro.memsim.gpu_memory import DeviceMemory
+from repro.memsim.monitor import PCIeTrafficMonitor
+from repro.memsim.zero_copy import ZeroCopyRegion
+from repro.types import MemorySpace
+
+
+def make_region(num_elements=10_000, element_bytes=8, misalign=0, monitor=None):
+    device = DeviceMemory(capacity_bytes=1_000_000)
+    space = AddressSpace(device)
+    allocation = space.allocate(
+        "edges",
+        num_elements * element_bytes,
+        MemorySpace.HOST_PINNED,
+        element_bytes=element_bytes,
+        misalign_bytes=misalign,
+    )
+    return ZeroCopyRegion(allocation, monitor=monitor)
+
+
+class TestStridedAccess:
+    def test_one_32b_request_per_sector(self):
+        region = make_region()
+        histogram = region.access_strided(np.array([0]), np.array([16]))
+        # 16 eight-byte elements = 128 bytes = 4 sectors.
+        assert histogram.counts == {32: 4, 64: 0, 96: 0, 128: 0}
+
+    def test_hit_rate_one_means_no_refetch(self):
+        region = make_region()
+        histogram = region.access_strided(
+            np.array([0]), np.array([1024]), intra_sector_hit_rate=1.0
+        )
+        assert histogram.counts[32] == 256
+
+    def test_cache_thrashing_adds_refetches(self):
+        region = make_region()
+        clean = region.access_strided(np.array([0]), np.array([1024]))
+        thrashed = make_region().access_strided(
+            np.array([0]), np.array([1024]), intra_sector_hit_rate=0.0
+        )
+        # With a zero hit rate every element access issues its own request.
+        assert thrashed.counts[32] == 1024
+        assert thrashed.counts[32] > clean.counts[32]
+
+    def test_invalid_hit_rate_rejected(self):
+        region = make_region()
+        with pytest.raises(SimulationError):
+            region.access_strided(np.array([0]), np.array([10]), intra_sector_hit_rate=1.5)
+
+    def test_out_of_range_access_rejected(self):
+        region = make_region(num_elements=10)
+        with pytest.raises(SimulationError):
+            region.access_strided(np.array([0]), np.array([11]))
+        with pytest.raises(SimulationError):
+            region.access_strided(np.array([-1]), np.array([5]))
+
+
+class TestMergedAccess:
+    def test_aligned_list_generates_full_lines(self):
+        region = make_region()
+        histogram = region.access_merged(np.array([0]), np.array([64]), aligned=True)
+        # 64 eight-byte elements = 512 bytes = 4 full cache lines.
+        assert histogram.counts == {32: 0, 64: 0, 96: 0, 128: 4}
+
+    def test_unaligned_start_splits_requests_without_alignment(self):
+        region = make_region()
+        histogram = region.access_merged(np.array([4]), np.array([68]), aligned=False)
+        assert histogram.counts[128] < 4
+        assert histogram.total_requests > 4
+
+    def test_alignment_optimization_restores_full_lines(self):
+        region = make_region()
+        unaligned = region.access_merged(np.array([4]), np.array([68]), aligned=False)
+        aligned = make_region().access_merged(np.array([4]), np.array([68]), aligned=True)
+        assert aligned.counts[128] >= unaligned.counts[128]
+        assert aligned.total_requests <= unaligned.total_requests
+
+    def test_merged_fewer_requests_than_strided(self, random_graph):
+        starts = random_graph.offsets[:-1]
+        ends = random_graph.offsets[1:]
+        merged_region = make_region(num_elements=random_graph.num_edges)
+        strided_region = make_region(num_elements=random_graph.num_edges)
+        merged = merged_region.access_merged(starts, ends, aligned=False)
+        strided = strided_region.access_strided(starts, ends)
+        assert merged.total_requests <= strided.total_requests
+
+    def test_misaligned_allocation_base_affects_requests(self):
+        aligned_region = make_region(element_bytes=4)
+        misaligned_region = make_region(element_bytes=4, misalign=32)
+        aligned = aligned_region.access_merged(np.array([0]), np.array([32]), aligned=False)
+        misaligned = misaligned_region.access_merged(
+            np.array([0]), np.array([32]), aligned=False
+        )
+        assert aligned.counts[128] == 1
+        assert misaligned.counts[128] == 0
+        assert misaligned.counts[96] == 1
+        assert misaligned.counts[32] == 1
+
+
+class TestWarpAccess:
+    def test_exact_warp_instruction(self):
+        region = make_region(element_bytes=4)
+        histogram = region.access_warp_addresses(np.arange(32))
+        assert histogram.counts[128] == 1
+
+    def test_active_mask(self):
+        region = make_region(element_bytes=4)
+        mask = np.zeros(32, dtype=bool)
+        mask[:8] = True
+        histogram = region.access_warp_addresses(np.arange(32), active_mask=mask)
+        assert histogram.counts[32] == 1
+
+
+class TestMonitorIntegration:
+    def test_all_accesses_are_recorded(self):
+        monitor = PCIeTrafficMonitor()
+        region = make_region(monitor=monitor)
+        region.access_merged(np.array([0]), np.array([64]), aligned=True)
+        region.access_strided(np.array([0]), np.array([16]))
+        assert monitor.total_requests == 4 + 4
+        assert monitor.zero_copy_bytes == 4 * 128 + 4 * 32
