@@ -1,0 +1,5 @@
+"""Benchmark package regenerating the paper's figures and tables.
+
+Being a real package lets benchmark modules use ``from .conftest import emit``
+regardless of pytest's import mode.  Run with ``python -m pytest benchmarks``.
+"""

@@ -1,0 +1,99 @@
+"""Serving-layer throughput: requests/sec through the repro.service stack.
+
+Unlike the figure benchmarks (which reproduce paper numbers), this one
+measures the serving subsystem itself: a burst of mixed BFS/SSSP/CC requests
+with realistic repetition is pushed through the service from concurrent
+clients, and the report records end-to-end requests/sec, the dedup rate, and
+the cache hit rate of an immediate replay.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.service import JobStatus, Service, TraversalRequest
+from repro.types import AccessStrategy, Application
+
+from .conftest import emit
+
+#: Graphs served; two dataset analogs is enough to exercise registry sharing.
+SERVED_DATASETS = ("GK", "GU")
+#: Extra down-scaling so the benchmark stays in the seconds range.
+SERVICE_SCALE = 40000
+SOURCES_PER_GRAPH = 8
+CLIENT_THREADS = 8
+
+
+def build_workload() -> list[TraversalRequest]:
+    requests = []
+    for symbol in SERVED_DATASETS:
+        for source in range(SOURCES_PER_GRAPH):
+            requests.append(TraversalRequest(Application.BFS, symbol, source=source))
+            requests.append(
+                TraversalRequest(
+                    Application.SSSP,
+                    symbol,
+                    source=source,
+                    strategy=AccessStrategy.MERGED,
+                )
+            )
+        requests.append(TraversalRequest(Application.CC, symbol))
+    # repeat a third of the traffic, as real request streams do
+    return requests + requests[::3]
+
+
+def serve_burst() -> tuple[Service, list, float]:
+    service = Service.with_datasets(
+        SERVED_DATASETS, config=ServiceConfig(max_workers=4), scale=SERVICE_SCALE
+    )
+    workload = build_workload()
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as clients:
+        jobs = list(clients.map(service.submit, workload))
+    assert service.wait_all(timeout=300)
+    elapsed = time.perf_counter() - started
+    return service, jobs, elapsed
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_throughput(benchmark, results_dir):
+    service, jobs, elapsed = benchmark.pedantic(serve_burst, rounds=1, iterations=1)
+
+    assert all(job.status is JobStatus.DONE for job in jobs)
+    burst = service.stats()
+    requests_per_second = len(jobs) / elapsed
+
+    # replay the same workload: everything must be served without the engine
+    workload = build_workload()
+    replay_started = time.perf_counter()
+    service.submit_many(workload)
+    assert service.wait_all(timeout=300)
+    replay_elapsed = time.perf_counter() - replay_started
+    replay = service.stats()
+    replay_rps = len(workload) / replay_elapsed
+    service.close()
+
+    lines = [
+        "Service throughput (mixed BFS/SSSP/CC burst over "
+        f"{len(SERVED_DATASETS)} graphs, {CLIENT_THREADS} client threads)",
+        "=" * 68,
+        f"burst : {len(jobs)} requests in {elapsed:.3f}s "
+        f"= {requests_per_second:.1f} requests/s",
+        f"        {burst.executions} engine executions, "
+        f"{burst.deduplicated} deduplicated ({burst.dedup_rate:.0%}), "
+        f"amortization {burst.amortization:.2f} jobs/batch",
+        f"replay: {len(workload)} requests in {replay_elapsed:.3f}s "
+        f"= {replay_rps:.1f} requests/s (cache hit rate "
+        f"{replay.cache.hit_rate:.0%}, "
+        f"{replay.executions - burst.executions} new executions)",
+    ]
+    emit(results_dir, "service_throughput", "\n".join(lines))
+
+    assert requests_per_second > 0
+    assert burst.failed == 0
+    # no duplicate submission re-executed, and the replay ran nothing new
+    assert burst.executions == len(set(build_workload()))
+    assert replay.executions == burst.executions
+    assert replay_rps > requests_per_second

@@ -63,8 +63,10 @@ from .traversal import (
     sssp,
 )
 from .baselines import run_halo, run_subway
+from .config import ServiceConfig
+from .service import GraphRegistry, Service, TraversalRequest
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -111,4 +113,9 @@ __all__ = [
     # baselines
     "run_halo",
     "run_subway",
+    # serving
+    "Service",
+    "ServiceConfig",
+    "GraphRegistry",
+    "TraversalRequest",
 ]

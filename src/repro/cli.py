@@ -1,10 +1,11 @@
-"""Command-line entry point: regenerate any figure or table of the paper.
+"""Command-line entry point: regenerate figures/tables or serve a workload.
 
 Usage::
 
     python -m repro.cli list
     python -m repro.cli figure9
     python -m repro.cli all --sources 2
+    python -m repro.cli serve-batch examples/workload.json
 """
 
 from __future__ import annotations
@@ -15,6 +16,8 @@ import time
 
 from .bench.figures import ALL_FIGURES, FigureResult
 from .bench.harness import ExperimentConfig, ExperimentHarness
+from .config import DATASET_SCALE
+from .errors import ReproError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,16 +39,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale",
         type=float,
         default=None,
-        help="dataset down-scaling factor (default: 2000)",
+        help=f"dataset down-scaling factor (default: {DATASET_SCALE:g})",
+    )
+    return parser
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve-batch",
+        description=(
+            "Drive the repro.service traversal server with a JSON workload "
+            "file and print a throughput/latency report."
+        ),
+    )
+    parser.add_argument("workload", help="path to a workload JSON file")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool width (overrides the workload file)",
+    )
+    parser.add_argument(
+        "--budget-mib",
+        type=float,
+        default=None,
+        help="registry byte budget in MiB (overrides the workload file)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        help="result cache capacity (overrides the workload file)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="abort if the workload does not finish within this many seconds",
     )
     return parser
 
 
 def _make_harness(args: argparse.Namespace) -> ExperimentHarness:
-    config = ExperimentConfig(num_sources=args.sources)
+    kwargs: dict = {"num_sources": args.sources}
     if args.scale is not None:
-        config = ExperimentConfig(num_sources=args.sources, scale=args.scale)
-    return ExperimentHarness(config=config)
+        kwargs["scale"] = args.scale
+    return ExperimentHarness(config=ExperimentConfig(**kwargs))
 
 
 def _run_one(name: str, harness: ExperimentHarness) -> FigureResult:
@@ -55,10 +94,34 @@ def _run_one(name: str, harness: ExperimentHarness) -> FigureResult:
     return function(harness)
 
 
+def _serve_batch(argv: list[str]) -> int:
+    from .service.workload import serve_workload_file
+
+    args = _build_serve_parser().parse_args(argv)
+    try:
+        report = serve_workload_file(
+            args.workload,
+            timeout=args.timeout,
+            workers=args.workers,
+            budget_mib=args.budget_mib,
+            cache_entries=args.cache_entries,
+        )
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"serve-batch failed: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_table())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve-batch":
+        return _serve_batch(argv[1:])
+
     args = _build_parser().parse_args(argv)
     if args.target == "list":
         print("\n".join(ALL_FIGURES))
+        print("serve-batch")
         return 0
 
     targets = list(ALL_FIGURES) if args.target == "all" else [args.target]

@@ -16,7 +16,8 @@ I/O amplification — matches the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import astuple, dataclass, field, replace
 
 from .errors import ConfigurationError
 from .types import gibibytes
@@ -229,6 +230,48 @@ class SystemConfig:
     def with_gpu_memory(self, memory_bytes: int) -> "SystemConfig":
         """Return a copy with a different simulated device-memory capacity."""
         return replace(self, gpu=replace(self.gpu, memory_bytes=memory_bytes))
+
+    def fingerprint(self) -> str:
+        """Short stable digest of every model parameter of this platform.
+
+        Two platforms share a fingerprint exactly when all their nested
+        configuration values are equal, so the digest is safe to use in cache
+        keys where the human-readable ``name`` is not (two differently named
+        configs may be physically identical, and vice versa).
+        """
+        return hashlib.sha1(repr(astuple(self)).encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the :mod:`repro.service` traversal-serving layer.
+
+    These are deliberately kept next to the hardware models: a deployment is
+    one :class:`SystemConfig` (what we simulate) plus one :class:`ServiceConfig`
+    (how we serve it).
+    """
+
+    #: Width of the worker pool executing traversal jobs.
+    max_workers: int = 4
+    #: Byte budget for resident graphs in the registry (simulated footprint,
+    #: i.e. :attr:`repro.graph.csr.CSRGraph.total_bytes`).  ``None`` disables
+    #: eviction.
+    registry_budget_bytes: int | None = None
+    #: Maximum number of traversal results kept by the LRU result cache.
+    result_cache_entries: int = 1024
+    #: Maximum finished jobs kept addressable by id; the oldest finished jobs
+    #: beyond this are pruned so a long-running server's memory stays bounded.
+    job_retention: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive")
+        if self.registry_budget_bytes is not None and self.registry_budget_bytes <= 0:
+            raise ConfigurationError("registry_budget_bytes must be positive or None")
+        if self.result_cache_entries < 0:
+            raise ConfigurationError("result_cache_entries cannot be negative")
+        if self.job_retention <= 0:
+            raise ConfigurationError("job_retention must be positive")
 
 
 #: PCIe 3.0 x16 as measured in the paper (cudaMemcpy peak ≈ 12.3 GB/s).

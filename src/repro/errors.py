@@ -30,3 +30,27 @@ class SimulationError(ReproError):
 
 class DatasetError(ReproError):
     """A named evaluation dataset is unknown or could not be generated."""
+
+
+class ServiceError(ReproError):
+    """A serving-layer (:mod:`repro.service`) operation failed."""
+
+
+class UnknownGraphError(ServiceError):
+    """A traversal request names a graph the registry does not know."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job identifier does not correspond to any submitted job."""
+
+
+class JobFailedError(ServiceError):
+    """A submitted traversal job failed while executing.
+
+    The original exception is attached as ``__cause__`` and the failing job's
+    identifier is available as :attr:`job_id`.
+    """
+
+    def __init__(self, message: str, job_id: str | None = None) -> None:
+        super().__init__(message)
+        self.job_id = job_id

@@ -1,0 +1,64 @@
+"""Concurrent graph-traversal serving layer.
+
+The library's one-shot API (:mod:`repro.traversal.api`) answers a single
+traversal; this package turns it into a multi-tenant server in the spirit of
+the serving stacks built over specialized engines:
+
+* :class:`GraphRegistry` — named graphs, loaded once, byte-budgeted LRU
+  residency (:mod:`repro.service.registry`);
+* :class:`TraversalRequest` — hashable normalized requests
+  (:mod:`repro.service.requests`);
+* :class:`RequestQueue` — in-flight deduplication + same-configuration
+  batching (:mod:`repro.service.queue`);
+* :class:`WorkerPool` — bounded thread-pool execution
+  (:mod:`repro.service.workers`);
+* :class:`ResultCache` — LRU result reuse with hit/miss accounting
+  (:mod:`repro.service.cache`);
+* :class:`Service` — the front door: ``submit() / result() / stats()``
+  (:mod:`repro.service.service`);
+* :func:`serve_workload_file` — declarative JSON workloads, also behind
+  ``python -m repro.cli serve-batch`` (:mod:`repro.service.workload`).
+"""
+
+from ..config import ServiceConfig
+from .cache import CacheStats, ResultCache
+from .jobs import Job, JobStatus
+from .queue import RequestQueue
+from .registry import GraphRegistry, RegistryStats
+from .requests import TraversalRequest
+from .service import Engine, Service, default_engine
+from .stats import ServiceStats
+from .workers import WorkerPool
+from .workload import (
+    WorkloadReport,
+    build_service,
+    config_from_spec,
+    expand_requests,
+    load_workload,
+    run_workload,
+    serve_workload_file,
+)
+
+__all__ = [
+    "CacheStats",
+    "Engine",
+    "GraphRegistry",
+    "Job",
+    "JobStatus",
+    "RegistryStats",
+    "RequestQueue",
+    "ResultCache",
+    "Service",
+    "ServiceConfig",
+    "ServiceStats",
+    "TraversalRequest",
+    "WorkerPool",
+    "WorkloadReport",
+    "build_service",
+    "config_from_spec",
+    "default_engine",
+    "expand_requests",
+    "load_workload",
+    "run_workload",
+    "serve_workload_file",
+]

@@ -1,0 +1,93 @@
+"""LRU cache of completed traversal results.
+
+Keys are :attr:`TraversalRequest.cache_key` tuples — ``(graph, app, source,
+strategy, system)`` — so a cached entry is exactly "the answer to this
+request".  Traversals here are deterministic (the simulator has no hidden
+state), which is what makes serving a repeat request from cache semantically
+identical to re-running it, minus the simulated run time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..traversal.results import TraversalResult
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction counters plus current occupancy."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Thread-safe LRU map from request cache keys to traversal results.
+
+    ``max_entries=0`` disables caching entirely (every lookup misses, stores
+    are dropped), which keeps the service code free of special cases.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 0:
+            raise ConfigurationError("max_entries cannot be negative")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, TraversalResult] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: tuple) -> TraversalResult | None:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return result
+
+    def put(self, key: tuple, result: TraversalResult) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+            )

@@ -1,0 +1,102 @@
+"""Job objects tracking one accepted request through its lifecycle.
+
+A job moves ``PENDING → RUNNING → DONE`` (or ``FAILED``); completion is
+signalled through a :class:`threading.Event` so any number of clients —
+including the duplicates that were coalesced onto this job — can block on the
+same result.  Wall-clock timestamps record queueing delay and execution time
+separately, which is what the serving benchmark reports as latency.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..traversal.results import TraversalResult
+from .requests import TraversalRequest
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle states of a submitted traversal job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One unit of scheduled work: a request plus its execution state."""
+
+    job_id: str
+    request: TraversalRequest
+    status: JobStatus = JobStatus.PENDING
+    submitted_at: float = field(default_factory=time.perf_counter)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: TraversalResult | None = None
+    error: BaseException | None = None
+    #: True when the result was served from the result cache without running
+    #: the engine.
+    from_cache: bool = False
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Transitions (called by the service; jobs are passive records)
+    # ------------------------------------------------------------------ #
+    def mark_running(self) -> None:
+        self.status = JobStatus.RUNNING
+        self.started_at = time.perf_counter()
+
+    def mark_done(self, result: TraversalResult, from_cache: bool = False) -> None:
+        if self.started_at is None:
+            self.started_at = time.perf_counter()
+        self.result = result
+        self.from_cache = from_cache
+        self.status = JobStatus.DONE
+        self.finished_at = time.perf_counter()
+        self._event.set()
+
+    def mark_failed(self, error: BaseException) -> None:
+        if self.started_at is None:
+            self.started_at = time.perf_counter()
+        self.error = error
+        self.status = JobStatus.FAILED
+        self.finished_at = time.perf_counter()
+        self._event.set()
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal state (DONE or FAILED)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state; False on timeout."""
+        return self._event.wait(timeout)
+
+    @property
+    def wait_seconds(self) -> float | None:
+        """Wall-clock time spent queued before execution began."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> float | None:
+        """Wall-clock execution time (0 for cache-served jobs)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def total_seconds(self) -> float | None:
+        """Wall-clock latency from submission to completion."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at

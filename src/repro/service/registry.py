@@ -1,0 +1,225 @@
+"""Named-graph registry with memoization and byte-budgeted LRU eviction.
+
+The serving layer never ships graphs over the wire: clients name a graph and
+the registry owns loading it (from the Table 2 dataset generators, a custom
+loader callable, or a pre-built :class:`~repro.graph.csr.CSRGraph`).  Loaded
+graphs are memoized so concurrent requests share one CSR instance, and an
+optional byte budget bounds how much simulated memory stays resident — least
+recently used graphs are dropped first and transparently reloaded on the next
+request.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError, ServiceError, UnknownGraphError
+from ..graph.csr import CSRGraph
+from ..graph.datasets import load_dataset
+
+
+@dataclass(frozen=True)
+class RegistryStats:
+    """Counters describing registry behaviour since construction."""
+
+    loads: int
+    evictions: int
+    hits: int
+    misses: int
+    resident_graphs: int
+    resident_bytes: int
+    budget_bytes: int | None
+
+
+class GraphRegistry:
+    """Thread-safe loader/cache for the graphs a service can traverse.
+
+    ``budget_bytes`` bounds the *simulated* footprint of resident graphs
+    (:attr:`CSRGraph.total_bytes`, the quantity the whole simulator is built
+    around); the most recently used graph is always kept resident even when it
+    alone exceeds the budget, since evicting it would only force an immediate
+    reload.
+    """
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ConfigurationError("budget_bytes must be positive or None")
+        self.budget_bytes = budget_bytes
+        self._lock = threading.RLock()
+        #: Per-name events marking loads in progress, so concurrent requests
+        #: for the same graph wait for one load instead of duplicating it,
+        #: while loads of *different* graphs (and hits on resident ones)
+        #: proceed without serializing behind a slow generator.
+        self._loading: dict[str, threading.Event] = {}
+        self._loaders: dict[str, Callable[[], CSRGraph]] = {}
+        self._resident: OrderedDict[str, CSRGraph] = OrderedDict()
+        self._loads = 0
+        self._evictions = 0
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, loader: Callable[[], CSRGraph]) -> None:
+        """Register a zero-argument loader producing the graph on demand."""
+        if not name:
+            raise ServiceError("graph name must be non-empty")
+        with self._lock:
+            if name in self._loaders:
+                raise ServiceError(f"graph {name!r} is already registered")
+            self._loaders[name] = loader
+
+    def register_graph(self, graph: CSRGraph, name: str | None = None) -> str:
+        """Register an already-built graph under ``name`` (default: its own)."""
+        name = name or graph.name
+        self.register(name, lambda: graph)
+        return name
+
+    def register_dataset(self, symbol: str, name: str | None = None, **load_kwargs) -> str:
+        """Register one of the paper's Table 2 datasets by symbol.
+
+        Extra keyword arguments are forwarded to
+        :func:`repro.graph.datasets.load_dataset` (e.g. ``scale=40000`` for a
+        quick-to-generate analog).  The module-level dataset cache is bypassed
+        so that evicting the graph here actually releases it.
+        """
+        name = name or symbol
+        load_kwargs.setdefault("use_cache", False)
+        self.register(name, lambda: load_dataset(symbol, **load_kwargs))
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> CSRGraph:
+        """Fetch a graph, loading (and possibly evicting others) as needed.
+
+        The loader runs *outside* the registry lock: a slow dataset
+        generation blocks only requests for that same graph (they wait on a
+        per-name event), never hits on resident graphs or loads of other
+        graphs.
+        """
+        while True:
+            with self._lock:
+                if name in self._resident:
+                    self._hits += 1
+                    self._resident.move_to_end(name)
+                    return self._resident[name]
+                if name not in self._loaders:
+                    raise UnknownGraphError(
+                        f"unknown graph {name!r}; registered: "
+                        f"{', '.join(sorted(self._loaders)) or '(none)'}"
+                    )
+                pending = self._loading.get(name)
+                if pending is None:
+                    loader = self._loaders[name]
+                    pending = self._loading[name] = threading.Event()
+                    self._misses += 1
+                    break
+            # Another thread is loading this graph; wait and re-check (if its
+            # load failed, the next iteration elects this thread as loader).
+            pending.wait()
+        try:
+            graph = loader()
+            if not isinstance(graph, CSRGraph):
+                raise ServiceError(
+                    f"loader for {name!r} returned {type(graph).__name__}, not CSRGraph"
+                )
+        except BaseException:
+            with self._lock:
+                del self._loading[name]
+            pending.set()
+            raise
+        with self._lock:
+            self._loads += 1
+            self._resident[name] = graph
+            self._evict_over_budget()
+            del self._loading[name]
+        pending.set()
+        return graph
+
+    def metadata(self, name: str) -> dict:
+        """Structural metadata for a registered graph.
+
+        Metadata comes from the graph itself, so a graph that is not resident
+        is loaded first (and becomes the most recently used entry, exactly as
+        a traversal request for it would).
+        """
+        graph = self.get(name)
+        return {
+            "name": name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "directed": graph.directed,
+            "weighted": graph.has_weights,
+            "total_bytes": graph.total_bytes,
+            **dict(graph.meta),
+        }
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._loaders))
+
+    def resident_names(self) -> tuple[str, ...]:
+        """Resident graphs, least recently used first."""
+        with self._lock:
+            return tuple(self._resident)
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(graph.total_bytes for graph in self._resident.values())
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._loaders
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._loaders)
+
+    # ------------------------------------------------------------------ #
+    # Eviction
+    # ------------------------------------------------------------------ #
+    def evict(self, name: str) -> bool:
+        """Drop one resident graph; returns whether it was resident."""
+        with self._lock:
+            if name not in self._resident:
+                return False
+            del self._resident[name]
+            self._evictions += 1
+            return True
+
+    def clear_resident(self) -> None:
+        """Drop every resident graph (registrations are kept)."""
+        with self._lock:
+            self._evictions += len(self._resident)
+            self._resident.clear()
+
+    def _evict_over_budget(self) -> None:
+        if self.budget_bytes is None:
+            return
+        while (
+            len(self._resident) > 1
+            and sum(g.total_bytes for g in self._resident.values()) > self.budget_bytes
+        ):
+            self._resident.popitem(last=False)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Stats
+    # ------------------------------------------------------------------ #
+    def stats(self) -> RegistryStats:
+        with self._lock:
+            return RegistryStats(
+                loads=self._loads,
+                evictions=self._evictions,
+                hits=self._hits,
+                misses=self._misses,
+                resident_graphs=len(self._resident),
+                resident_bytes=sum(g.total_bytes for g in self._resident.values()),
+                budget_bytes=self.budget_bytes,
+            )

@@ -1,0 +1,299 @@
+"""The serving front door: accept requests, schedule work, hand out results.
+
+``Service`` ties the pieces together: requests are normalized and resolved
+against the service's default platform, answered from the result cache when
+possible, coalesced onto identical in-flight jobs otherwise, and finally
+enqueued in batch groups that the worker pool drains against registry-resident
+graphs.  Clients interact with three calls::
+
+    service = Service.with_datasets(["GK", "GU"], scale=40000)
+    job = service.submit(TraversalRequest(Application.BFS, "GK", source=0))
+    result = service.result(job)          # blocks until done
+    print(service.stats().describe())
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Callable, Iterable
+
+from ..config import ServiceConfig, SystemConfig, default_system
+from ..errors import JobFailedError, JobNotFoundError, ServiceError
+from ..graph.csr import CSRGraph
+from ..traversal.api import run
+from ..traversal.results import TraversalResult
+from .cache import ResultCache
+from .jobs import Job, JobStatus
+from .queue import RequestQueue
+from .registry import GraphRegistry
+from .requests import TraversalRequest
+from .stats import ServiceStats
+from .workers import WorkerPool
+
+#: Signature of the execution backend: given a normalized request and the
+#: resolved graph, produce a result.  Pluggable so tests can count executions
+#: or inject failures without touching the real engine.
+Engine = Callable[[TraversalRequest, CSRGraph], TraversalResult]
+
+
+def default_engine(request: TraversalRequest, graph: CSRGraph) -> TraversalResult:
+    """Run the real simulated traversal for ``request``."""
+    return run(
+        request.application,
+        graph,
+        source=request.source,
+        strategy=request.strategy,
+        system=request.system,
+    )
+
+
+class Service:
+    """A multi-tenant traversal server over a :class:`GraphRegistry`."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry | None = None,
+        config: ServiceConfig | None = None,
+        system: SystemConfig | None = None,
+        engine: Engine | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry or GraphRegistry(
+            budget_bytes=self.config.registry_budget_bytes
+        )
+        self.system = system or default_system()
+        self._engine = engine or default_engine
+        self._cache = ResultCache(self.config.result_cache_entries)
+        self._queue = RequestQueue()
+        self._pool = WorkerPool(self.config.max_workers)
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._job_ids = itertools.count(1)
+        self._submitted = 0
+        self._deduplicated = 0
+        self._completed = 0
+        self._failed = 0
+        self._executions = 0
+        self._batches = 0
+        self._engine_seconds = 0.0
+        self._started_at = time.perf_counter()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def with_datasets(
+        cls,
+        symbols: Iterable[str],
+        config: ServiceConfig | None = None,
+        system: SystemConfig | None = None,
+        **load_kwargs,
+    ) -> "Service":
+        """Build a service pre-registered with Table 2 dataset analogs."""
+        service = cls(config=config, system=system)
+        for symbol in symbols:
+            service.registry.register_dataset(symbol, **load_kwargs)
+        return service
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: TraversalRequest) -> Job:
+        """Accept a request and return the job that will (or did) answer it.
+
+        The returned job may be shared with earlier clients (deduplication)
+        or already complete (result-cache hit); callers should treat it as
+        read-only and collect the answer through :meth:`result`.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        if request.graph not in self.registry:
+            # Fail fast at the front door: a typo'd graph name should not
+            # consume a worker slot before being rejected.
+            self.registry.get(request.graph)  # raises UnknownGraphError
+        request = request.with_system(request.system or self.system)
+        with self._lock:
+            self._submitted += 1
+            job_id = f"job-{next(self._job_ids)}"
+        job = Job(job_id=job_id, request=request)
+
+        # The dedup-index lookup, cache lookup and enqueue are one atomic
+        # step (see RequestQueue.push_or_join), so while the cache retains
+        # the entry an identical request is answered by exactly one
+        # execution no matter how submissions interleave.
+        outcome, payload = self._queue.push_or_join(job, cache_lookup=self._cache.get)
+        if outcome == "joined":
+            with self._lock:
+                self._deduplicated += 1
+            return payload
+        if outcome == "cached":
+            job.mark_done(payload, from_cache=True)
+            with self._lock:
+                self._completed += 1
+                self._jobs[job_id] = job
+                self._prune_finished_jobs()
+            return job
+        with self._lock:
+            self._jobs[job_id] = job
+            self._prune_finished_jobs()
+        try:
+            self._pool.submit(self._drain_one_batch)
+        except ServiceError as exc:
+            # close() raced with this submit: withdraw the job so nobody
+            # blocks forever on a wakeup that will never come.  If a worker
+            # already grabbed it, that worker owns its completion.
+            if self._queue.discard(job):
+                job.mark_failed(exc)
+                with self._lock:
+                    self._failed += 1
+        return job
+
+    def submit_many(self, requests: Iterable[TraversalRequest]) -> list[Job]:
+        return [self.submit(request) for request in requests]
+
+    def _prune_finished_jobs(self) -> None:
+        """Drop the oldest finished jobs beyond the retention bound.
+
+        Caller holds ``self._lock``.  Keeps the server's memory bounded on
+        long-running deployments: pruned jobs are no longer reachable via
+        :meth:`job`/:meth:`result`-by-id, but Job objects already handed to
+        clients keep working, and reusable results live on in the result
+        cache.  Unfinished jobs are never pruned.
+        """
+        while len(self._jobs) > self.config.job_retention:
+            oldest_id = next(iter(self._jobs))
+            if not self._jobs[oldest_id].done:
+                return
+            del self._jobs[oldest_id]
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise JobNotFoundError(f"no such job: {job_id!r}") from None
+
+    def result(self, job: Job | str, timeout: float | None = None) -> TraversalResult:
+        """Block until a job finishes and return (or raise) its outcome."""
+        if isinstance(job, str):
+            job = self.job(job)
+        if not job.wait(timeout):
+            raise ServiceError(
+                f"timed out after {timeout}s waiting for {job.job_id} "
+                f"({job.request.describe()})"
+            )
+        if job.status is JobStatus.FAILED:
+            raise JobFailedError(
+                f"{job.job_id} failed: {job.request.describe()}", job_id=job.job_id
+            ) from job.error
+        assert job.result is not None
+        return job.result
+
+    def wait_all(self, timeout: float | None = None) -> bool:
+        """Wait for every job submitted so far; False if the deadline passed."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            if remaining is not None and remaining <= 0:
+                return False
+            if not job.wait(remaining):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Execution (runs on worker threads)
+    # ------------------------------------------------------------------ #
+    def _drain_one_batch(self) -> None:
+        batch = self._queue.pop_batch()
+        if not batch:
+            # Another worker already drained the group this wakeup was for.
+            return
+        with self._lock:
+            self._batches += 1
+        try:
+            graph = self.registry.get(batch[0].request.graph)
+        except Exception as exc:  # noqa: BLE001 - propagate to every waiter
+            for job in batch:
+                job.mark_failed(exc)
+                self._queue.release(job)
+            with self._lock:
+                self._failed += len(batch)
+            return
+        for job in batch:
+            job.mark_running()
+            started = time.perf_counter()
+            try:
+                result = self._engine(job.request, graph)
+            except Exception as exc:  # noqa: BLE001 - job-level isolation
+                with self._lock:
+                    self._executions += 1
+                    self._failed += 1
+                    self._engine_seconds += time.perf_counter() - started
+                job.mark_failed(exc)
+            else:
+                with self._lock:
+                    self._executions += 1
+                    self._completed += 1
+                    self._engine_seconds += time.perf_counter() - started
+                self._cache.put(job.request.cache_key, result)
+                job.mark_done(result)
+            finally:
+                # Only after the cache holds the result, so identical requests
+                # always find either the in-flight job or the cached answer.
+                self._queue.release(job)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                submitted=self._submitted,
+                deduplicated=self._deduplicated,
+                completed=self._completed,
+                failed=self._failed,
+                executions=self._executions,
+                batches=self._batches,
+                pending=self._queue.pending_count(),
+                active_workers=self._pool.active,
+                engine_seconds=self._engine_seconds,
+                uptime_seconds=time.perf_counter() - self._started_at,
+                cache=self._cache.stats(),
+                registry=self.registry.stats(),
+            )
+
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting work and shut the worker pool down.
+
+        With ``cancel_pending`` the queued-but-unstarted batches are dropped
+        and their jobs failed (so no waiter blocks forever) instead of being
+        executed; batches already running always complete.
+        """
+        self._closed = True
+        self._pool.shutdown(wait=wait, cancel_pending=cancel_pending)
+        if not cancel_pending:
+            return
+        while True:
+            batch = self._queue.pop_batch()
+            if not batch:
+                return
+            exc = ServiceError("service closed before the job was executed")
+            for job in batch:
+                job.mark_failed(exc)
+                self._queue.release(job)
+            with self._lock:
+                self._failed += len(batch)
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,81 @@
+"""Aggregated serving statistics.
+
+:meth:`repro.service.Service.stats` returns one immutable
+:class:`ServiceStats` snapshot combining the service's own counters with those
+of its result cache and graph registry, so operators (and tests) read a single
+consistent view instead of poking at internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import CacheStats
+from .registry import RegistryStats
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time snapshot of a running service."""
+
+    #: Total ``submit()`` calls accepted.
+    submitted: int
+    #: Submissions coalesced onto an identical in-flight job.
+    deduplicated: int
+    #: Jobs that finished successfully (including cache-served ones).
+    completed: int
+    #: Jobs that finished with an error.
+    failed: int
+    #: Engine invocations (a cache hit or a deduplicated submit runs nothing).
+    executions: int
+    #: Batch groups drained by workers.
+    batches: int
+    #: Jobs queued, not yet picked up by a worker.
+    pending: int
+    #: Worker tasks queued on or running in the pool.
+    active_workers: int
+    #: Wall-clock seconds workers spent inside the engine.
+    engine_seconds: float
+    #: Wall-clock seconds since the service was constructed.
+    uptime_seconds: float
+    cache: CacheStats
+    registry: RegistryStats
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second of uptime."""
+        if self.uptime_seconds <= 0:
+            return 0.0
+        return self.completed / self.uptime_seconds
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of submissions answered by an already in-flight job."""
+        if self.submitted == 0:
+            return 0.0
+        return self.deduplicated / self.submitted
+
+    @property
+    def amortization(self) -> float:
+        """Average executed jobs per batch (>1 means batching paid off)."""
+        if self.batches == 0:
+            return 0.0
+        return self.executions / self.batches
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering used by the CLI report."""
+        lines = [
+            f"submitted={self.submitted}  deduplicated={self.deduplicated} "
+            f"({self.dedup_rate:.0%})  completed={self.completed}  failed={self.failed}",
+            f"engine executions={self.executions} in {self.batches} batches "
+            f"(amortization {self.amortization:.2f} jobs/batch, "
+            f"{self.engine_seconds:.3f}s in engine)",
+            f"result cache: {self.cache.hits} hits / {self.cache.misses} misses "
+            f"({self.cache.hit_rate:.0%} hit rate), {self.cache.entries} entries, "
+            f"{self.cache.evictions} evictions",
+            f"registry: {self.registry.loads} loads, {self.registry.hits} hits, "
+            f"{self.registry.evictions} evictions, "
+            f"{self.registry.resident_graphs} resident "
+            f"({self.registry.resident_bytes} simulated bytes)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Thread-pool execution backend for the serving layer.
+
+Traversal jobs are CPU-bound numpy work, which releases the GIL often enough
+for a modest thread pool to overlap useful work; more importantly the pool
+bounds concurrency, provides graceful shutdown, and counts what is in flight
+for the stats snapshot.  The executor is an implementation detail — nothing
+outside this module touches ``concurrent.futures``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+from ..errors import ConfigurationError, ServiceError
+
+
+class WorkerPool:
+    """A bounded ``ThreadPoolExecutor`` with active-task accounting."""
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._active = 0
+        self._dispatched = 0
+        self._closed = False
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` on the pool."""
+
+        def tracked() -> object:
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                with self._lock:
+                    self._active -= 1
+
+        # The closed check and the executor submit happen under one lock so a
+        # concurrent shutdown() cannot slip between them; any residual
+        # executor-level refusal surfaces as the same ServiceError.
+        with self._lock:
+            if self._closed:
+                raise ServiceError("worker pool is shut down")
+            try:
+                future = self._executor.submit(tracked)
+            except RuntimeError as exc:
+                raise ServiceError("worker pool is shut down") from exc
+            self._active += 1
+            self._dispatched += 1
+        return future
+
+    @property
+    def active(self) -> int:
+        """Tasks currently queued on or running in the executor."""
+        with self._lock:
+            return self._active
+
+    @property
+    def dispatched(self) -> int:
+        """Total tasks ever submitted to the pool."""
+        with self._lock:
+            return self._dispatched
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop the pool; ``cancel_pending`` drops tasks not yet started."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)

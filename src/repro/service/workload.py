@@ -1,0 +1,256 @@
+"""Declarative JSON workloads for driving a :class:`~repro.service.Service`.
+
+A workload file names the graphs to register and the requests to fire::
+
+    {
+      "workers": 4,
+      "registry_budget_mib": 64,
+      "graphs": [
+        {"name": "GK", "dataset": "GK", "scale": 40000},
+        {"name": "rmat", "generator": "rmat", "vertices": 400, "edges": 3000}
+      ],
+      "requests": [
+        {"app": "bfs", "graph": "GK", "sources": [0, 1, 2]},
+        {"app": "cc", "graph": "rmat", "repeat": 4},
+        {"app": "sssp", "graph": "GK", "random_sources": 2, "seed": 7}
+      ]
+    }
+
+Graphs come either from the paper's Table 2 dataset analogs (``dataset``) or
+from the synthetic generators (``generator``: rmat / uniform / powerlaw /
+web).  Request entries expand multiplicatively: ``sources`` fans one entry out
+per source, ``random_sources`` draws sources from the graph, and ``repeat``
+duplicates the request — the natural way to exercise deduplication and the
+result cache from a workload file.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import ServiceConfig
+from ..errors import ServiceError
+from ..graph.datasets import get_spec, pick_sources
+from ..graph.generators import (
+    powerlaw_graph,
+    rmat_graph,
+    uniform_random_graph,
+    web_graph,
+)
+from ..types import EMOGI_STRATEGY
+from .jobs import JobStatus
+from .requests import TraversalRequest
+from .service import Service
+from .stats import ServiceStats
+
+_GENERATORS = {
+    "rmat": rmat_graph,
+    "uniform": uniform_random_graph,
+    "powerlaw": powerlaw_graph,
+    "web": web_graph,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Outcome of one workload run, ready for a throughput/latency report."""
+
+    total_requests: int
+    unique_results: int
+    wall_seconds: float
+    latencies: tuple[float, ...]
+    failures: int
+    stats: ServiceStats
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_requests / self.wall_seconds
+
+    def _percentile(self, fraction: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def to_table(self) -> str:
+        mean_latency = statistics.mean(self.latencies) if self.latencies else 0.0
+        lines = [
+            "Serving workload report",
+            "=" * 55,
+            f"requests served     : {self.total_requests} "
+            f"({self.unique_results} unique results, {self.failures} failed)",
+            f"wall time           : {self.wall_seconds:.3f} s",
+            f"throughput          : {self.requests_per_second:.1f} requests/s",
+            f"latency mean/p50/p95: {mean_latency * 1e3:.2f} / "
+            f"{self._percentile(0.50) * 1e3:.2f} / "
+            f"{self._percentile(0.95) * 1e3:.2f} ms",
+            "-" * 55,
+            self.stats.describe(),
+        ]
+        return "\n".join(lines)
+
+
+def load_workload(path: str | Path) -> dict:
+    """Read and structurally validate a workload JSON file."""
+    spec = json.loads(Path(path).read_text())
+    if not isinstance(spec, dict):
+        raise ServiceError("workload file must contain a JSON object")
+    for section in ("graphs", "requests"):
+        if not isinstance(spec.get(section), list) or not spec[section]:
+            raise ServiceError(f"workload must define a non-empty {section!r} list")
+    return spec
+
+
+def config_from_spec(
+    spec: dict,
+    workers: int | None = None,
+    budget_mib: float | None = None,
+    cache_entries: int | None = None,
+) -> ServiceConfig:
+    """Service knobs from a workload spec, with optional (CLI) overrides."""
+    if budget_mib is None:
+        budget_mib = spec.get("registry_budget_mib")
+    return ServiceConfig(
+        max_workers=int(workers if workers is not None else spec.get("workers", 4)),
+        registry_budget_bytes=(
+            int(budget_mib * 1024**2) if budget_mib is not None else None
+        ),
+        result_cache_entries=int(
+            cache_entries
+            if cache_entries is not None
+            else spec.get("result_cache_entries", 1024)
+        ),
+    )
+
+
+def build_service(spec: dict, config: ServiceConfig | None = None, **overrides) -> Service:
+    """Construct a service with every graph in the workload registered.
+
+    ``overrides`` are forwarded to :func:`config_from_spec` when no explicit
+    config is given.
+    """
+    if config is None:
+        config = config_from_spec(spec, **overrides)
+    service = Service(config=config)
+    for entry in spec["graphs"]:
+        _register_graph(service, entry)
+    return service
+
+
+def _register_graph(service: Service, entry: dict) -> None:
+    name = entry.get("name")
+    if "dataset" in entry:
+        get_spec(entry["dataset"])  # fail fast on unknown symbols
+        kwargs = {
+            key: entry[key]
+            for key in ("scale", "element_bytes", "with_weights")
+            if key in entry
+        }
+        service.registry.register_dataset(entry["dataset"], name=name, **kwargs)
+        return
+    if "generator" in entry:
+        kind = entry["generator"]
+        try:
+            generator = _GENERATORS[kind]
+        except KeyError:
+            raise ServiceError(
+                f"unknown generator {kind!r}; available: {', '.join(sorted(_GENERATORS))}"
+            ) from None
+        if name is None:
+            raise ServiceError("generator graphs need an explicit 'name'")
+        vertices = int(entry.get("vertices", 400))
+        edges = int(entry.get("edges", 4000))
+        seed = int(entry.get("seed", 7))
+        service.registry.register(
+            name, lambda: generator(vertices, edges, seed=seed, name=name)
+        )
+        return
+    raise ServiceError(f"graph entry needs 'dataset' or 'generator': {entry!r}")
+
+
+def expand_requests(service: Service, spec: dict) -> list[TraversalRequest]:
+    """Expand the workload's request entries into concrete requests."""
+    requests: list[TraversalRequest] = []
+    for entry in spec["requests"]:
+        application = entry.get("app") or entry.get("application")
+        graph = entry.get("graph")
+        if application is None or graph is None:
+            raise ServiceError(f"request entry needs 'app' and 'graph': {entry!r}")
+        strategy = entry.get("strategy", EMOGI_STRATEGY)
+        repeat = int(entry.get("repeat", 1))
+        if str(application).lower() == "cc":
+            sources: list[int | None] = [None]
+        elif "sources" in entry:
+            sources = [int(s) for s in entry["sources"]]
+        elif "random_sources" in entry:
+            picked = pick_sources(
+                service.registry.get(graph),
+                int(entry["random_sources"]),
+                seed=int(entry.get("seed", 42)),
+            )
+            sources = [int(s) for s in picked]
+        else:
+            sources = [int(entry.get("source", 0))]
+        for source in sources:
+            requests.extend(
+                TraversalRequest(
+                    application=application,
+                    graph=graph,
+                    source=source,
+                    strategy=strategy,
+                )
+                for _ in range(repeat)
+            )
+    return requests
+
+
+def run_workload(
+    service: Service, requests: list[TraversalRequest], timeout: float | None = None
+) -> WorkloadReport:
+    """Fire every request at the service and wait for all of them."""
+    started = time.perf_counter()
+    jobs = service.submit_many(requests)
+    if not service.wait_all(timeout):
+        raise ServiceError(f"workload did not finish within {timeout}s")
+    wall = time.perf_counter() - started
+    latencies = tuple(
+        job.total_seconds for job in jobs if job.total_seconds is not None
+    )
+    failures = sum(1 for job in jobs if job.status is JobStatus.FAILED)
+    unique = len(
+        {job.request.cache_key for job in jobs if job.status is JobStatus.DONE}
+    )
+    return WorkloadReport(
+        total_requests=len(jobs),
+        unique_results=unique,
+        wall_seconds=wall,
+        latencies=latencies,
+        failures=failures,
+        stats=service.stats(),
+    )
+
+
+def serve_workload_file(
+    path: str | Path,
+    config: ServiceConfig | None = None,
+    timeout: float | None = None,
+    **overrides,
+) -> WorkloadReport:
+    """One-call driver: load, build, run, report (used by ``repro serve-batch``)."""
+    spec = load_workload(path)
+    with build_service(spec, config=config, **overrides) as service:
+        requests = expand_requests(service, spec)
+        try:
+            return run_workload(service, requests, timeout=timeout)
+        except ServiceError:
+            # On timeout, drop queued-but-unstarted work so the error reaches
+            # the caller promptly instead of after the whole backlog drains.
+            service.close(wait=False, cancel_pending=True)
+            raise

@@ -56,6 +56,43 @@ def cc(
     return run_cc(graph, strategy=strategy, system=system)
 
 
+def normalize_application(application: Application | str) -> Application:
+    """Coerce an application given as enum member or string ("bfs", "cc", ...)."""
+    return Application(application)
+
+
+def normalize_strategy(strategy: AccessStrategy | str) -> AccessStrategy:
+    """Coerce a strategy given as enum member or string ("uvm", "merged", ...)."""
+    return AccessStrategy(strategy)
+
+
+def normalize_source(application: Application | str, source: object) -> int | None:
+    """Canonicalize a source vertex for one application.
+
+    CC is source-free, so whatever was passed collapses to ``None`` — this is
+    what makes every CC request on a graph *the same* request, which the
+    serving layer relies on for deduplication and caching.  BFS/SSSP require a
+    source; numpy integer scalars (the usual output of ``pick_sources``) and
+    integral floats are accepted and converted to a plain hashable ``int``.
+    """
+    application = normalize_application(application)
+    if application is Application.CC:
+        return None
+    if source is None:
+        raise ConfigurationError(f"{application.value} requires a source vertex")
+    if isinstance(source, (bool, np.bool_)):
+        raise ConfigurationError(f"source vertex must be an integer, got {source!r}")
+    if isinstance(source, (float, np.floating)):
+        if not float(source).is_integer():
+            raise ConfigurationError(
+                f"source vertex must be integral, got {float(source)!r}"
+            )
+        return int(source)
+    if isinstance(source, (int, np.integer)):
+        return int(source)
+    raise ConfigurationError(f"source vertex must be an integer, got {source!r}")
+
+
 def run(
     application: Application | str,
     graph: CSRGraph,
@@ -64,11 +101,10 @@ def run(
     system: SystemConfig | None = None,
 ) -> TraversalResult:
     """Dispatch to :func:`bfs`, :func:`sssp` or :func:`cc` by application."""
-    application = Application(application)
+    application = normalize_application(application)
+    source = normalize_source(application, source)
     if application is Application.CC:
         return cc(graph, strategy=strategy, system=system)
-    if source is None:
-        raise ConfigurationError(f"{application.value} requires a source vertex")
     if application is Application.BFS:
         return bfs(graph, source, strategy=strategy, system=system)
     return sssp(graph, source, strategy=strategy, system=system)
@@ -87,15 +123,20 @@ def run_average(
     source-free, so it is executed once regardless of how many sources are
     passed.
     """
-    application = Application(application)
+    application = normalize_application(application)
     aggregate = AggregateResult(
         application=application, graph_name=graph.name, strategy=strategy
     )
     if application is Application.CC:
         aggregate.add(cc(graph, strategy=strategy, system=system))
         return aggregate
-    for source in np.asarray(list(sources), dtype=np.int64):
+    normalized = [normalize_source(application, source) for source in sources]
+    if not normalized:
+        raise ConfigurationError(
+            f"{application.value} needs at least one source to average over"
+        )
+    for source in normalized:
         aggregate.add(
-            run(application, graph, source=int(source), strategy=strategy, system=system)
+            run(application, graph, source=source, strategy=strategy, system=system)
         )
     return aggregate

@@ -1,0 +1,5 @@
+"""Test package for the EMOGI reproduction.
+
+Being a real package lets test modules use ``from .conftest import ...``
+helpers (networkx reference conversions) regardless of pytest's import mode.
+"""

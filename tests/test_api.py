@@ -67,6 +67,43 @@ class TestRunAverage:
         assert aggregate.strategy is AccessStrategy.MERGED
 
 
+class TestRunAverageEdgeCases:
+    def test_empty_sources_rejected_for_sourced_apps(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            run_average(Application.BFS, random_graph, [])
+        with pytest.raises(ConfigurationError):
+            run_average("sssp", random_graph, np.array([], dtype=np.int64))
+
+    def test_cc_runs_once_even_with_empty_sources(self, disconnected_graph):
+        aggregate = run_average(Application.CC, disconnected_graph, [])
+        assert aggregate.num_runs == 1
+
+    def test_cc_ignores_source_values_entirely(self, disconnected_graph):
+        a = run_average(Application.CC, disconnected_graph, [0, 1, 2])
+        b = run_average(Application.CC, disconnected_graph, [99999])  # out of range
+        assert a.num_runs == b.num_runs == 1
+        assert np.array_equal(a.runs[0].values, b.runs[0].values)
+
+    def test_numpy_integer_source_dtypes(self, random_graph):
+        for dtype in (np.int8, np.int32, np.uint16, np.int64):
+            aggregate = run_average("bfs", random_graph, np.array([0, 3], dtype=dtype))
+            assert aggregate.num_runs == 2
+            assert {run.source for run in aggregate.runs} == {0, 3}
+            assert all(isinstance(run.source, int) for run in aggregate.runs)
+
+    def test_integral_float_sources_accepted(self, random_graph):
+        aggregate = run_average("bfs", random_graph, np.array([0.0, 2.0]))
+        assert {run.source for run in aggregate.runs} == {0, 2}
+
+    def test_fractional_float_sources_rejected(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            run_average("bfs", random_graph, np.array([0.5, 2.0]))
+
+    def test_generator_sources_accepted(self, random_graph):
+        aggregate = run_average("bfs", random_graph, (s for s in (1, 2)))
+        assert aggregate.num_runs == 2
+
+
 class TestPackageLevelExports:
     def test_top_level_imports(self):
         import repro

@@ -1,0 +1,384 @@
+"""Tests for the serving front door: dedup, caching, batching, failures."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceConfig
+from repro.errors import (
+    ConfigurationError,
+    JobFailedError,
+    JobNotFoundError,
+    ServiceError,
+    SimulationError,
+    UnknownGraphError,
+)
+from repro.service import (
+    GraphRegistry,
+    Job,
+    JobStatus,
+    Service,
+    TraversalRequest,
+    default_engine,
+)
+from repro.service.workload import (
+    build_service,
+    expand_requests,
+    load_workload,
+    run_workload,
+)
+from repro.traversal.api import run
+from repro.types import Application
+
+
+class GatedCountingEngine:
+    """Counts engine invocations; optionally blocks or fails per request."""
+
+    def __init__(self, gated: bool = False, fail_sources: tuple = ()):
+        self.calls: list[tuple] = []
+        self.gate = threading.Event()
+        if not gated:
+            self.gate.set()
+        self.fail_sources = set(fail_sources)
+        self._lock = threading.Lock()
+
+    def __call__(self, request, graph):
+        with self._lock:
+            self.calls.append(request.cache_key)
+        self.gate.wait(30)
+        if request.source in self.fail_sources:
+            raise SimulationError(f"injected failure for source {request.source}")
+        return default_engine(request, graph)
+
+
+@pytest.fixture
+def registry(random_graph, uniform_graph):
+    registry = GraphRegistry()
+    registry.register_graph(random_graph)
+    registry.register_graph(uniform_graph)
+    return registry
+
+
+def make_service(registry, engine=None, **config_overrides) -> Service:
+    config = ServiceConfig(**{"max_workers": 2, **config_overrides})
+    return Service(registry=registry, config=config, engine=engine)
+
+
+class TestSubmitResult:
+    def test_round_trip_matches_direct_run(self, registry, random_graph):
+        with make_service(registry) as service:
+            job = service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+            result = service.result(job, timeout=30)
+        direct = run(Application.BFS, random_graph, source=0)
+        assert np.array_equal(result.values, direct.values)
+        assert job.status is JobStatus.DONE
+        assert job.total_seconds is not None and job.total_seconds >= 0
+
+    def test_result_accepts_job_id(self, registry, random_graph):
+        with make_service(registry) as service:
+            job = service.submit(TraversalRequest("cc", random_graph.name))
+            assert service.result(job.job_id, timeout=30) is job.result
+            assert service.job(job.job_id) is job
+
+    def test_unknown_job_id(self, registry):
+        with make_service(registry) as service:
+            with pytest.raises(JobNotFoundError):
+                service.job("job-999")
+
+    def test_unknown_graph_rejected_at_submission(self, registry):
+        with make_service(registry) as service:
+            with pytest.raises(UnknownGraphError):
+                service.submit(TraversalRequest("bfs", "nope", source=0))
+
+    def test_submit_after_close_rejected(self, registry, random_graph):
+        service = make_service(registry)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+
+    def test_requests_inherit_service_system(self, registry, random_graph):
+        with make_service(registry) as service:
+            job = service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+            assert job.request.system == service.system
+
+
+class TestDeduplication:
+    def test_identical_inflight_requests_share_one_job(self, registry, random_graph):
+        engine = GatedCountingEngine(gated=True)
+        with make_service(registry, engine=engine) as service:
+            request = TraversalRequest("bfs", random_graph.name, source=1)
+            first = service.submit(request)
+            second = service.submit(request)
+            third = service.submit(TraversalRequest("bfs", random_graph.name, source=1))
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+        assert second is first and third is first
+        assert len(engine.calls) == 1
+        stats = service.stats()
+        assert stats.deduplicated == 2
+        assert stats.executions == 1
+        assert stats.completed == 1
+
+    def test_different_requests_not_deduplicated(self, registry, random_graph):
+        engine = GatedCountingEngine()
+        with make_service(registry, engine=engine) as service:
+            a = service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+            b = service.submit(TraversalRequest("bfs", random_graph.name, source=1))
+            c = service.submit(TraversalRequest("sssp", random_graph.name, source=0))
+            assert service.wait_all(timeout=30)
+        assert len({a.job_id, b.job_id, c.job_id}) == 3
+        assert len(engine.calls) == 3
+
+
+class TestResultCacheIntegration:
+    def test_repeat_request_served_from_cache_without_rerun(
+        self, registry, random_graph
+    ):
+        engine = GatedCountingEngine()
+        with make_service(registry, engine=engine) as service:
+            request = TraversalRequest("sssp", random_graph.name, source=2)
+            first = service.submit(request)
+            result = service.result(first, timeout=30)
+            second = service.submit(request)
+            assert second.done  # completed synchronously at submission
+            assert second.from_cache is True
+            assert second.job_id != first.job_id
+            assert service.result(second, timeout=1) is result
+        assert len(engine.calls) == 1
+        stats = service.stats()
+        assert stats.cache.hits == 1
+        assert stats.executions == 1
+        assert stats.completed == 2
+
+    def test_cache_disabled_reruns_engine(self, registry, random_graph):
+        engine = GatedCountingEngine()
+        with make_service(registry, engine=engine, result_cache_entries=0) as service:
+            request = TraversalRequest("bfs", random_graph.name, source=3)
+            service.result(service.submit(request), timeout=30)
+            service.result(service.submit(request), timeout=30)
+        assert len(engine.calls) == 2
+
+
+class TestBatching:
+    def test_same_configuration_requests_drain_as_one_batch(
+        self, registry, random_graph, uniform_graph
+    ):
+        engine = GatedCountingEngine(gated=True)
+        with make_service(registry, engine=engine, max_workers=1) as service:
+            blocker = service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+            same_config = [
+                service.submit(TraversalRequest("bfs", random_graph.name, source=s))
+                for s in range(1, 5)
+            ]
+            other_config = [
+                service.submit(TraversalRequest("cc", uniform_graph.name)),
+                service.submit(TraversalRequest("sssp", uniform_graph.name, source=0)),
+            ]
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+        stats = service.stats()
+        assert stats.executions == 7
+        # blocker drained alone; the 4 same-config jobs accumulated into one
+        # batch; the two other-config jobs form one batch each at most.
+        assert stats.batches <= 4
+        assert stats.amortization > 1.0
+        # batching amortizes registry lookups: one get() per batch, not per job
+        registry_stats = service.stats().registry
+        assert registry_stats.hits + registry_stats.misses == stats.batches
+        for job in [blocker, *same_config, *other_config]:
+            assert job.status is JobStatus.DONE
+
+
+class TestFailurePaths:
+    def test_engine_failure_propagates_as_job_failed_error(
+        self, registry, random_graph
+    ):
+        engine = GatedCountingEngine(fail_sources=(7,))
+        with make_service(registry, engine=engine) as service:
+            bad = service.submit(TraversalRequest("bfs", random_graph.name, source=7))
+            good = service.submit(TraversalRequest("bfs", random_graph.name, source=8))
+            with pytest.raises(JobFailedError) as excinfo:
+                service.result(bad, timeout=30)
+            assert isinstance(excinfo.value.__cause__, SimulationError)
+            assert excinfo.value.job_id == bad.job_id
+            assert bad.status is JobStatus.FAILED
+            # a failing job does not poison its batch siblings
+            assert service.result(good, timeout=30) is not None
+        stats = service.stats()
+        assert stats.failed == 1 and stats.completed == 1
+
+    def test_failed_result_never_cached(self, registry, random_graph):
+        engine = GatedCountingEngine(fail_sources=(7,))
+        with make_service(registry, engine=engine) as service:
+            request = TraversalRequest("bfs", random_graph.name, source=7)
+            with pytest.raises(JobFailedError):
+                service.result(service.submit(request), timeout=30)
+            engine.fail_sources.clear()
+            result = service.result(service.submit(request), timeout=30)
+            assert result is not None
+        assert len(engine.calls) == 2
+
+    def test_loader_failure_fails_every_job_in_batch(self, random_graph):
+        registry = GraphRegistry()
+        registry.register("broken", lambda: (_ for _ in ()).throw(OSError("disk")))
+        engine = GatedCountingEngine(gated=True)
+        with make_service(registry, engine=engine, max_workers=1) as service:
+            # occupy the worker so both broken jobs land in one batch
+            registry.register_graph(random_graph)
+            blocker = service.submit(TraversalRequest("cc", random_graph.name))
+            jobs = [
+                service.submit(TraversalRequest("bfs", "broken", source=s))
+                for s in (0, 1)
+            ]
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+            for job in jobs:
+                assert job.status is JobStatus.FAILED
+                with pytest.raises(JobFailedError):
+                    service.result(job, timeout=1)
+            assert blocker.status is JobStatus.DONE
+        assert service.stats().failed == 2
+
+    def test_result_timeout(self, registry, random_graph):
+        engine = GatedCountingEngine(gated=True)
+        service = make_service(registry, engine=engine)
+        try:
+            job = service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+            with pytest.raises(ServiceError, match="timed out"):
+                service.result(job, timeout=0.05)
+        finally:
+            engine.gate.set()
+            service.close()
+
+
+class TestStats:
+    def test_snapshot_counters(self, registry, random_graph):
+        with make_service(registry) as service:
+            request = TraversalRequest("bfs", random_graph.name, source=0)
+            service.result(service.submit(request), timeout=30)
+            service.submit(request)  # cache hit
+            stats = service.stats()
+        assert stats.submitted == 2
+        assert stats.completed == 2
+        assert stats.executions == 1
+        assert stats.pending == 0
+        assert stats.uptime_seconds > 0
+        assert stats.throughput_rps > 0
+        assert 0 <= stats.cache.hit_rate <= 1
+        assert "result cache" in stats.describe()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(registry_budget_bytes=-5)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(result_cache_entries=-1)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(job_retention=0)
+
+
+class TestLifecycle:
+    def test_finished_jobs_pruned_beyond_retention(self, registry, random_graph):
+        engine = GatedCountingEngine()
+        with make_service(registry, engine=engine, job_retention=4) as service:
+            jobs = []
+            for source in range(8):
+                job = service.submit(
+                    TraversalRequest("bfs", random_graph.name, source=source)
+                )
+                service.result(job, timeout=30)
+                jobs.append(job)
+            with pytest.raises(JobNotFoundError):
+                service.job(jobs[0].job_id)  # pruned: oldest finished job
+            assert service.job(jobs[-1].job_id) is jobs[-1]
+            # Job objects already handed to clients keep working after pruning
+            assert jobs[0].status is JobStatus.DONE
+            assert jobs[0].result is not None
+
+    def test_close_cancel_pending_fails_queued_jobs(self, registry, random_graph):
+        engine = GatedCountingEngine(gated=True)
+        service = make_service(registry, engine=engine, max_workers=1)
+        blocker = service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+        deadline = time.monotonic() + 5
+        while not engine.calls and time.monotonic() < deadline:
+            time.sleep(0.005)  # wait until the worker is inside the engine
+        assert engine.calls
+        queued = [
+            service.submit(TraversalRequest("sssp", random_graph.name, source=s))
+            for s in range(3)
+        ]
+        service.close(wait=False, cancel_pending=True)
+        engine.gate.set()
+        assert blocker.wait(10)
+        assert blocker.status is JobStatus.DONE  # running work always completes
+        for job in queued:
+            assert job.wait(10)
+            assert job.status is JobStatus.FAILED
+            with pytest.raises(JobFailedError):
+                service.result(job, timeout=1)
+        assert service.stats().failed == 3
+
+
+class TestRegistryEvictionUnderService:
+    def test_budget_keeps_one_graph_resident(self, random_graph, uniform_graph):
+        budget = max(random_graph.total_bytes, uniform_graph.total_bytes) + 1
+        registry = GraphRegistry(budget_bytes=budget)
+        registry.register_graph(random_graph)
+        registry.register_graph(uniform_graph)
+        with make_service(registry, max_workers=1) as service:
+            for _ in range(2):  # alternate graphs to force reload after evict
+                for graph in (random_graph, uniform_graph):
+                    service.result(
+                        service.submit(TraversalRequest("cc", graph.name)), timeout=30
+                    )
+                    service._cache.clear()  # force the next round to re-execute
+        stats = service.stats().registry
+        assert stats.resident_graphs == 1
+        assert stats.evictions >= 2
+        assert stats.loads >= 3  # evicted graphs were transparently reloaded
+
+
+class TestWorkload:
+    def make_spec(self, graph_name):
+        return {
+            "workers": 2,
+            "graphs": [
+                {"name": "rmat", "generator": "rmat", "vertices": 200, "edges": 1500}
+            ],
+            "requests": [
+                {"app": "bfs", "graph": "rmat", "sources": [0, 1], "repeat": 2},
+                {"app": "cc", "graph": "rmat"},
+                {"app": "sssp", "graph": "rmat", "random_sources": 2, "seed": 3},
+            ],
+        }
+
+    def test_expand_requests(self):
+        spec = self.make_spec("rmat")
+        with build_service(spec) as service:
+            requests = expand_requests(service, spec)
+            assert len(requests) == 2 * 2 + 1 + 2
+            assert sum(1 for r in requests if r.application is Application.CC) == 1
+            report = run_workload(service, requests, timeout=60)
+        assert report.total_requests == 7
+        assert report.failures == 0
+        assert report.unique_results == 5  # the repeated BFS pair collapses
+        assert report.requests_per_second > 0
+        assert "requests/s" in report.to_table()
+
+    def test_load_workload_validation(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(ServiceError):
+            load_workload(bad)
+        bad.write_text('{"graphs": [], "requests": [{"app": "bfs"}]}')
+        with pytest.raises(ServiceError):
+            load_workload(bad)
+
+    def test_unknown_generator_rejected(self):
+        spec = self.make_spec("rmat")
+        spec["graphs"][0]["generator"] = "mystery"
+        with pytest.raises(ServiceError):
+            build_service(spec)

@@ -1,0 +1,118 @@
+"""Tests for the LRU result cache and for request normalization/keys."""
+
+import numpy as np
+import pytest
+
+from repro.config import volta_pcie3
+from repro.errors import ConfigurationError
+from repro.service import ResultCache, TraversalRequest
+from repro.types import AccessStrategy, Application
+
+
+def request(**overrides) -> TraversalRequest:
+    fields = {"application": Application.BFS, "graph": "g", "source": 0}
+    fields.update(overrides)
+    return TraversalRequest(**fields)
+
+
+class TestTraversalRequest:
+    def test_strings_coerced_to_enums(self):
+        req = TraversalRequest("sssp", "g", source=3, strategy="merged")
+        assert req.application is Application.SSSP
+        assert req.strategy is AccessStrategy.MERGED
+
+    def test_cc_source_collapses_to_none(self):
+        assert TraversalRequest("cc", "g", source=99).source is None
+        assert TraversalRequest("cc", "g") == TraversalRequest("cc", "g", source=5)
+
+    def test_numpy_sources_normalized(self):
+        assert request(source=np.int64(4)).source == 4
+        assert request(source=np.int32(4)).source == 4
+        assert request(source=np.float64(4.0)).source == 4
+        assert isinstance(request(source=np.int64(4)).source, int)
+
+    def test_bad_sources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            request(source=3.5)
+        with pytest.raises(ConfigurationError):
+            request(source=True)
+        with pytest.raises(ConfigurationError):
+            request(source=None)
+        with pytest.raises(ConfigurationError):
+            request(source="zero")
+
+    def test_requires_graph_name(self):
+        with pytest.raises(ValueError):
+            TraversalRequest(Application.BFS, "", source=0)
+
+    def test_identical_requests_hash_equal(self):
+        assert request(source=np.int64(1)) == request(source=1)
+        assert hash(request(source=np.int64(1))) == hash(request(source=1))
+        assert len({request(source=1), request(source=1)}) == 1
+
+    def test_cache_key_distinguishes_every_dimension(self):
+        base = request()
+        assert base.cache_key != request(source=1).cache_key
+        assert base.cache_key != request(application="sssp").cache_key
+        assert base.cache_key != request(graph="h").cache_key
+        assert base.cache_key != request(strategy="uvm").cache_key
+        assert base.cache_key != base.with_system(volta_pcie3()).cache_key
+
+    def test_batch_key_ignores_source(self):
+        assert request(source=0).batch_key == request(source=7).batch_key
+        assert request().batch_key != request(strategy="uvm").batch_key
+
+    def test_system_fingerprint_stable(self):
+        system = volta_pcie3()
+        assert system.fingerprint() == volta_pcie3().fingerprint()
+        assert system.fingerprint() != system.with_gpu_memory(123456).fingerprint()
+        assert request().with_system(system).system_key == system.fingerprint()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        key = request().cache_key
+        assert cache.get(key) is None
+        cache.put(key, "result")
+        assert cache.get(key) == "result"
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_by_capacity(self):
+        cache = ResultCache(max_entries=2)
+        keys = [request(source=i).cache_key for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        assert cache.get(keys[0]) is None  # oldest evicted
+        assert cache.get(keys[1]) == 1
+        assert cache.get(keys[2]) == 2
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        a, b, c = (request(source=i).cache_key for i in range(3))
+        cache.put(a, "a")
+        cache.put(b, "b")
+        cache.get(a)
+        cache.put(c, "c")  # b is now the LRU entry
+        assert cache.get(b) is None
+        assert cache.get(a) == "a"
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(max_entries=0)
+        key = request().cache_key
+        cache.put(key, "result")
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put(request().cache_key, "result")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=-1)

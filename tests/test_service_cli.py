@@ -1,0 +1,56 @@
+"""Tests for the ``repro serve-batch`` CLI subcommand."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+WORKLOAD = Path(__file__).resolve().parents[1] / "examples" / "workload.json"
+
+
+class TestServeBatch:
+    def test_example_workload_prints_throughput_report(self, capsys):
+        assert main(["serve-batch", str(WORKLOAD)]) == 0
+        output = capsys.readouterr().out
+        assert "Serving workload report" in output
+        assert "requests/s" in output
+        assert "latency mean/p50/p95" in output
+        assert "deduplicated" in output
+        assert "result cache" in output
+
+    def test_overrides(self, capsys):
+        assert main(["serve-batch", str(WORKLOAD), "--workers", "2",
+                     "--budget-mib", "32", "--cache-entries", "64"]) == 0
+        assert "requests/s" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["serve-batch", "no-such-workload.json"]) == 2
+        assert "serve-batch failed" in capsys.readouterr().err
+
+    def test_invalid_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["serve-batch", str(bad)]) == 2
+        assert "serve-batch failed" in capsys.readouterr().err
+
+    def test_structurally_invalid_workload(self, tmp_path, capsys):
+        bad = tmp_path / "empty.json"
+        bad.write_text(json.dumps({"graphs": [], "requests": []}))
+        assert main(["serve-batch", str(bad)]) == 2
+        assert "serve-batch failed" in capsys.readouterr().err
+
+    def test_unknown_dataset_in_workload(self, tmp_path, capsys):
+        spec = {
+            "graphs": [{"name": "x", "dataset": "NOPE"}],
+            "requests": [{"app": "bfs", "graph": "x", "source": 0}],
+        }
+        path = tmp_path / "bad-dataset.json"
+        path.write_text(json.dumps(spec))
+        assert main(["serve-batch", str(path)]) == 2
+        assert "serve-batch failed" in capsys.readouterr().err
+
+    def test_listed_alongside_figures(self, capsys):
+        assert main(["list"]) == 0
+        assert "serve-batch" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Acceptance-level concurrency tests: ≥64 mixed requests over ≥2 graphs.
+
+These tests drive the real engine (no stubs) from many client threads at
+once, then verify the service's answers against direct single-shot runs and
+check that every duplicate submission was absorbed by deduplication or the
+result cache rather than re-executed.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceConfig
+from repro.service import GraphRegistry, JobStatus, Service, TraversalRequest
+from repro.traversal.api import run
+from repro.types import AccessStrategy, Application
+
+
+@pytest.fixture
+def service(random_graph, uniform_graph):
+    registry = GraphRegistry()
+    registry.register_graph(random_graph)
+    registry.register_graph(uniform_graph)
+    with Service(registry=registry, config=ServiceConfig(max_workers=4)) as service:
+        yield service
+
+
+def mixed_requests(graph_names) -> list[TraversalRequest]:
+    """66 unique requests: 16 BFS + 16 SSSP + 1 CC per graph."""
+    requests = []
+    for name in graph_names:
+        for source in range(16):
+            requests.append(TraversalRequest(Application.BFS, name, source=source))
+            requests.append(
+                TraversalRequest(
+                    Application.SSSP,
+                    name,
+                    source=source,
+                    strategy=AccessStrategy.MERGED,
+                )
+            )
+        requests.append(TraversalRequest(Application.CC, name))
+    return requests
+
+
+class TestConcurrentMixedWorkload:
+    def test_64_plus_concurrent_requests_across_two_graphs(
+        self, service, random_graph, uniform_graph
+    ):
+        graphs = {g.name: g for g in (random_graph, uniform_graph)}
+        unique = mixed_requests(graphs)
+        duplicates = unique[::4]  # every 4th request submitted twice
+        workload = unique + duplicates
+        assert len(workload) >= 64
+
+        with ThreadPoolExecutor(max_workers=16) as clients:
+            jobs = list(clients.map(service.submit, workload))
+        assert service.wait_all(timeout=120)
+
+        assert all(job.status is JobStatus.DONE for job in jobs)
+        stats = service.stats()
+        # every unique request executed exactly once; every duplicate was
+        # absorbed by the in-flight dedup window or the result cache
+        assert stats.executions == len(unique)
+        assert stats.deduplicated + stats.cache.hits == len(duplicates)
+        assert stats.submitted == len(workload)
+        assert stats.completed == len(workload) - stats.deduplicated
+        assert stats.failed == 0
+
+        # duplicate submissions observe the exact same result object
+        by_key = {}
+        for job in jobs:
+            existing = by_key.setdefault(job.request.cache_key, job.result)
+            assert existing is job.result
+
+        # spot-check answers against direct single-shot runs
+        for job in jobs[:: len(jobs) // 8]:
+            request = job.request
+            direct = run(
+                request.application,
+                graphs[request.graph],
+                source=request.source,
+                strategy=request.strategy,
+                system=request.system,
+            )
+            assert np.array_equal(job.result.values, direct.values)
+
+    def test_concurrent_duplicates_of_one_request_collapse(
+        self, service, random_graph
+    ):
+        request = TraversalRequest(Application.BFS, random_graph.name, source=0)
+        with ThreadPoolExecutor(max_workers=16) as clients:
+            jobs = list(clients.map(service.submit, [request] * 64))
+        assert service.wait_all(timeout=60)
+        stats = service.stats()
+        assert stats.executions == 1
+        assert stats.deduplicated + stats.cache.hits == 63
+        results = {id(job.result) for job in jobs}
+        assert len(results) == 1
+
+    def test_eviction_pressure_during_concurrent_traffic(
+        self, random_graph, uniform_graph
+    ):
+        budget = max(random_graph.total_bytes, uniform_graph.total_bytes) + 1
+        registry = GraphRegistry(budget_bytes=budget)
+        registry.register_graph(random_graph)
+        registry.register_graph(uniform_graph)
+        config = ServiceConfig(max_workers=4, registry_budget_bytes=budget)
+        with Service(registry=registry, config=config) as service:
+            requests = mixed_requests([random_graph.name, uniform_graph.name])
+            with ThreadPoolExecutor(max_workers=8) as clients:
+                jobs = list(clients.map(service.submit, requests))
+            assert service.wait_all(timeout=120)
+            assert all(job.status is JobStatus.DONE for job in jobs)
+            stats = service.stats()
+        assert stats.registry.resident_graphs == 1
+        assert stats.registry.resident_bytes <= budget
+        assert stats.registry.evictions >= 1
+        assert stats.failed == 0

@@ -1,0 +1,226 @@
+"""Tests for the graph registry: memoization, metadata, LRU byte budget."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError, UnknownGraphError
+from repro.graph.builder import from_edge_array
+from repro.service import GraphRegistry
+
+
+def make_graph(name: str, num_edges: int = 16) -> "object":
+    sources = np.arange(num_edges) % 4
+    destinations = (np.arange(num_edges) + 1) % 5
+    return from_edge_array(
+        sources, destinations, num_vertices=5, directed=True, name=name
+    )
+
+
+class CountingLoader:
+    def __init__(self, graph):
+        self.graph = graph
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        return self.graph
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        registry = GraphRegistry()
+        registry.register_graph(make_graph("a"))
+        assert "a" in registry
+        assert registry.get("a").name == "a"
+        assert registry.names() == ("a",)
+
+    def test_register_under_custom_name(self):
+        registry = GraphRegistry()
+        registry.register_graph(make_graph("a"), name="alias")
+        assert "alias" in registry and "a" not in registry
+
+    def test_duplicate_registration_rejected(self):
+        registry = GraphRegistry()
+        registry.register_graph(make_graph("a"))
+        with pytest.raises(ServiceError):
+            registry.register_graph(make_graph("a"))
+
+    def test_empty_name_rejected(self):
+        registry = GraphRegistry()
+        with pytest.raises(ServiceError):
+            registry.register("", lambda: make_graph("x"))
+
+    def test_unknown_graph(self):
+        registry = GraphRegistry()
+        with pytest.raises(UnknownGraphError):
+            registry.get("nope")
+
+    def test_loader_must_return_graph(self):
+        registry = GraphRegistry()
+        registry.register("bad", lambda: 42)
+        with pytest.raises(ServiceError):
+            registry.get("bad")
+
+    def test_register_dataset(self):
+        registry = GraphRegistry()
+        registry.register_dataset("GK", scale=200000)
+        graph = registry.get("GK")
+        assert graph.meta["symbol"] == "GK"
+
+
+class TestMemoization:
+    def test_loader_called_once(self):
+        loader = CountingLoader(make_graph("a"))
+        registry = GraphRegistry()
+        registry.register("a", loader)
+        first = registry.get("a")
+        second = registry.get("a")
+        assert first is second
+        assert loader.calls == 1
+
+    def test_hit_miss_counters(self):
+        registry = GraphRegistry()
+        registry.register_graph(make_graph("a"))
+        registry.get("a")
+        registry.get("a")
+        registry.get("a")
+        stats = registry.stats()
+        assert stats.misses == 1 and stats.loads == 1
+        assert stats.hits == 2
+
+    def test_metadata(self):
+        registry = GraphRegistry()
+        graph = make_graph("a")
+        registry.register_graph(graph)
+        meta = registry.metadata("a")
+        assert meta["num_vertices"] == graph.num_vertices
+        assert meta["num_edges"] == graph.num_edges
+        assert meta["total_bytes"] == graph.total_bytes
+        assert "a" in registry.resident_names()
+
+
+class TestConcurrentLoading:
+    def test_concurrent_gets_share_one_load(self):
+        graph = make_graph("a")
+        started, release = threading.Event(), threading.Event()
+        calls = []
+
+        def slow_loader():
+            calls.append(1)
+            started.set()
+            release.wait(10)
+            return graph
+
+        registry = GraphRegistry()
+        registry.register("a", slow_loader)
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(registry.get("a")))
+            for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        assert started.wait(10)
+        release.set()
+        for thread in threads:
+            thread.join(10)
+        assert len(calls) == 1
+        assert len(results) == 6 and all(r is graph for r in results)
+
+    def test_slow_load_does_not_block_other_graphs(self):
+        started, release = threading.Event(), threading.Event()
+
+        def slow_loader():
+            started.set()
+            release.wait(10)
+            return make_graph("slow")
+
+        registry = GraphRegistry()
+        registry.register("slow", slow_loader)
+        registry.register_graph(make_graph("fast"))
+        thread = threading.Thread(target=lambda: registry.get("slow"))
+        thread.start()
+        try:
+            assert started.wait(10)
+            # while "slow" is mid-load, other graphs stay fully available
+            assert registry.get("fast").name == "fast"
+        finally:
+            release.set()
+            thread.join(10)
+        assert registry.get("slow").name == "slow"
+
+    def test_failed_load_retried_by_next_caller(self):
+        graph = make_graph("a")
+        calls = []
+
+        def flaky_loader():
+            calls.append(1)
+            if len(calls) == 1:
+                raise OSError("transient")
+            return graph
+
+        registry = GraphRegistry()
+        registry.register("a", flaky_loader)
+        with pytest.raises(OSError):
+            registry.get("a")
+        assert registry.get("a") is graph
+        assert len(calls) == 2
+
+
+class TestEviction:
+    def test_lru_eviction_honors_byte_budget(self):
+        graphs = {name: make_graph(name) for name in ("a", "b", "c")}
+        per_graph = graphs["a"].total_bytes
+        assert all(g.total_bytes == per_graph for g in graphs.values())
+        loaders = {name: CountingLoader(g) for name, g in graphs.items()}
+        registry = GraphRegistry(budget_bytes=2 * per_graph)
+        for name, loader in loaders.items():
+            registry.register(name, loader)
+
+        registry.get("a")
+        registry.get("b")
+        assert registry.resident_names() == ("a", "b")
+        registry.get("c")  # budget forces the LRU graph (a) out
+        assert registry.resident_names() == ("b", "c")
+        assert registry.resident_bytes() <= registry.budget_bytes
+        assert registry.stats().evictions == 1
+
+        registry.get("a")  # transparently reloaded, evicting b
+        assert loaders["a"].calls == 2
+        assert registry.resident_names() == ("c", "a")
+
+    def test_get_refreshes_recency(self):
+        registry = GraphRegistry(budget_bytes=2 * make_graph("x").total_bytes)
+        for name in ("a", "b"):
+            registry.register_graph(make_graph(name))
+        registry.get("a")
+        registry.get("b")
+        registry.get("a")  # a is now the most recently used
+        registry.register_graph(make_graph("c"))
+        registry.get("c")
+        assert registry.resident_names() == ("a", "c")
+
+    def test_most_recent_graph_kept_even_over_budget(self):
+        graph = make_graph("big", num_edges=64)
+        registry = GraphRegistry(budget_bytes=graph.total_bytes // 2)
+        registry.register_graph(graph)
+        assert registry.get("big") is graph
+        assert registry.resident_names() == ("big",)
+
+    def test_explicit_evict_and_clear(self):
+        registry = GraphRegistry()
+        registry.register_graph(make_graph("a"))
+        registry.register_graph(make_graph("b"))
+        registry.get("a")
+        registry.get("b")
+        assert registry.evict("a") is True
+        assert registry.evict("a") is False
+        registry.clear_resident()
+        assert registry.resident_names() == ()
+        assert len(registry) == 2  # registrations survive
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GraphRegistry(budget_bytes=0)
