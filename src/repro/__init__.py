@@ -53,13 +53,18 @@ from .traversal import (
     AccessStrategy,
     Application,
     EMOGI_STRATEGY,
+    EngineArena,
+    MultiSourceResult,
     TraversalEngine,
     TraversalResult,
     bfs,
     cc,
     run,
     run_average,
+    run_batch,
+    run_bfs_batch,
     run_pagerank,
+    run_sssp_batch,
     sssp,
 )
 from .baselines import run_halo, run_subway
@@ -107,9 +112,14 @@ __all__ = [
     "cc",
     "run",
     "run_average",
+    "run_batch",
+    "run_bfs_batch",
+    "run_sssp_batch",
     "run_pagerank",
     "TraversalEngine",
     "TraversalResult",
+    "MultiSourceResult",
+    "EngineArena",
     # baselines
     "run_halo",
     "run_subway",

@@ -61,7 +61,15 @@ class SubwayEngine:
     # ------------------------------------------------------------------ #
     # TraversalEngine interface
     # ------------------------------------------------------------------ #
-    def process_frontier(self, frontier: np.ndarray) -> TimeBreakdown:
+    def process_frontier(
+        self,
+        frontier: np.ndarray,
+        starts: np.ndarray | None = None,
+        ends: np.ndarray | None = None,
+    ) -> TimeBreakdown:
+        # starts/ends are accepted for TraversalEngine interface parity; the
+        # Subway cost model recompacts the subgraph itself and has no use for
+        # the precomputed offsets.
         frontier = np.asarray(frontier, dtype=VERTEX_DTYPE).ravel()
         iteration = TimeBreakdown()
         self.iterations += 1

@@ -1,0 +1,158 @@
+"""Throughput benchmark: batched multi-source traversal vs per-source runs.
+
+This is the perf-trajectory harness behind ``repro.cli bench-traversal`` and
+``benchmarks/test_perf_traversal.py``: it times the 64-source ``run_average``
+protocol both ways — one independent engine per source (the seed behaviour)
+and one shared engine sweeping all sources per batch — verifies the two
+produce bit-identical per-source values, and reports wall-clock requests/sec
+plus the batched-over-serial speedup as JSON (``BENCH_traversal.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..graph.csr import CSRGraph
+from ..graph.generators import random_weights, rmat_graph
+from ..traversal.api import run_average
+from ..types import AccessStrategy, Application
+
+#: Default benchmark shape: the largest graph the test suite generates.
+DEFAULT_VERTICES = 20000
+DEFAULT_EDGES = 300000
+DEFAULT_SOURCES = 64
+DEFAULT_STRATEGIES = (AccessStrategy.MERGED_ALIGNED, AccessStrategy.UVM)
+DEFAULT_APPLICATIONS = (Application.BFS, Application.SSSP)
+
+
+def build_bench_graph(
+    num_vertices: int = DEFAULT_VERTICES,
+    num_edges: int = DEFAULT_EDGES,
+    seed: int = 7,
+) -> CSRGraph:
+    """The benchmark's scale-free input graph (weighted, for SSSP)."""
+    graph = rmat_graph(num_vertices, num_edges, seed=seed, name="bench-rmat")
+    return graph.with_weights(random_weights(graph.num_edges, seed=seed + 1))
+
+
+def bench_traversal(
+    graph: CSRGraph | None = None,
+    num_sources: int = DEFAULT_SOURCES,
+    strategies=DEFAULT_STRATEGIES,
+    applications=DEFAULT_APPLICATIONS,
+    system: SystemConfig | None = None,
+    seed: int = 42,
+) -> dict:
+    """Time serial vs batched ``run_average`` and return the report dict."""
+    graph = graph if graph is not None else build_bench_graph()
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, graph.num_vertices, num_sources).tolist()
+
+    runs = []
+    for application in applications:
+        application = Application(application)
+        for strategy in strategies:
+            strategy = AccessStrategy(strategy)
+            started = time.perf_counter()
+            serial = run_average(
+                application, graph, sources, strategy=strategy, system=system,
+                batched=False,
+            )
+            serial_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            batched = run_average(
+                application, graph, sources, strategy=strategy, system=system,
+                batched=True,
+            )
+            batched_seconds = time.perf_counter() - started
+
+            values_match = all(
+                np.array_equal(a.values, b.values)
+                for a, b in zip(serial.runs, batched.runs)
+            )
+            iterations = max(run.metrics.iterations for run in batched.runs)
+            runs.append(
+                {
+                    "application": application.value,
+                    "strategy": strategy.value,
+                    "num_sources": num_sources,
+                    "serial_seconds": serial_seconds,
+                    "batched_seconds": batched_seconds,
+                    "speedup": serial_seconds / batched_seconds
+                    if batched_seconds > 0
+                    else float("inf"),
+                    "serial_sources_per_sec": num_sources / serial_seconds
+                    if serial_seconds > 0
+                    else float("inf"),
+                    "batched_sources_per_sec": num_sources / batched_seconds
+                    if batched_seconds > 0
+                    else float("inf"),
+                    "batched_iterations": iterations,
+                    "serial_ms_per_iteration": 1000.0
+                    * serial_seconds
+                    / max(1, sum(run.metrics.iterations for run in serial.runs)),
+                    "batched_ms_per_iteration": 1000.0 * batched_seconds / max(1, iterations),
+                    "values_match": values_match,
+                }
+            )
+
+    return {
+        "benchmark": "traversal-batching",
+        "graph": {
+            "name": graph.name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "runs": runs,
+        "summary": {
+            "min_speedup": min(run["speedup"] for run in runs),
+            "max_speedup": max(run["speedup"] for run in runs),
+            "all_values_match": all(run["values_match"] for run in runs),
+        },
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the benchmark report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def format_report(report: dict) -> str:
+    """Render the report as an aligned plain-text table."""
+    header = (
+        f"{'app':6s} {'strategy':16s} {'serial':>9s} {'batched':>9s} "
+        f"{'speedup':>8s} {'src/s':>8s} {'match':>6s}"
+    )
+    lines = [
+        f"bench-traversal on {report['graph']['name']} "
+        f"(|V|={report['graph']['num_vertices']}, |E|={report['graph']['num_edges']}, "
+        f"{report['runs'][0]['num_sources']} sources)",
+        header,
+        "-" * len(header),
+    ]
+    for run in report["runs"]:
+        lines.append(
+            f"{run['application']:6s} {run['strategy']:16s} "
+            f"{run['serial_seconds']:8.3f}s {run['batched_seconds']:8.3f}s "
+            f"{run['speedup']:7.2f}x {run['batched_sources_per_sec']:8.1f} "
+            f"{'yes' if run['values_match'] else 'NO':>6s}"
+        )
+    summary = report["summary"]
+    lines.append(
+        f"speedup range: {summary['min_speedup']:.2f}x - {summary['max_speedup']:.2f}x; "
+        f"values {'bit-identical' if summary['all_values_match'] else 'MISMATCHED'}"
+    )
+    return "\n".join(lines)

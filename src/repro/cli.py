@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli figure9
     python -m repro.cli all --sources 2
     python -m repro.cli serve-batch examples/workload.json
+    python -m repro.cli bench-traversal --output BENCH_traversal.json
 """
 
 from __future__ import annotations
@@ -80,6 +81,76 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_bench_traversal_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-traversal",
+        description=(
+            "Benchmark batched multi-source traversal against independent "
+            "per-source runs and write the report to BENCH_traversal.json."
+        ),
+    )
+    parser.add_argument(
+        "--vertices", type=int, default=None, help="benchmark graph vertex count"
+    )
+    parser.add_argument(
+        "--edges", type=int, default=None, help="benchmark graph edge count"
+    )
+    parser.add_argument(
+        "--sources",
+        type=int,
+        default=None,
+        help="sources per run_average batch (the paper uses 64)",
+    )
+    parser.add_argument(
+        "--apps",
+        default="bfs,sssp",
+        help="comma-separated applications to benchmark (bfs,sssp)",
+    )
+    parser.add_argument(
+        "--strategies",
+        default="merged_aligned,uvm",
+        help="comma-separated access strategies to benchmark",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_traversal.json",
+        help="path of the JSON report (default: BENCH_traversal.json)",
+    )
+    return parser
+
+
+def _bench_traversal(argv: list[str]) -> int:
+    from .bench.traversal_bench import (
+        DEFAULT_EDGES,
+        DEFAULT_SOURCES,
+        DEFAULT_VERTICES,
+        bench_traversal,
+        build_bench_graph,
+        format_report,
+        write_report,
+    )
+
+    args = _build_bench_traversal_parser().parse_args(argv)
+    try:
+        graph = build_bench_graph(
+            num_vertices=args.vertices if args.vertices is not None else DEFAULT_VERTICES,
+            num_edges=args.edges if args.edges is not None else DEFAULT_EDGES,
+        )
+        report = bench_traversal(
+            graph=graph,
+            num_sources=args.sources if args.sources is not None else DEFAULT_SOURCES,
+            strategies=[s.strip() for s in args.strategies.split(",") if s.strip()],
+            applications=[a.strip() for a in args.apps.split(",") if a.strip()],
+        )
+        path = write_report(report, args.output)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"bench-traversal failed: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    print(f"(report written to {path})")
+    return 0 if report["summary"]["all_values_match"] else 1
+
+
 def _make_harness(args: argparse.Namespace) -> ExperimentHarness:
     kwargs: dict = {"num_sources": args.sources}
     if args.scale is not None:
@@ -117,11 +188,14 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve-batch":
         return _serve_batch(argv[1:])
+    if argv and argv[0] == "bench-traversal":
+        return _bench_traversal(argv[1:])
 
     args = _build_parser().parse_args(argv)
     if args.target == "list":
         print("\n".join(ALL_FIGURES))
         print("serve-batch")
+        print("bench-traversal")
         return 0
 
     targets = list(ALL_FIGURES) if args.target == "all" else [args.target]

@@ -50,6 +50,35 @@ class TrafficRecord:
             return 0.0
         return self.host_bytes_read / dataset_bytes
 
+    def scaled(self, fraction: float) -> "TrafficRecord":
+        """A copy with every counter scaled by ``fraction`` (rounded to ints).
+
+        Attribution helper for batched multi-source runs: the batch engine
+        records one shared traffic stream, and each source's share is the
+        stream scaled by the fraction of work that source contributed.
+        """
+        if fraction < 0:
+            raise ValueError("fraction cannot be negative")
+        histogram = RequestHistogram(
+            {
+                size: int(round(count * fraction))
+                for size, count in self.request_histogram.counts.items()
+            }
+        )
+        return TrafficRecord(
+            request_histogram=histogram,
+            uvm_migrated_bytes=int(round(self.uvm_migrated_bytes * fraction)),
+            uvm_migrations=int(round(self.uvm_migrations * fraction)),
+            uvm_pages_touched=int(round(self.uvm_pages_touched * fraction)),
+            block_transfer_bytes=int(round(self.block_transfer_bytes * fraction)),
+            block_transfers=int(round(self.block_transfers * fraction)),
+            dram_bytes=int(round(self.dram_bytes * fraction)),
+            useful_bytes=int(round(self.useful_bytes * fraction)),
+            edges_processed=int(round(self.edges_processed * fraction)),
+            vertices_processed=int(round(self.vertices_processed * fraction)),
+            kernel_launches=int(round(self.kernel_launches * fraction)),
+        )
+
     def merge(self, other: "TrafficRecord") -> None:
         self.request_histogram.merge_in_place(other.request_histogram)
         self.uvm_migrated_bytes += other.uvm_migrated_bytes

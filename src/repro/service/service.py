@@ -20,10 +20,16 @@ import time
 from typing import Callable, Iterable
 
 from ..config import ServiceConfig, SystemConfig, default_system
-from ..errors import JobFailedError, JobNotFoundError, ServiceError
+from ..errors import JobFailedError, JobNotFoundError, ServiceError, SimulationError
 from ..graph.csr import CSRGraph
 from ..traversal.api import run
+from ..traversal.arena import EngineArena
+from ..traversal.bfs import run_bfs
+from ..traversal.cc import run_cc
+from ..traversal.multisource import run_batch
 from ..traversal.results import TraversalResult
+from ..traversal.sssp import run_sssp
+from ..types import Application
 from .cache import ResultCache
 from .jobs import Job, JobStatus
 from .queue import RequestQueue
@@ -64,7 +70,12 @@ class Service:
             budget_bytes=self.config.registry_budget_bytes
         )
         self.system = system or default_system()
-        self._engine = engine or default_engine
+        #: ``None`` selects the built-in batched execution path (shared
+        #: engines from the arena, multi-source batches per drained group);
+        #: injecting a callable forces per-job execution through it, which is
+        #: what the test doubles rely on.
+        self._engine = engine
+        self._arena = EngineArena(max_idle=max(8, 2 * self.config.max_workers))
         self._cache = ResultCache(self.config.result_cache_entries)
         self._queue = RequestQueue()
         self._pool = WorkerPool(self.config.max_workers)
@@ -227,28 +238,132 @@ class Service:
             with self._lock:
                 self._failed += len(batch)
             return
+        if self._engine is None:
+            self._execute_builtin(batch, graph)
+            return
         for job in batch:
-            job.mark_running()
-            started = time.perf_counter()
-            try:
-                result = self._engine(job.request, graph)
-            except Exception as exc:  # noqa: BLE001 - job-level isolation
-                with self._lock:
-                    self._executions += 1
-                    self._failed += 1
-                    self._engine_seconds += time.perf_counter() - started
-                job.mark_failed(exc)
+            self._execute_one(job, graph, lambda job: self._engine(job.request, graph))
+
+    def _execute_one(self, job: Job, graph: CSRGraph, runner: Callable) -> None:
+        """Run one job with full bookkeeping and job-level failure isolation."""
+        job.mark_running()
+        started = time.perf_counter()
+        try:
+            result = runner(job)
+        except Exception as exc:  # noqa: BLE001 - job-level isolation
+            with self._lock:
+                self._executions += 1
+                self._failed += 1
+                self._engine_seconds += time.perf_counter() - started
+            job.mark_failed(exc)
+        else:
+            with self._lock:
+                self._executions += 1
+                self._completed += 1
+                self._engine_seconds += time.perf_counter() - started
+            self._cache.put(job.request.cache_key, result)
+            job.mark_done(result)
+        finally:
+            # Only after the cache holds the result, so identical requests
+            # always find either the in-flight job or the cached answer.
+            self._queue.release(job)
+
+    def _execute_builtin(self, batch: list[Job], graph: CSRGraph) -> None:
+        """Drain one batch group on the built-in engine path.
+
+        BFS/SSSP groups with several distinct sources execute as ONE batched
+        multi-source traversal over an arena-shared engine — each frontier
+        sweep is paid once per group instead of once per job.  Everything
+        else (CC, singleton groups) runs per job against a leased engine, so
+        the engine construction is still amortized across the group.
+        """
+        runnable = []
+        for job in batch:
+            source = job.request.source
+            if source is not None and not 0 <= source < graph.num_vertices:
+                # Pre-validate so one bad source fails its own job, never the
+                # whole batch it happened to be grouped with.
+                self._execute_one(
+                    job, graph, lambda job: self._run_leased(job.request, graph)
+                )
             else:
-                with self._lock:
-                    self._executions += 1
-                    self._completed += 1
-                    self._engine_seconds += time.perf_counter() - started
-                self._cache.put(job.request.cache_key, result)
-                job.mark_done(result)
-            finally:
-                # Only after the cache holds the result, so identical requests
-                # always find either the in-flight job or the cached answer.
+                runnable.append(job)
+        if not runnable:
+            return
+        request = runnable[0].request
+        application = request.application
+        if application is Application.CC or len(runnable) == 1:
+            for job in runnable:
+                self._execute_one(
+                    job, graph, lambda job: self._run_leased(job.request, graph)
+                )
+            return
+
+        for job in runnable:
+            job.mark_running()
+        started = time.perf_counter()
+        try:
+            outcome = run_batch(
+                application,
+                graph,
+                [job.request.source for job in runnable],
+                strategy=request.strategy,
+                system=request.system,
+                arena=self._arena,
+            )
+        except Exception as exc:  # noqa: BLE001 - propagate to every waiter
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._executions += len(runnable)
+                self._failed += len(runnable)
+                self._engine_seconds += elapsed
+            for job in runnable:
+                job.mark_failed(exc)
                 self._queue.release(job)
+            return
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._executions += len(runnable)
+            self._completed += len(runnable)
+            self._engine_seconds += elapsed
+        for job, result in zip(runnable, outcome.results):
+            self._cache.put(job.request.cache_key, result)
+            job.mark_done(result)
+            self._queue.release(job)
+
+    def _run_leased(self, request: TraversalRequest, graph: CSRGraph) -> TraversalResult:
+        """Run one request against an engine leased from the arena."""
+        application = request.application
+        if application is Application.CC:
+            with self._arena.lease(graph, request.strategy, request.system) as engine:
+                return run_cc(
+                    graph, strategy=request.strategy, system=request.system, engine=engine
+                )
+        source = request.source
+        if source is None or not 0 <= source < graph.num_vertices:
+            raise SimulationError(
+                f"source vertex {source} out of range for graph with "
+                f"{graph.num_vertices} vertices"
+            )
+        if application is Application.BFS:
+            with self._arena.lease(graph, request.strategy, request.system) as engine:
+                return run_bfs(
+                    graph,
+                    source,
+                    strategy=request.strategy,
+                    system=request.system,
+                    engine=engine,
+                )
+        with self._arena.lease(
+            graph, request.strategy, request.system, needs_weights=True
+        ) as engine:
+            return run_sssp(
+                graph,
+                source,
+                strategy=request.strategy,
+                system=request.system,
+                engine=engine,
+            )
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle

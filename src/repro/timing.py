@@ -65,6 +65,24 @@ class TimeBreakdown:
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value
 
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        """A copy with every component multiplied by ``factor``.
+
+        Used to attribute one shared (batched) iteration's cost across the
+        sources that drove it, proportionally to their share of the work.
+        """
+        if factor < 0:
+            raise ValueError("scale factor cannot be negative")
+        return TimeBreakdown(
+            interconnect_seconds=self.interconnect_seconds * factor,
+            dram_seconds=self.dram_seconds * factor,
+            compute_seconds=self.compute_seconds * factor,
+            fault_handling_seconds=self.fault_handling_seconds * factor,
+            host_preprocess_seconds=self.host_preprocess_seconds * factor,
+            kernel_launch_seconds=self.kernel_launch_seconds * factor,
+            extra={key: value * factor for key, value in self.extra.items()},
+        )
+
     def overlapped_transfer_seconds(self) -> float:
         """The data-movement critical path (link, DRAM and compute overlap)."""
         return max(self.interconnect_seconds, self.dram_seconds, self.compute_seconds)

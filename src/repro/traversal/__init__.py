@@ -9,7 +9,9 @@ Merged+Aligned — the last one being "EMOGI").
 
 from ..types import AccessStrategy, Application, EMOGI_STRATEGY
 from .api import bfs, cc, run, run_average, sssp
+from .arena import EngineArena
 from .engine import TraversalEngine
+from .multisource import MultiSourceResult, run_batch, run_bfs_batch, run_sssp_batch
 from .pagerank import PageRankResult, run_pagerank
 from .results import AggregateResult, TraversalMetrics, TraversalResult
 from .toy import AccessPattern, ToyResult, run_array_copy, run_uvm_array_scan
@@ -23,6 +25,11 @@ __all__ = [
     "cc",
     "run",
     "run_average",
+    "run_batch",
+    "run_bfs_batch",
+    "run_sssp_batch",
+    "MultiSourceResult",
+    "EngineArena",
     "run_pagerank",
     "PageRankResult",
     "TraversalEngine",

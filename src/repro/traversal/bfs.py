@@ -16,7 +16,11 @@ from ..errors import SimulationError
 from ..graph.csr import CSRGraph
 from ..types import AccessStrategy, Application, EMOGI_STRATEGY, VERTEX_DTYPE
 from .engine import TraversalEngine
-from .frontier import gather_frontier_edges
+from .frontier import (
+    frontier_offsets,
+    gather_frontier_destinations,
+    gather_frontier_edges,
+)
 from .results import TraversalResult
 
 #: Level value assigned to vertices never reached from the source.
@@ -51,13 +55,21 @@ def run_bfs(
     engine = engine or TraversalEngine(graph, strategy, system=system, needs_weights=False)
     levels = np.full(graph.num_vertices, UNREACHED, dtype=np.int64)
     levels[source] = 0
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    visited[source] = True
     frontier = np.array([source], dtype=VERTEX_DTYPE)
     depth = 0
     while frontier.size:
-        engine.process_frontier(frontier)
-        edges = gather_frontier_edges(graph, frontier)
-        unvisited = edges.destinations[levels[edges.destinations] == UNREACHED]
-        frontier = np.unique(unvisited).astype(VERTEX_DTYPE)
+        starts, ends = frontier_offsets(graph, frontier)
+        engine.process_frontier(frontier, starts, ends)
+        destinations = gather_frontier_destinations(graph, frontier, starts, ends)
+        # Mask-based next frontier: mark first-touched destinations in a
+        # boolean per-vertex array instead of sorting them with np.unique.
+        fresh = destinations[~visited[destinations]]
+        next_mask = np.zeros(graph.num_vertices, dtype=bool)
+        next_mask[fresh] = True
+        visited |= next_mask
+        frontier = np.flatnonzero(next_mask).astype(VERTEX_DTYPE)
         depth += 1
         levels[frontier] = depth
     return TraversalResult(

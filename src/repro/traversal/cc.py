@@ -15,7 +15,7 @@ from ..config import SystemConfig
 from ..graph.csr import CSRGraph
 from ..types import AccessStrategy, Application, EMOGI_STRATEGY, VERTEX_DTYPE
 from .engine import TraversalEngine
-from .frontier import all_vertices_frontier, gather_frontier_edges
+from .frontier import all_vertices_frontier, frontier_offsets, gather_frontier_edges
 from .results import TraversalResult
 
 
@@ -45,9 +45,10 @@ def _cc(
     iterations = 0
     max_iterations = max(1, graph.num_vertices)
     while frontier.size and iterations < max_iterations:
+        starts, ends = frontier_offsets(graph, frontier)
         if engine is not None:
-            engine.process_frontier(frontier)
-        edges = gather_frontier_edges(graph, frontier)
+            engine.process_frontier(frontier, starts, ends)
+        edges = gather_frontier_edges(graph, frontier, starts, ends)
         if edges.num_edges:
             candidates = labels[edges.sources]
             previous = labels.copy()

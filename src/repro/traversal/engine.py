@@ -135,24 +135,34 @@ class TraversalEngine:
     # ------------------------------------------------------------------ #
     # Per-iteration accounting
     # ------------------------------------------------------------------ #
-    def process_frontier(self, frontier: np.ndarray) -> TimeBreakdown:
+    def process_frontier(
+        self,
+        frontier: np.ndarray,
+        starts: np.ndarray | None = None,
+        ends: np.ndarray | None = None,
+    ) -> TimeBreakdown:
         """Account one traversal iteration (one kernel launch) over ``frontier``.
 
         Every vertex in the frontier has its full neighbor list scanned, which
         is exactly what the vertex-centric kernels in Listings 1 and 2 do.
         Returns the time breakdown of just this iteration (also accumulated
         into the run totals).
+
+        ``starts``/``ends`` may carry the frontier's precomputed edge-list
+        offsets (see :func:`~repro.traversal.frontier.frontier_offsets`) so
+        algorithms that also gather the frontier's edges only index
+        ``graph.offsets`` once per iteration.
         """
         frontier = np.asarray(frontier, dtype=VERTEX_DTYPE).ravel()
         iteration = TimeBreakdown()
         self.iterations += 1
         if frontier.size == 0:
             return iteration
-        if frontier.min() < 0 or frontier.max() >= self.graph.num_vertices:
-            raise SimulationError("frontier contains invalid vertex IDs")
-
-        starts = self.graph.offsets[frontier]
-        ends = self.graph.offsets[frontier + 1]
+        if starts is None or ends is None:
+            if frontier.min() < 0 or frontier.max() >= self.graph.num_vertices:
+                raise SimulationError("frontier contains invalid vertex IDs")
+            starts = self.graph.offsets[frontier]
+            ends = self.graph.offsets[frontier + 1]
         edges_touched = int((ends - starts).sum())
 
         self.traffic.vertices_processed += int(frontier.size)
@@ -232,6 +242,29 @@ class TraversalEngine:
             self.traffic.dram_bytes += self.dram.serve_requests(histogram)
             breakdown.add(self.timing_model.zero_copy_time(histogram))
         return breakdown
+
+    # ------------------------------------------------------------------ #
+    # Reuse
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Restore the just-constructed state without re-running ``_setup_memory``.
+
+        Clears every run-scoped accumulator (traffic, time breakdown, kernel
+        log, iteration count, monitor, DRAM counters) and the UVM residency
+        state, so a reused engine's next run produces exactly the metrics a
+        freshly constructed engine would.  The address-space allocations —
+        the expensive part of construction — are left in place.
+        """
+        self.traffic = TrafficRecord()
+        self.breakdown = TimeBreakdown()
+        self.kernels = KernelStats()
+        self.iterations = 0
+        self.monitor.reset()
+        self.dram.reset()
+        if self.edge_uvm is not None:
+            self.edge_uvm.reset()
+        if self.weight_uvm is not None:
+            self.weight_uvm.reset()
 
     # ------------------------------------------------------------------ #
     # Run finalization

@@ -42,19 +42,59 @@ def frontier_from_mask(mask: np.ndarray) -> np.ndarray:
     return np.flatnonzero(mask).astype(VERTEX_DTYPE)
 
 
-def gather_frontier_edges(graph: CSRGraph, frontier: np.ndarray) -> FrontierEdges:
-    """Collect every edge whose source vertex is in the frontier."""
+def frontier_offsets(
+    graph: CSRGraph, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validated ``(starts, ends)`` edge-list offsets for a frontier.
+
+    Computing these once per iteration and passing them to both
+    :meth:`~repro.traversal.engine.TraversalEngine.process_frontier` and the
+    gather helpers avoids indexing ``graph.offsets`` twice per iteration.
+    """
     frontier = np.asarray(frontier, dtype=VERTEX_DTYPE).ravel()
     if frontier.size and (frontier.min() < 0 or frontier.max() >= graph.num_vertices):
         raise SimulationError("frontier contains invalid vertex IDs")
-    starts = graph.offsets[frontier]
-    lengths = graph.offsets[frontier + 1] - starts
+    return graph.offsets[frontier], graph.offsets[frontier + 1]
+
+
+def gather_frontier_edges(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    starts: np.ndarray | None = None,
+    ends: np.ndarray | None = None,
+) -> FrontierEdges:
+    """Collect every edge whose source vertex is in the frontier.
+
+    ``starts``/``ends`` may carry precomputed ``frontier_offsets`` so callers
+    that already paid for the offsets gather do not pay again.
+    """
+    frontier = np.asarray(frontier, dtype=VERTEX_DTYPE).ravel()
+    if starts is None or ends is None:
+        starts, ends = frontier_offsets(graph, frontier)
+    lengths = ends - starts
     edge_indices = ragged_gather_indices(starts, lengths)
     sources = np.repeat(frontier, lengths)
     destinations = graph.edges[edge_indices]
     return FrontierEdges(
         sources=sources, destinations=destinations, edge_indices=edge_indices
     )
+
+
+def gather_frontier_destinations(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    starts: np.ndarray | None = None,
+    ends: np.ndarray | None = None,
+) -> np.ndarray:
+    """Destination vertices of the frontier's edges, in edge-list order.
+
+    The BFS fast path: unlike :func:`gather_frontier_edges` it never
+    materializes the per-edge ``sources`` or hands out ``edge_indices`` —
+    BFS only ever reads the destinations.
+    """
+    if starts is None or ends is None:
+        starts, ends = frontier_offsets(graph, frontier)
+    return graph.edges[ragged_gather_indices(starts, ends - starts)]
 
 
 def all_vertices_frontier(graph: CSRGraph) -> np.ndarray:

@@ -1,0 +1,392 @@
+"""Batched multi-source traversal (MS-BFS-style frontier sharing).
+
+The paper's measurement protocol (§5.2) averages every experiment over 64
+random source vertices, and the serving layer batches same-configuration
+requests — yet a naive implementation still executes one full, independent
+traversal per source, paying for every edge gather and every simulated
+memory-system sweep once *per source*.
+
+This module restructures the engine around the batch instead: up to 64
+sources run together, one bit per source packed into a ``uint64`` word per
+vertex (the MS-BFS technique).  Each iteration expands the *union* frontier
+once — one edge gather, one :meth:`TraversalEngine.process_frontier` sweep —
+and bitwise operations keep every source's frontier evolution exactly what
+its solo run would have been:
+
+* **BFS** propagates frontier bits with an OR-scatter over the gathered
+  destinations; a vertex's newly set bits are exactly the sources whose solo
+  BFS would discover it this iteration, so per-source levels are bit-identical
+  to :func:`repro.traversal.bfs.run_bfs`.
+* **SSSP** relaxes, for each source, exactly the edges whose tail is in that
+  source's frontier (a bit-mask selection from the shared gather).  The
+  per-source relaxation sequence is identical to the solo run's, so distances
+  are bit-identical to :func:`repro.traversal.sssp.run_sssp` — including
+  float rounding.
+
+Per-source :class:`TraversalMetrics` are derived by *attributing* the shared
+traffic: each iteration's time is split across the sources active in it,
+proportionally to their share of the edges swept, and the run-level traffic
+counters are split by each source's overall share.  Attributed *seconds* sum
+exactly to the batch total; the integer traffic counters are rounded per
+source, so their sums match the batch totals only to rounding (compare
+against ``batch_metrics`` for exact run-level numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arrays import ragged_gather_indices
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..graph.csr import CSRGraph
+from ..timing import TimeBreakdown
+from ..types import AccessStrategy, Application, EMOGI_STRATEGY, VERTEX_DTYPE
+from .bfs import UNREACHED, _check_source
+from .engine import TraversalEngine
+from .frontier import frontier_offsets, gather_frontier_destinations
+from .results import TraversalMetrics, TraversalResult
+from .sssp import UNREACHABLE
+
+#: Sources packed into one visited word (one bit per source lane).
+WORD_BITS = 64
+
+_ONE = np.uint64(1)
+
+
+@dataclass
+class MultiSourceResult:
+    """Outcome of one batched multi-source run.
+
+    ``results`` holds one :class:`TraversalResult` per requested source, in
+    request order, with attributed per-source metrics; ``batch_metrics`` holds
+    the shared engine's run-level metrics for each executed ≤64-source word.
+    """
+
+    application: Application
+    graph_name: str
+    strategy: AccessStrategy
+    results: list[TraversalResult] = field(default_factory=list)
+    batch_metrics: list[TraversalMetrics] = field(default_factory=list)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.results)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batch_metrics)
+
+    @property
+    def batch_seconds(self) -> float:
+        """Total simulated time of the shared (batched) execution."""
+        return sum(metrics.seconds for metrics in self.batch_metrics)
+
+
+def run_bfs_batch(
+    graph: CSRGraph,
+    sources,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+    engine: TraversalEngine | None = None,
+    arena=None,
+) -> MultiSourceResult:
+    """Batched BFS over up to 64 sources per frontier sweep.
+
+    Per-source ``values`` are bit-identical to per-source ``run_bfs`` calls.
+    """
+    return run_batch(
+        Application.BFS, graph, sources, strategy=strategy, system=system,
+        engine=engine, arena=arena,
+    )
+
+
+def run_sssp_batch(
+    graph: CSRGraph,
+    sources,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+    engine: TraversalEngine | None = None,
+    arena=None,
+) -> MultiSourceResult:
+    """Batched SSSP; per-source distances bit-identical to ``run_sssp``."""
+    return run_batch(
+        Application.SSSP, graph, sources, strategy=strategy, system=system,
+        engine=engine, arena=arena,
+    )
+
+
+def run_batch(
+    application: Application | str,
+    graph: CSRGraph,
+    sources,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+    system: SystemConfig | None = None,
+    engine: TraversalEngine | None = None,
+    arena=None,
+) -> MultiSourceResult:
+    """Run a batched multi-source traversal, chunking sources into 64-bit words.
+
+    One engine serves the whole batch: either the caller's ``engine``, one
+    leased from ``arena`` (an :class:`~repro.traversal.arena.EngineArena`),
+    or a private one constructed here.  Between words the engine is recycled
+    with :meth:`TraversalEngine.reset` instead of being rebuilt.
+    """
+    application = Application(application)
+    if application is Application.BFS:
+        chunk_runner, needs_weights = _bfs_word, False
+    elif application is Application.SSSP:
+        chunk_runner, needs_weights = _sssp_word, True
+    else:
+        raise ConfigurationError(
+            f"batched execution supports bfs and sssp, not {application.value}"
+        )
+    source_list = [int(source) for source in np.asarray(list(sources)).ravel()]
+    if not source_list:
+        raise ConfigurationError("run_batch needs at least one source")
+    for source in source_list:
+        _check_source(graph, source)
+
+    leased = None
+    if engine is None:
+        if arena is not None:
+            leased = arena.acquire(
+                graph, strategy, system=system, needs_weights=needs_weights
+            )
+            engine = leased
+        else:
+            engine = TraversalEngine(
+                graph, strategy, system=system, needs_weights=needs_weights
+            )
+
+    outcome = MultiSourceResult(
+        application=application, graph_name=graph.name, strategy=strategy
+    )
+    try:
+        for offset in range(0, len(source_list), WORD_BITS):
+            word = source_list[offset : offset + WORD_BITS]
+            # Reset before every word (the first included): a caller-supplied
+            # engine may carry a previous run's counters, which would
+            # contaminate this batch's metrics.  Resetting a fresh engine is
+            # a cheap no-op.
+            engine.reset()
+            values, lane_breakdowns, lane_iterations, lane_fractions = chunk_runner(
+                graph, word, engine
+            )
+            batch_metrics = engine.finalize()
+            outcome.batch_metrics.append(batch_metrics)
+            for lane, source in enumerate(word):
+                breakdown = lane_breakdowns[lane]
+                metrics = TraversalMetrics(
+                    seconds=breakdown.total(),
+                    breakdown=breakdown,
+                    traffic=batch_metrics.traffic.scaled(lane_fractions[lane]),
+                    iterations=int(lane_iterations[lane]),
+                    dataset_bytes=engine.dataset_bytes,
+                    strategy=strategy,
+                    system_name=engine.system.name,
+                )
+                outcome.results.append(
+                    TraversalResult(
+                        application=application,
+                        graph_name=graph.name,
+                        strategy=strategy,
+                        source=source,
+                        values=values[lane].copy(),
+                        metrics=metrics,
+                    )
+                )
+    finally:
+        if leased is not None:
+            arena.release(leased)
+    return outcome
+
+
+# ---------------------------------------------------------------------- #
+# Word-level execution (≤64 sources)
+# ---------------------------------------------------------------------- #
+def _bfs_word(graph: CSRGraph, word: list[int], engine: TraversalEngine):
+    num_vertices = graph.num_vertices
+    lanes = len(word)
+    levels = np.full((lanes, num_vertices), UNREACHED, dtype=np.int64)
+    frontier_bits = np.zeros(num_vertices, dtype=np.uint64)
+    visited_bits = np.zeros(num_vertices, dtype=np.uint64)
+    for lane, source in enumerate(word):
+        bit = _ONE << np.uint64(lane)
+        frontier_bits[source] |= bit
+        visited_bits[source] |= bit
+        levels[lane, source] = 0
+
+    attribution = _Attribution(lanes)
+    frontier = np.flatnonzero(frontier_bits).astype(VERTEX_DTYPE)
+    depth = 0
+    while frontier.size:
+        starts, ends = frontier_offsets(graph, frontier)
+        iteration = engine.process_frontier(frontier, starts, ends)
+        degrees = ends - starts
+        active_bits = frontier_bits[frontier]
+        attribution.record(iteration, active_bits, degrees)
+
+        destinations = gather_frontier_destinations(graph, frontier, starts, ends)
+        edge_bits = np.repeat(active_bits, degrees)
+        next_bits = _scatter_or(num_vertices, destinations, edge_bits)
+        np.bitwise_and(next_bits, ~visited_bits, out=next_bits)
+        visited_bits |= next_bits
+
+        depth += 1
+        frontier = np.flatnonzero(next_bits).astype(VERTEX_DTYPE)
+        if frontier.size:
+            new_bits = next_bits[frontier]
+            for lane in range(lanes):
+                hit = _lane_mask(new_bits, lane)
+                if hit.any():
+                    levels[lane, frontier[hit]] = depth
+        frontier_bits = next_bits
+
+    return levels, attribution.breakdowns, attribution.iterations, attribution.fractions()
+
+
+def _sssp_word(graph: CSRGraph, word: list[int], engine: TraversalEngine):
+    num_vertices = graph.num_vertices
+    lanes = len(word)
+    if graph.has_weights:
+        weights = graph.weights
+    else:
+        weights = np.ones(graph.num_edges, dtype=np.float64)
+    distances = np.full((lanes, num_vertices), UNREACHABLE, dtype=np.float64)
+    frontier_bits = np.zeros(num_vertices, dtype=np.uint64)
+    for lane, source in enumerate(word):
+        frontier_bits[source] |= _ONE << np.uint64(lane)
+        distances[lane, source] = 0.0
+
+    attribution = _Attribution(lanes)
+    iterations = 0
+    max_iterations = max(1, num_vertices)
+    frontier = np.flatnonzero(frontier_bits).astype(VERTEX_DTYPE)
+    while frontier.size and iterations < max_iterations:
+        starts, ends = frontier_offsets(graph, frontier)
+        iteration = engine.process_frontier(frontier, starts, ends)
+        degrees = ends - starts
+        active_bits = frontier_bits[frontier]
+
+        # One sorted-unique pass over the union destinations, shared by every
+        # lane: a lane only ever changes a subset of these vertices, so
+        # before/after comparison against the shared set finds exactly the
+        # vertices that lane improved.
+        touched = np.unique(gather_frontier_destinations(graph, frontier, starts, ends))
+        lane_edges = np.zeros(lanes, dtype=np.int64)
+        next_bits = np.zeros(num_vertices, dtype=np.uint64)
+        for lane in range(lanes):
+            in_lane = _lane_mask(active_bits, lane)
+            if not in_lane.any():
+                continue
+            # Gather this lane's edges straight from the CSR slices of its
+            # own frontier (a subset of the union), in exactly the order the
+            # solo run would: relaxation stays bit-identical, float rounding
+            # included.
+            lane_lengths = degrees[in_lane]
+            edge_indices = ragged_gather_indices(starts[in_lane], lane_lengths)
+            lane_edges[lane] = edge_indices.size
+            if edge_indices.size == 0:
+                continue
+            row = distances[lane]
+            lane_sources = np.repeat(frontier[in_lane], lane_lengths)
+            candidates = row[lane_sources] + weights[edge_indices]
+            lane_destinations = graph.edges[edge_indices]
+            before = row[touched].copy()
+            np.minimum.at(row, lane_destinations, candidates)
+            improved = touched[row[touched] < before]
+            if improved.size:
+                next_bits[improved] |= _ONE << np.uint64(lane)
+        attribution.record(iteration, active_bits, degrees, lane_edges=lane_edges)
+
+        frontier_bits = next_bits
+        frontier = np.flatnonzero(next_bits).astype(VERTEX_DTYPE)
+        iterations += 1
+
+    return (
+        distances,
+        attribution.breakdowns,
+        attribution.iterations,
+        attribution.fractions(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Internals
+# ---------------------------------------------------------------------- #
+def _lane_mask(bits: np.ndarray, lane: int) -> np.ndarray:
+    """Boolean mask of the entries whose ``lane`` bit is set."""
+    return (bits >> np.uint64(lane)) & _ONE != 0
+
+
+def _scatter_or(num_vertices: int, destinations: np.ndarray, bits: np.ndarray) -> np.ndarray:
+    """OR-scatter ``bits`` into a fresh per-vertex word array by destination.
+
+    ``np.bitwise_or.at`` takes numpy's indexed-ufunc fast path for integer
+    index arrays, which profiles an order of magnitude faster than the
+    sort + ``reduceat`` formulation at frontier-sweep sizes.
+    """
+    out = np.zeros(num_vertices, dtype=np.uint64)
+    if destinations.size:
+        np.bitwise_or.at(out, destinations, bits)
+    return out
+
+
+class _Attribution:
+    """Splits each shared iteration's cost across the sources that drove it.
+
+    A source's share of one iteration is its fraction of the edges swept (its
+    frontier's degree sum over the sum across all active sources).  Iterations
+    whose active sources own no edges at all split the fixed costs evenly.
+    """
+
+    def __init__(self, lanes: int) -> None:
+        self.lanes = lanes
+        self.breakdowns = [TimeBreakdown() for _ in range(lanes)]
+        self.iterations = np.zeros(lanes, dtype=np.int64)
+        self.attributed_edges = np.zeros(lanes, dtype=np.float64)
+
+    def record(
+        self,
+        iteration: TimeBreakdown,
+        active_bits: np.ndarray,
+        degrees: np.ndarray,
+        lane_edges: np.ndarray | None = None,
+    ) -> None:
+        if lane_edges is None:
+            lane_edges = np.zeros(self.lanes, dtype=np.int64)
+            for lane in range(self.lanes):
+                mask = _lane_mask(active_bits, lane)
+                if mask.any():
+                    lane_edges[lane] = int(degrees[mask].sum())
+                    self.iterations[lane] += 1
+                else:
+                    lane_edges[lane] = -1  # inactive marker
+            active = lane_edges >= 0
+            lane_edges = np.where(active, lane_edges, 0)
+        else:
+            active = np.zeros(self.lanes, dtype=bool)
+            for lane in range(self.lanes):
+                if _lane_mask(active_bits, lane).any():
+                    active[lane] = True
+                    self.iterations[lane] += 1
+        total = float(lane_edges.sum())
+        if total > 0:
+            shares = lane_edges / total
+        else:
+            count = int(np.count_nonzero(active))
+            shares = np.where(active, 1.0 / max(count, 1), 0.0)
+        self.attributed_edges += lane_edges
+        for lane in range(self.lanes):
+            if shares[lane] > 0:
+                self.breakdowns[lane].add(iteration.scaled(float(shares[lane])))
+
+    def fractions(self) -> np.ndarray:
+        """Each source's overall share of the batch, for traffic attribution."""
+        total = float(self.attributed_edges.sum())
+        if total <= 0:
+            return np.full(self.lanes, 1.0 / self.lanes)
+        return self.attributed_edges / total

@@ -16,7 +16,7 @@ from ..errors import SimulationError
 from ..graph.csr import CSRGraph
 from ..types import AccessStrategy, Application, EMOGI_STRATEGY, VERTEX_DTYPE
 from .engine import TraversalEngine
-from .frontier import gather_frontier_edges
+from .frontier import frontier_offsets, gather_frontier_edges
 from .results import TraversalResult
 
 #: Distance assigned to unreachable vertices.
@@ -62,9 +62,10 @@ def _sssp(
     iterations = 0
     max_iterations = max(1, graph.num_vertices)
     while frontier.size and iterations < max_iterations:
+        starts, ends = frontier_offsets(graph, frontier)
         if engine is not None:
-            engine.process_frontier(frontier)
-        edges = gather_frontier_edges(graph, frontier)
+            engine.process_frontier(frontier, starts, ends)
+        edges = gather_frontier_edges(graph, frontier, starts, ends)
         if edges.num_edges:
             candidates = distances[edges.sources] + weights[edges.edge_indices]
             previous = distances.copy()

@@ -1,0 +1,159 @@
+"""Tests for batched multi-source traversal: bit-exact equivalence and
+attribution invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.traversal.api import run_average
+from repro.traversal.bfs import bfs_levels, run_bfs
+from repro.traversal.engine import TraversalEngine
+from repro.traversal.multisource import (
+    WORD_BITS,
+    run_batch,
+    run_bfs_batch,
+    run_sssp_batch,
+)
+from repro.traversal.sssp import run_sssp, sssp_distances
+from repro.types import AccessStrategy, Application
+
+ALL_STRATEGIES = tuple(AccessStrategy)
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return [0, 3, 17, 42, 99, 250, 499]
+
+
+class TestBFSEquivalence:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_levels_bit_equal_to_solo_runs(self, random_graph, sources, strategy):
+        batch = run_bfs_batch(random_graph, sources, strategy=strategy)
+        assert batch.num_sources == len(sources)
+        for result in batch.results:
+            solo = run_bfs(random_graph, result.source, strategy=strategy)
+            assert np.array_equal(result.values, solo.values)
+            assert result.values.dtype == solo.values.dtype
+            assert result.metrics.iterations == solo.metrics.iterations
+
+    def test_levels_match_reference(self, random_graph, sources):
+        batch = run_bfs_batch(random_graph, sources)
+        for result in batch.results:
+            assert np.array_equal(result.values, bfs_levels(random_graph, result.source))
+
+    def test_disconnected_sources(self, disconnected_graph):
+        batch = run_bfs_batch(disconnected_graph, [0, 3, 5])
+        assert np.array_equal(
+            batch.results[2].values, bfs_levels(disconnected_graph, 5)
+        )
+
+    def test_duplicate_sources_allowed(self, random_graph):
+        batch = run_bfs_batch(random_graph, [4, 4, 7])
+        assert np.array_equal(batch.results[0].values, batch.results[1].values)
+
+    def test_more_than_word_bits_sources_chunk(self, random_graph):
+        sources = list(range(WORD_BITS + 6))
+        batch = run_bfs_batch(random_graph, sources)
+        assert batch.num_sources == len(sources)
+        assert batch.num_batches == 2
+        for result in (batch.results[0], batch.results[WORD_BITS + 5]):
+            assert np.array_equal(
+                result.values, bfs_levels(random_graph, result.source)
+            )
+
+
+class TestSSSPEquivalence:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_distances_bit_equal_to_solo_runs(self, random_graph, sources, strategy):
+        batch = run_sssp_batch(random_graph, sources, strategy=strategy)
+        for result in batch.results:
+            solo = run_sssp(random_graph, result.source, strategy=strategy)
+            assert np.array_equal(result.values, solo.values)
+            assert result.metrics.iterations == solo.metrics.iterations
+
+    def test_distances_match_reference(self, random_graph, sources):
+        batch = run_sssp_batch(random_graph, sources)
+        for result in batch.results:
+            assert np.array_equal(
+                result.values, sssp_distances(random_graph, result.source)
+            )
+
+    def test_unweighted_graph_uses_unit_weights(self, path_graph):
+        batch = run_sssp_batch(path_graph, [0, 5])
+        assert np.array_equal(batch.results[0].values, sssp_distances(path_graph, 0))
+
+
+class TestValidation:
+    def test_empty_sources_rejected(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            run_bfs_batch(random_graph, [])
+
+    def test_out_of_range_source_rejected(self, random_graph):
+        with pytest.raises(SimulationError):
+            run_bfs_batch(random_graph, [0, random_graph.num_vertices])
+
+    def test_cc_rejected(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            run_batch(Application.CC, random_graph, [0])
+
+
+class TestAttribution:
+    def test_attributed_seconds_sum_to_batch_total(self, random_graph, sources):
+        batch = run_bfs_batch(random_graph, sources)
+        attributed = sum(result.metrics.seconds for result in batch.results)
+        assert attributed == pytest.approx(batch.batch_seconds, rel=1e-9)
+
+    def test_attributed_traffic_fractions_cover_batch(self, random_graph, sources):
+        batch = run_bfs_batch(random_graph, sources)
+        total_edges = sum(r.metrics.traffic.edges_processed for r in batch.results)
+        batch_edges = sum(m.traffic.edges_processed for m in batch.batch_metrics)
+        assert total_edges == pytest.approx(batch_edges, rel=0.01)
+
+    def test_per_source_metrics_carry_run_metadata(self, random_graph):
+        batch = run_sssp_batch(random_graph, [1, 2], strategy=AccessStrategy.UVM)
+        for result in batch.results:
+            assert result.metrics.strategy is AccessStrategy.UVM
+            assert result.metrics.dataset_bytes > 0
+            assert result.metrics.seconds > 0
+
+
+class TestEngineReuseAcrossChunks:
+    def test_caller_engine_is_reused(self, random_graph):
+        engine = TraversalEngine(random_graph, AccessStrategy.MERGED_ALIGNED)
+        sources = list(range(WORD_BITS + 2))
+        batch = run_bfs_batch(random_graph, sources, engine=engine)
+        assert batch.num_batches == 2
+        # The second chunk ran on the same (reset) engine; its metrics are
+        # the engine's current state.
+        assert engine.iterations == batch.batch_metrics[-1].iterations
+
+
+class TestRunAverageDispatch:
+    def test_batched_values_equal_serial_values(self, random_graph, sources):
+        batched = run_average(Application.BFS, random_graph, sources, batched=True)
+        serial = run_average(Application.BFS, random_graph, sources, batched=False)
+        assert batched.num_runs == serial.num_runs == len(sources)
+        for a, b in zip(batched.runs, serial.runs):
+            assert a.source == b.source
+            assert np.array_equal(a.values, b.values)
+
+    def test_single_source_stays_serial(self, random_graph):
+        aggregate = run_average(Application.BFS, random_graph, [3], batched=True)
+        assert aggregate.num_runs == 1
+        assert np.array_equal(aggregate.runs[0].values, bfs_levels(random_graph, 3))
+
+    def test_cc_unaffected_by_batching_flag(self, disconnected_graph):
+        a = run_average(Application.CC, disconnected_graph, [0, 1], batched=True)
+        b = run_average(Application.CC, disconnected_graph, [0, 1], batched=False)
+        assert a.num_runs == b.num_runs == 1
+        assert np.array_equal(a.runs[0].values, b.runs[0].values)
+
+    def test_sssp_batched_dispatch(self, weighted_uniform_graph):
+        batched = run_average(
+            Application.SSSP, weighted_uniform_graph, [0, 9, 27], batched=True
+        )
+        for run_result in batched.runs:
+            assert np.array_equal(
+                run_result.values,
+                sssp_distances(weighted_uniform_graph, run_result.source),
+            )

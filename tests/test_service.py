@@ -191,6 +191,58 @@ class TestBatching:
             assert job.status is JobStatus.DONE
 
 
+class TestBuiltinBatchedExecution:
+    """The default (no injected engine) path executes batch groups as one
+    multi-source traversal over arena-shared engines."""
+
+    def test_batched_results_match_direct_runs(self, registry, random_graph):
+        with make_service(registry, max_workers=1) as service:
+            jobs = [
+                service.submit(TraversalRequest("bfs", random_graph.name, source=s))
+                for s in range(6)
+            ]
+            results = [service.result(job, timeout=30) for job in jobs]
+        for source, result in enumerate(results):
+            direct = run(Application.BFS, random_graph, source=source)
+            assert np.array_equal(result.values, direct.values)
+        stats = service.stats()
+        assert stats.executions == 6
+        assert stats.completed == 6
+
+    def test_sssp_and_cc_served_by_builtin_path(self, registry, random_graph):
+        with make_service(registry, max_workers=2) as service:
+            sssp_job = service.submit(
+                TraversalRequest("sssp", random_graph.name, source=2)
+            )
+            cc_job = service.submit(TraversalRequest("cc", random_graph.name))
+            sssp_result = service.result(sssp_job, timeout=30)
+            cc_result = service.result(cc_job, timeout=30)
+        assert np.array_equal(
+            sssp_result.values, run(Application.SSSP, random_graph, source=2).values
+        )
+        assert np.array_equal(
+            cc_result.values, run(Application.CC, random_graph).values
+        )
+
+    def test_invalid_source_fails_only_its_own_job(self, registry, random_graph):
+        bad_source = random_graph.num_vertices + 5
+        with make_service(registry, max_workers=1) as service:
+            good = [
+                service.submit(TraversalRequest("bfs", random_graph.name, source=s))
+                for s in (0, 1)
+            ]
+            bad = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=bad_source)
+            )
+            assert service.wait_all(timeout=30)
+            for job in good:
+                assert service.result(job, timeout=30) is job.result
+            with pytest.raises(JobFailedError):
+                service.result(bad, timeout=30)
+        assert bad.status is JobStatus.FAILED
+        assert isinstance(bad.error, SimulationError)
+
+
 class TestFailurePaths:
     def test_engine_failure_propagates_as_job_failed_error(
         self, registry, random_graph
