@@ -30,9 +30,11 @@ from .config import (
     volta_pcie3,
 )
 from .errors import (
+    AdmissionError,
     AllocationError,
     ConfigurationError,
     DatasetError,
+    DeadlineExceededError,
     GraphFormatError,
     ReproError,
     SimulationError,
@@ -92,6 +94,8 @@ __all__ = [
     "AllocationError",
     "SimulationError",
     "DatasetError",
+    "AdmissionError",
+    "DeadlineExceededError",
     # graphs
     "CSRGraph",
     "from_edge_array",

@@ -1,0 +1,301 @@
+"""Scheduling-policy benchmark: deadlines under a skewed open-loop burst.
+
+This is the perf harness behind ``repro.cli bench-scheduler`` and
+``benchmarks/test_perf_scheduler.py``.  It builds a deliberately skewed
+serving workload — a deep backlog of bulk batch groups with no deadlines,
+then a late trickle of small urgent requests with tight deadlines — fires it
+open-loop at one :class:`~repro.service.Service` per scheduling policy, and
+reports per-policy deadline hit rates, latency percentiles and batching
+amortization as JSON (``BENCH_scheduler.json``).
+
+The urgent deadline is *calibrated* on the machine running the benchmark:
+long enough for EDF to preempt the backlog (one in-flight group plus the
+urgent group itself), far too short for FIFO to drain the bulk work first.
+A second mini-benchmark fills a bounded queue to show admission control
+shedding load instead of growing the backlog without bound.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..config import SCHEDULING_POLICIES, ServiceConfig
+from ..errors import AdmissionError
+from ..graph.csr import CSRGraph
+from ..graph.generators import random_weights, rmat_graph
+from ..service.registry import GraphRegistry
+from ..service.requests import TraversalRequest
+from ..service.service import Service
+from ..traversal.multisource import run_batch
+from ..types import AccessStrategy, Application
+
+DEFAULT_VERTICES = 4000
+DEFAULT_EDGES = 60000
+#: Sources per bulk batch group; alternating widths so largest-batch-first
+#: has something to choose between.
+DEFAULT_GROUP_SOURCES = (8, 4)
+#: Urgent requests arriving behind the backlog, each with a tight deadline.
+DEFAULT_URGENT = 6
+#: (application, strategy) combos spanning the bulk groups; with two graphs
+#: this yields 2 x len(combos) distinct batch groups.
+_BULK_COMBOS = (
+    (Application.BFS, AccessStrategy.MERGED_ALIGNED),
+    (Application.BFS, AccessStrategy.UVM),
+    (Application.SSSP, AccessStrategy.MERGED_ALIGNED),
+    (Application.SSSP, AccessStrategy.UVM),
+)
+
+
+def build_bench_graphs(
+    num_vertices: int = DEFAULT_VERTICES, num_edges: int = DEFAULT_EDGES, seed: int = 7
+) -> tuple[CSRGraph, CSRGraph, CSRGraph]:
+    """Two bulk graphs plus a small graph for the urgent traffic."""
+    graphs = []
+    for index, name in enumerate(("sched-bulk-a", "sched-bulk-b")):
+        graph = rmat_graph(num_vertices, num_edges, seed=seed + index, name=name)
+        graphs.append(graph.with_weights(random_weights(graph.num_edges, seed=seed + index)))
+    urgent = rmat_graph(
+        max(200, num_vertices // 4), max(2000, num_edges // 4),
+        seed=seed + 9, name="sched-urgent",
+    )
+    graphs.append(urgent.with_weights(random_weights(urgent.num_edges, seed=seed + 9)))
+    return tuple(graphs)
+
+
+def _calibrate(graphs, group_sources: int) -> dict:
+    """Time one bulk BFS group, one bulk SSSP group and the urgent group.
+
+    These direct ``run_batch`` timings anchor the urgent deadline to the
+    machine actually running the benchmark, so the FIFO-misses/EDF-meets
+    contrast is not at the mercy of CI hardware speed.
+    """
+    bulk, _, urgent = graphs
+    timings = {}
+    for label, application, graph in (
+        ("bulk_bfs_group_seconds", Application.BFS, bulk),
+        ("bulk_sssp_group_seconds", Application.SSSP, bulk),
+        ("urgent_group_seconds", Application.BFS, urgent),
+    ):
+        sources = list(range(group_sources))
+        started = time.perf_counter()
+        run_batch(application, graph, sources, strategy=AccessStrategy.MERGED_ALIGNED)
+        timings[label] = time.perf_counter() - started
+    return timings
+
+
+def build_workload(
+    graphs,
+    group_sources=DEFAULT_GROUP_SOURCES,
+    num_urgent: int = DEFAULT_URGENT,
+    urgent_deadline: float = 1.0,
+) -> tuple[list[TraversalRequest], list[TraversalRequest]]:
+    """The skewed burst: bulk groups without deadlines, urgent ones with."""
+    bulk_graphs, urgent_graph = graphs[:2], graphs[2]
+    bulk: list[TraversalRequest] = []
+    for graph_index, graph in enumerate(bulk_graphs):
+        for combo_index, (application, strategy) in enumerate(_BULK_COMBOS):
+            width = group_sources[(graph_index + combo_index) % len(group_sources)]
+            bulk.extend(
+                TraversalRequest(
+                    application, graph.name, source=source,
+                    strategy=strategy, tenant="bulk",
+                )
+                for source in range(width)
+            )
+    urgent = [
+        TraversalRequest(
+            Application.BFS, urgent_graph.name, source=source,
+            deadline=urgent_deadline, tenant="urgent",
+        )
+        for source in range(num_urgent)
+    ]
+    return bulk, urgent
+
+
+def _run_policy(policy: str, graphs, bulk, urgent, timeout: float) -> dict:
+    registry = GraphRegistry()
+    for graph in graphs:
+        registry.register_graph(graph)
+    service = Service(
+        registry=registry, config=ServiceConfig(max_workers=1, policy=policy)
+    )
+    started = time.perf_counter()
+    for request in bulk:
+        service.submit(request)
+    urgent_jobs = [service.submit(request) for request in urgent]
+    finished = service.wait_all(timeout=timeout)
+    wall = time.perf_counter() - started
+    service.close()
+    stats = service.stats()
+    urgent_met = sum(1 for job in urgent_jobs if job.met_deadline)
+    urgent_latencies = sorted(
+        job.total_seconds for job in urgent_jobs if job.total_seconds is not None
+    )
+    return {
+        "policy": policy,
+        "finished_in_time": finished,
+        "wall_seconds": wall,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "expired": stats.expired,
+        "deadlines_met": stats.deadlines_met,
+        "deadlines_missed": stats.deadlines_missed,
+        "urgent_met": urgent_met,
+        "urgent_missed": len(urgent_jobs) - urgent_met,
+        "urgent_worst_latency_ms": 1e3 * urgent_latencies[-1] if urgent_latencies else None,
+        "amortization": stats.amortization,
+        "latency_p50_ms": 1e3 * stats.latency.p50_seconds,
+        "latency_p95_ms": 1e3 * stats.latency.p95_seconds,
+        "queue_wait_p95_ms": 1e3 * stats.queue_wait.p95_seconds,
+    }
+
+
+def bench_admission(graph: CSRGraph, queue_limit: int = 4, burst: int = 32) -> dict:
+    """Fill a bounded queue and count how much of the burst is shed."""
+    registry = GraphRegistry()
+    registry.register_graph(graph)
+    service = Service(
+        registry=registry,
+        config=ServiceConfig(max_workers=1, queue_limit=queue_limit),
+    )
+    rejected = 0
+    for source in range(burst):
+        try:
+            service.submit(TraversalRequest(Application.BFS, graph.name, source=source))
+        except AdmissionError:
+            rejected += 1
+    service.wait_all(timeout=120)
+    service.close()
+    stats = service.stats()
+    return {
+        "queue_limit": queue_limit,
+        "burst": burst,
+        "admitted": burst - rejected,
+        "rejected": rejected,
+        "rejected_in_stats": stats.rejected,
+        "completed": stats.completed,
+    }
+
+
+def bench_scheduler(
+    graphs=None,
+    policies=SCHEDULING_POLICIES,
+    group_sources=DEFAULT_GROUP_SOURCES,
+    num_urgent: int = DEFAULT_URGENT,
+    timeout: float = 300.0,
+) -> dict:
+    """Run the skewed workload under every policy and return the report."""
+    graphs = graphs if graphs is not None else build_bench_graphs()
+    calibration = _calibrate(graphs, max(group_sources))
+    # EDF must survive one in-flight bulk group (the scheduler is
+    # non-preemptive) plus the urgent group itself; FIFO must not be able to
+    # drain half the backlog first.  1.5x the slowest single group sits well
+    # between those two regimes for any realistic group count.
+    slowest_group = max(
+        calibration["bulk_bfs_group_seconds"], calibration["bulk_sssp_group_seconds"]
+    )
+    urgent_deadline = 1.5 * (slowest_group + calibration["urgent_group_seconds"])
+    bulk, urgent = build_workload(
+        graphs,
+        group_sources=group_sources,
+        num_urgent=num_urgent,
+        urgent_deadline=urgent_deadline,
+    )
+    runs = [
+        _run_policy(policy, graphs, bulk, urgent, timeout) for policy in policies
+    ]
+    by_policy = {run["policy"]: run for run in runs}
+    # The headline contrast only exists when both policies actually ran; a
+    # deliberate subset must not fabricate a comparison against urgent_met=0.
+    fifo_run = by_policy.get("fifo")
+    edf_run = by_policy.get("edf")
+    fifo_met = fifo_run["urgent_met"] if fifo_run is not None else None
+    edf_met = edf_run["urgent_met"] if edf_run is not None else None
+    return {
+        "benchmark": "service-scheduling",
+        "platform": {"python": platform.python_version(), "numpy": np.__version__},
+        "workload": {
+            "bulk_jobs": len(bulk),
+            "bulk_groups": 2 * len(_BULK_COMBOS),
+            "urgent_jobs": len(urgent),
+            "urgent_deadline_seconds": urgent_deadline,
+            "calibration": calibration,
+        },
+        "policies": runs,
+        "admission": bench_admission(graphs[2]),
+        "summary": {
+            "fifo_urgent_met": fifo_met,
+            "edf_urgent_met": edf_met,
+            "edf_meets_deadlines_fifo_misses": (
+                edf_met > fifo_met
+                if fifo_met is not None and edf_met is not None
+                else None
+            ),
+        },
+    }
+
+
+def headline_ok(report: dict) -> bool | None:
+    """Did EDF hold the line on this report?
+
+    True when EDF met every urgent deadline (nothing left to beat) or met
+    deadlines FIFO missed; False when it did neither; None when the
+    fifo/edf contrast was not part of the run.  The single definition used
+    by both the CLI exit code and the perf smoke test.
+    """
+    summary = report["summary"]
+    edf_met = summary["edf_urgent_met"]
+    if edf_met is not None and edf_met == report["workload"]["urgent_jobs"]:
+        return True
+    return summary["edf_meets_deadlines_fifo_misses"]
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the benchmark report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def format_report(report: dict) -> str:
+    """Render the report as an aligned plain-text table."""
+    header = (
+        f"{'policy':8s} {'urgent met':>10s} {'expired':>8s} {'amort':>6s} "
+        f"{'p50':>9s} {'p95':>9s} {'wall':>8s}"
+    )
+    workload = report["workload"]
+    lines = [
+        f"bench-scheduler: {workload['bulk_jobs']} bulk jobs in "
+        f"{workload['bulk_groups']} groups + {workload['urgent_jobs']} urgent "
+        f"(deadline {workload['urgent_deadline_seconds'] * 1e3:.0f} ms)",
+        header,
+        "-" * len(header),
+    ]
+    for run in report["policies"]:
+        lines.append(
+            f"{run['policy']:8s} {run['urgent_met']:>7d}/{run['urgent_met'] + run['urgent_missed']:<2d} "
+            f"{run['expired']:>8d} {run['amortization']:>5.2f} "
+            f"{run['latency_p50_ms']:>7.1f}ms {run['latency_p95_ms']:>7.1f}ms "
+            f"{run['wall_seconds']:>7.2f}s"
+        )
+    admission = report["admission"]
+    summary = report["summary"]
+    lines.append(
+        f"admission: {admission['rejected']}/{admission['burst']} shed at "
+        f"queue_limit={admission['queue_limit']}"
+    )
+    verdict = summary["edf_meets_deadlines_fifo_misses"]
+    if verdict is None:
+        lines.append("EDF-vs-FIFO contrast: n/a (both policies were not run)")
+    else:
+        lines.append(
+            "EDF meets deadlines FIFO misses: "
+            f"{'yes' if verdict else 'NO'} "
+            f"(fifo {summary['fifo_urgent_met']}, edf {summary['edf_urgent_met']})"
+        )
+    return "\n".join(lines)

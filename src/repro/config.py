@@ -242,6 +242,12 @@ class SystemConfig:
         return hashlib.sha1(repr(astuple(self)).encode()).hexdigest()[:12]
 
 
+#: Scheduling policies accepted by :attr:`ServiceConfig.policy`; the
+#: implementations live in :mod:`repro.service.scheduler` (which validates
+#: against this tuple so the two cannot drift apart).
+SCHEDULING_POLICIES = ("fifo", "largest", "edf")
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of the :mod:`repro.service` traversal-serving layer.
@@ -262,6 +268,22 @@ class ServiceConfig:
     #: Maximum finished jobs kept addressable by id; the oldest finished jobs
     #: beyond this are pruned so a long-running server's memory stays bounded.
     job_retention: int = 4096
+    #: Which pending batch group a free worker drains next: ``"fifo"``
+    #: (arrival order, the default), ``"largest"`` (most jobs first, maximizing
+    #: multi-source amortization per engine sweep), or ``"edf"`` (earliest
+    #: deadline first).  See :mod:`repro.service.scheduler`.
+    policy: str = "fifo"
+    #: Maximum jobs waiting in the queue; a submit beyond this raises
+    #: :class:`~repro.errors.AdmissionError` instead of growing the backlog
+    #: without bound.  ``None`` disables the limit.
+    queue_limit: int | None = None
+    #: Maximum *pending* jobs per tenant (requests without a tenant share the
+    #: anonymous bucket); a submit beyond this raises
+    #: :class:`~repro.errors.AdmissionError`.  ``None`` disables quotas.
+    tenant_quota: int | None = None
+    #: Number of recently finished jobs whose queueing/total latencies feed
+    #: the percentile estimates in :class:`~repro.service.stats.ServiceStats`.
+    latency_window: int = 2048
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -272,6 +294,17 @@ class ServiceConfig:
             raise ConfigurationError("result_cache_entries cannot be negative")
         if self.job_retention <= 0:
             raise ConfigurationError("job_retention must be positive")
+        if self.policy not in SCHEDULING_POLICIES:
+            raise ConfigurationError(
+                f"unknown scheduling policy {self.policy!r}; "
+                f"choose one of: {', '.join(SCHEDULING_POLICIES)}"
+            )
+        if self.queue_limit is not None and self.queue_limit <= 0:
+            raise ConfigurationError("queue_limit must be positive or None")
+        if self.tenant_quota is not None and self.tenant_quota <= 0:
+            raise ConfigurationError("tenant_quota must be positive or None")
+        if self.latency_window <= 0:
+            raise ConfigurationError("latency_window must be positive")
 
 
 #: PCIe 3.0 x16 as measured in the paper (cudaMemcpy peak ≈ 12.3 GB/s).

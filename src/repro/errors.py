@@ -36,6 +36,29 @@ class ServiceError(ReproError):
     """A serving-layer (:mod:`repro.service`) operation failed."""
 
 
+class AdmissionError(ServiceError):
+    """A submission was rejected by admission control.
+
+    Raised by :meth:`repro.service.Service.submit` when the pending queue is
+    at its configured limit or the request's tenant has exhausted its quota.
+    The offending ``tenant`` (possibly ``None`` for anonymous traffic) is
+    attached so multi-tenant clients can tell a full server from their own
+    quota without parsing the message.
+    """
+
+    def __init__(self, message: str, tenant: str | None = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class DeadlineExceededError(ServiceError):
+    """A job's deadline passed while it was still waiting in the queue.
+
+    The scheduler fails expired jobs *before* execution so a request that can
+    no longer be useful never occupies an engine.
+    """
+
+
 class UnknownGraphError(ServiceError):
     """A traversal request names a graph the registry does not know."""
 

@@ -9,7 +9,9 @@ the serving stacks built over specialized engines:
 * :class:`TraversalRequest` — hashable normalized requests
   (:mod:`repro.service.requests`);
 * :class:`RequestQueue` — in-flight deduplication + same-configuration
-  batching (:mod:`repro.service.queue`);
+  batching + bounded admission (:mod:`repro.service.queue`);
+* :class:`SchedulingPolicy` — pluggable drain ordering: FIFO, largest batch
+  first, earliest deadline first (:mod:`repro.service.scheduler`);
 * :class:`WorkerPool` — bounded thread-pool execution
   (:mod:`repro.service.workers`);
 * :class:`ResultCache` — LRU result reuse with hit/miss accounting
@@ -20,14 +22,22 @@ the serving stacks built over specialized engines:
   ``python -m repro.cli serve-batch`` (:mod:`repro.service.workload`).
 """
 
-from ..config import ServiceConfig
+from ..config import SCHEDULING_POLICIES, ServiceConfig
+from ..errors import AdmissionError, DeadlineExceededError
 from .cache import CacheStats, ResultCache
 from .jobs import Job, JobStatus
 from .queue import RequestQueue
 from .registry import GraphRegistry, RegistryStats
 from .requests import TraversalRequest
+from .scheduler import (
+    EdfPolicy,
+    FifoPolicy,
+    LargestBatchPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
 from .service import Engine, Service, default_engine
-from .stats import ServiceStats
+from .stats import LatencyStats, ServiceStats
 from .workers import WorkerPool
 from .workload import (
     WorkloadReport,
@@ -40,20 +50,29 @@ from .workload import (
 )
 
 __all__ = [
+    "AdmissionError",
     "CacheStats",
+    "DeadlineExceededError",
+    "EdfPolicy",
     "Engine",
+    "FifoPolicy",
     "GraphRegistry",
     "Job",
     "JobStatus",
+    "LargestBatchPolicy",
+    "LatencyStats",
     "RegistryStats",
     "RequestQueue",
     "ResultCache",
+    "SCHEDULING_POLICIES",
+    "SchedulingPolicy",
     "Service",
     "ServiceConfig",
     "ServiceStats",
     "TraversalRequest",
     "WorkerPool",
     "WorkloadReport",
+    "make_policy",
     "build_service",
     "config_from_spec",
     "default_engine",

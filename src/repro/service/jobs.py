@@ -37,12 +37,57 @@ class Job:
     submitted_at: float = field(default_factory=time.perf_counter)
     started_at: float | None = None
     finished_at: float | None = None
+    #: Earliest waiter deadline (same clock as the other timestamps), derived
+    #: from the request's relative ``deadline`` at enqueue and tightened when
+    #: more urgent duplicates join; ``None`` if no waiter carries a deadline.
+    #: This is the job's *scheduling* urgency (EDF priority, met/missed
+    #: accounting).
+    deadline_at: float | None = None
+    #: Latest waiter deadline, past which the job is useless to *every*
+    #: waiter and may be expired in the queue; ``None`` means never expire —
+    #: either no deadline was requested or a deadline-free duplicate joined
+    #: and is still owed the result.
+    expire_at: float | None = None
+    #: Absolute deadline of every waiter that carried one (the original
+    #: request plus joined duplicates), so met/missed accounting can judge
+    #: each waiter against its *own* budget instead of the tightest.
+    deadline_waiters: list = field(default_factory=list)
     result: TraversalResult | None = None
     error: BaseException | None = None
     #: True when the result was served from the result cache without running
     #: the engine.
     from_cache: bool = False
+    #: Bookkeeping flag (owned by the service, mutated under its lock): the
+    #: job has been entered into the retention-pruning order exactly once.
+    retention_noted: bool = field(default=False, repr=False)
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline_at is None and self.request.deadline is not None:
+            self.deadline_at = self.submitted_at + self.request.deadline
+            self.expire_at = self.deadline_at
+        if self.deadline_at is not None and not self.deadline_waiters:
+            self.deadline_waiters.append(self.deadline_at)
+
+    def note_joined(self, other: "Job") -> None:
+        """Fold a deduplicated duplicate's deadline into this shared job.
+
+        Called under the queue lock when ``other`` joins this in-flight job.
+        The most urgent waiter drives scheduling (``deadline_at`` only ever
+        tightens), while expiry only survives if *every* waiter carries a
+        deadline: a deadline-free duplicate is owed the result no matter how
+        late it arrives, so joining one makes the job unexpirable
+        (``expire_at = None``); otherwise the job stays useful until the
+        *latest* waiter deadline.
+        """
+        if other.deadline_at is not None:
+            self.deadline_waiters.append(other.deadline_at)
+            if self.deadline_at is None or other.deadline_at < self.deadline_at:
+                self.deadline_at = other.deadline_at
+        if other.deadline_at is None or self.expire_at is None:
+            self.expire_at = None
+        elif other.deadline_at > self.expire_at:
+            self.expire_at = other.deadline_at
 
     # ------------------------------------------------------------------ #
     # Transitions (called by the service; jobs are passive records)
@@ -100,3 +145,21 @@ class Job:
         if self.finished_at is None:
             return None
         return self.finished_at - self.submitted_at
+
+    def expired(self, now: float | None = None) -> bool:
+        """True once the job is useless to every waiter and still unfinished."""
+        if self.expire_at is None or self.done:
+            return False
+        return (time.perf_counter() if now is None else now) > self.expire_at
+
+    @property
+    def met_deadline(self) -> bool | None:
+        """Did the job complete within its *tightest* waiter deadline?
+
+        ``None`` while unfinished or when no waiter carries a deadline; a job
+        that failed (including queue expiry) counts as a miss.  Service stats
+        judge each waiter against its own budget via ``deadline_waiters``.
+        """
+        if self.deadline_at is None or self.finished_at is None:
+            return None
+        return self.status is JobStatus.DONE and self.finished_at <= self.deadline_at

@@ -1,6 +1,6 @@
-"""Pending-request queue with in-flight deduplication and batch grouping.
+"""Pending-request queue: dedup, batch grouping, admission, scheduling.
 
-Two serving optimizations live here:
+Three serving concerns meet here:
 
 * **Deduplication** — an index over in-flight jobs by result identity
   (:attr:`TraversalRequest.cache_key`) lets a new identical request join the
@@ -11,27 +11,50 @@ Two serving optimizations live here:
   platform, sources free), and a worker drains a whole group at once.  The
   group shares one registry lookup and one warm engine configuration, the
   amortization the paper's 64-source ``run_average`` experiments rely on.
+* **Admission + scheduling** — enqueueing is bounded (global queue limit,
+  per-tenant quotas; over-limit submissions raise
+  :class:`~repro.errors.AdmissionError` atomically with the enqueue attempt),
+  and *which* group a worker drains next is delegated to a pluggable
+  :class:`~repro.service.scheduler.SchedulingPolicy`.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from typing import Callable
 
+from ..errors import AdmissionError
 from .jobs import Job
+from .scheduler import SchedulingPolicy, group_deadline, make_policy
 
 
 class RequestQueue:
-    """Thread-safe FIFO of batch groups plus the in-flight dedup index."""
+    """Thread-safe queue of batch groups plus the in-flight dedup index."""
 
-    def __init__(self) -> None:
+    def __init__(self, policy: SchedulingPolicy | str | None = None) -> None:
         self._lock = threading.Lock()
+        self._policy = make_policy(policy)
         self._groups: OrderedDict[tuple, list[Job]] = OrderedDict()
+        #: Most urgent absolute deadline per pending group (inf when none),
+        #: maintained incrementally on push/join/discard so deadline-aware
+        #: policies select in O(groups) instead of rescanning every job.
+        self._group_deadlines: dict[tuple, float] = {}
         self._inflight: dict[tuple, Job] = {}
+        self._pending = 0
+        self._pending_by_tenant: dict[str | None, int] = {}
+
+    @property
+    def policy(self) -> SchedulingPolicy:
+        return self._policy
 
     def push_or_join(
-        self, job: Job, cache_lookup: Callable[[tuple], object] | None = None
+        self,
+        job: Job,
+        cache_lookup: Callable[[tuple], object] | None = None,
+        queue_limit: int | None = None,
+        tenant_quota: int | None = None,
     ) -> tuple[str, object]:
         """Enqueue ``job``, join the identical in-flight job, or hit the cache.
 
@@ -41,37 +64,101 @@ class RequestQueue:
             ("joined", existing)   an identical request is pending or running
             ("cached", result)     ``cache_lookup`` found a finished result
 
-        All three checks happen atomically under the queue lock.  Workers
-        publish a finished result to the cache *before* releasing the dedup
-        entry, so as long as the cache can hold the entry, every identical
-        request finds either the in-flight job or the cached result and never
-        re-executes.  (With caching disabled or the entry evicted, a
-        duplicate arriving after completion re-runs — correct, just not
-        amortized.)
+        All checks happen atomically under the queue lock.  Workers publish a
+        finished result to the cache *before* releasing the dedup entry, so as
+        long as the cache can hold the entry, every identical request finds
+        either the in-flight job or the cached result and never re-executes.
+        (With caching disabled or the entry evicted, a duplicate arriving
+        after completion re-runs — correct, just not amortized.)
+
+        Admission control applies only to the "queued" outcome: joining an
+        in-flight job or being answered from cache consumes no queue capacity,
+        so those submissions are always admitted.  A full queue
+        (``queue_limit``) or exhausted tenant quota (``tenant_quota``;
+        tenant-less requests share the anonymous ``None`` bucket) raises
+        :class:`AdmissionError` without enqueueing anything.
         """
         key = job.request.cache_key
         with self._lock:
             existing = self._inflight.get(key)
             if existing is not None:
+                # Merge the duplicate's urgency into the shared job: the most
+                # urgent waiter drives EDF priority, and a deadline-free
+                # waiter makes the job unexpirable (it is owed the result).
+                existing.note_joined(job)
+                batch_key = existing.request.batch_key
+                if (
+                    existing.deadline_at is not None
+                    and existing.deadline_at
+                    < self._group_deadlines.get(batch_key, math.inf)
+                    and existing in self._groups.get(batch_key, ())
+                ):
+                    # The shared job is still pending: its tightened urgency
+                    # promotes the whole group.  (A running job's deadline
+                    # must not leak into the group left behind.)
+                    self._group_deadlines[batch_key] = existing.deadline_at
                 return "joined", existing
             if cache_lookup is not None:
                 cached = cache_lookup(key)
                 if cached is not None:
                     return "cached", cached
+            tenant = job.request.tenant
+            if queue_limit is not None and self._pending >= queue_limit:
+                raise AdmissionError(
+                    f"queue full: {self._pending} jobs pending "
+                    f"(queue_limit={queue_limit})",
+                    tenant=tenant,
+                )
+            if tenant_quota is not None:
+                held = self._pending_by_tenant.get(tenant, 0)
+                if held >= tenant_quota:
+                    raise AdmissionError(
+                        f"tenant {tenant!r} has {held} jobs pending "
+                        f"(tenant_quota={tenant_quota})",
+                        tenant=tenant,
+                    )
             self._inflight[key] = job
-            self._groups.setdefault(job.request.batch_key, []).append(job)
+            batch_key = job.request.batch_key
+            self._groups.setdefault(batch_key, []).append(job)
+            self._group_deadlines[batch_key] = min(
+                self._group_deadlines.get(batch_key, math.inf),
+                job.deadline_at if job.deadline_at is not None else math.inf,
+            )
+            self._pending += 1
+            self._pending_by_tenant[tenant] = (
+                self._pending_by_tenant.get(tenant, 0) + 1
+            )
             return "queued", job
 
-    def pop_batch(self) -> list[Job]:
-        """Remove and return the oldest batch group (empty list if idle).
+    def _forget_pending(self, job: Job) -> None:
+        """Update the pending counters for one dequeued job (lock held)."""
+        self._pending -= 1
+        tenant = job.request.tenant
+        remaining = self._pending_by_tenant.get(tenant, 0) - 1
+        if remaining > 0:
+            self._pending_by_tenant[tenant] = remaining
+        else:
+            self._pending_by_tenant.pop(tenant, None)
 
-        The entire group is handed to one worker; groups enqueued later can be
-        drained concurrently by other workers.
+    def pop_batch(self) -> list[Job]:
+        """Remove and return the next batch group (empty list if idle).
+
+        The scheduling policy chooses the group; the entire group is handed
+        to one worker, and groups left behind can be drained concurrently by
+        other workers.
         """
         with self._lock:
             if not self._groups:
                 return []
-            _, jobs = self._groups.popitem(last=False)
+            key = self._policy.select(self._groups, self._group_deadlines)
+            jobs = self._groups.pop(key, None)
+            if jobs is None:
+                # Defensive: a policy named a non-pending group; fall back to
+                # arrival order rather than dropping the wakeup.
+                key, jobs = self._groups.popitem(last=False)
+            self._group_deadlines.pop(key, None)
+            for job in jobs:
+                self._forget_pending(job)
             return jobs
 
     def discard(self, job: Job) -> bool:
@@ -86,8 +173,32 @@ class RequestQueue:
             if group is None or job not in group:
                 return False
             group.remove(job)
+            self._forget_pending(job)
             if not group:
                 del self._groups[job.request.batch_key]
+                self._group_deadlines.pop(job.request.batch_key, None)
+            elif job.deadline_at is not None:
+                # The withdrawn job may have been the group's most urgent
+                # member; recompute from the survivors (rare path, small
+                # group) so the cache never overstates urgency.
+                self._group_deadlines[job.request.batch_key] = group_deadline(group)
+            if self._inflight.get(job.request.cache_key) is job:
+                del self._inflight[job.request.cache_key]
+            return True
+
+    def expire(self, job: Job, now: float) -> bool:
+        """Atomically decide expiry and retire the dedup entry.
+
+        The expiry check and the in-flight removal happen under one lock so
+        a deadline-free duplicate can never join the job *after* it was
+        judged expired (it either joined earlier — clearing ``expire_at``,
+        making this return False — or misses the dedup entry entirely and
+        enqueues its own execution).  Returns True when the caller now owns
+        failing the job; no further :meth:`release` is needed.
+        """
+        with self._lock:
+            if not job.expired(now):
+                return False
             if self._inflight.get(job.request.cache_key) is job:
                 del self._inflight[job.request.cache_key]
             return True
@@ -111,7 +222,12 @@ class RequestQueue:
     def pending_count(self) -> int:
         """Jobs enqueued but not yet picked up by a worker."""
         with self._lock:
-            return sum(len(jobs) for jobs in self._groups.values())
+            return self._pending
+
+    def pending_by_tenant(self) -> dict[str | None, int]:
+        """Snapshot of queued-job counts per tenant (``None`` = anonymous)."""
+        with self._lock:
+            return dict(self._pending_by_tenant)
 
     def inflight_count(self) -> int:
         """Jobs queued or running (the dedup window)."""

@@ -32,6 +32,13 @@ class RegistryStats:
     resident_graphs: int
     resident_bytes: int
     budget_bytes: int | None
+    #: Graphs registered via :meth:`GraphRegistry.register_graph`, whose
+    #: bytes are pinned by the loader closure: evicting them drops only the
+    #: registry's reference, never the underlying memory.  Reported
+    #: separately so ``resident_bytes`` shrinking on eviction is not read as
+    #: those bytes actually having been released.
+    pinned_graphs: int = 0
+    pinned_bytes: int = 0
 
 
 class GraphRegistry:
@@ -55,6 +62,10 @@ class GraphRegistry:
         #: proceed without serializing behind a slow generator.
         self._loading: dict[str, threading.Event] = {}
         self._loaders: dict[str, Callable[[], CSRGraph]] = {}
+        #: Simulated bytes per graph registered through register_graph: those
+        #: loaders close over the CSRGraph itself, so the bytes stay alive for
+        #: the registry's lifetime whatever the LRU does (see register_graph).
+        self._pinned: dict[str, int] = {}
         self._resident: OrderedDict[str, CSRGraph] = OrderedDict()
         self._loads = 0
         self._evictions = 0
@@ -74,9 +85,19 @@ class GraphRegistry:
             self._loaders[name] = loader
 
     def register_graph(self, graph: CSRGraph, name: str | None = None) -> str:
-        """Register an already-built graph under ``name`` (default: its own)."""
+        """Register an already-built graph under ``name`` (default: its own).
+
+        The loader closes over ``graph``, which *pins* it: :meth:`evict` and
+        budget eviction only drop the registry's resident reference, so for
+        pinned graphs eviction frees no memory (reloading is instant for the
+        same reason).  Use :meth:`register` with a loader that rebuilds the
+        graph when evictability matters; pinned bytes are reported separately
+        in :class:`RegistryStats` so the eviction counters stay honest.
+        """
         name = name or graph.name
         self.register(name, lambda: graph)
+        with self._lock:
+            self._pinned[name] = graph.total_bytes
         return name
 
     def register_dataset(self, symbol: str, name: str | None = None, **load_kwargs) -> str:
@@ -185,7 +206,12 @@ class GraphRegistry:
     # Eviction
     # ------------------------------------------------------------------ #
     def evict(self, name: str) -> bool:
-        """Drop one resident graph; returns whether it was resident."""
+        """Drop one resident graph; returns whether it was resident.
+
+        For graphs registered via :meth:`register_graph` this only removes
+        the registry's reference — the loader closure still pins the actual
+        bytes (see :class:`RegistryStats`).
+        """
         with self._lock:
             if name not in self._resident:
                 return False
@@ -222,4 +248,6 @@ class GraphRegistry:
                 resident_graphs=len(self._resident),
                 resident_bytes=sum(g.total_bytes for g in self._resident.values()),
                 budget_bytes=self.budget_bytes,
+                pinned_graphs=len(self._pinned),
+                pinned_bytes=sum(self._pinned.values()),
             )

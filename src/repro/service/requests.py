@@ -15,8 +15,10 @@ from dataclasses import dataclass, replace
 from ..config import SystemConfig
 from ..traversal.api import (
     normalize_application,
+    normalize_deadline,
     normalize_source,
     normalize_strategy,
+    normalize_tenant,
 )
 from ..types import AccessStrategy, Application, EMOGI_STRATEGY
 
@@ -34,12 +36,20 @@ class TraversalRequest:
     source: int | None = None
     strategy: AccessStrategy = EMOGI_STRATEGY
     system: SystemConfig | None = None
+    #: Latency budget in seconds from submission; ``None`` means "whenever".
+    #: Purely a scheduling hint: the EDF policy orders by it, and jobs whose
+    #: budget lapses while queued are failed before execution.
+    deadline: float | None = None
+    #: Owning tenant for per-tenant admission quotas; ``None`` is anonymous.
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         application = normalize_application(self.application)
         object.__setattr__(self, "application", application)
         object.__setattr__(self, "strategy", normalize_strategy(self.strategy))
         object.__setattr__(self, "source", normalize_source(application, self.source))
+        object.__setattr__(self, "deadline", normalize_deadline(self.deadline))
+        object.__setattr__(self, "tenant", normalize_tenant(self.tenant))
         if not isinstance(self.graph, str) or not self.graph:
             raise ValueError(f"graph must be a non-empty name, got {self.graph!r}")
 
@@ -52,7 +62,13 @@ class TraversalRequest:
 
     @property
     def cache_key(self) -> tuple:
-        """Identity of this request's *result*: same key, same answer."""
+        """Identity of this request's *result*: same key, same answer.
+
+        ``deadline`` and ``tenant`` are deliberately excluded: they change
+        *when* and *whether* the work runs, never what the answer is, so two
+        requests differing only in urgency or ownership still deduplicate
+        onto one execution and share cached results.
+        """
         return (
             self.graph,
             self.application.value,
@@ -78,7 +94,12 @@ class TraversalRequest:
 
     def describe(self) -> str:
         source = "-" if self.source is None else str(self.source)
+        extras = ""
+        if self.deadline is not None:
+            extras += f", deadline={self.deadline:g}s"
+        if self.tenant is not None:
+            extras += f", tenant={self.tenant}"
         return (
             f"{self.application.value}({self.graph}, source={source}, "
-            f"strategy={self.strategy.value}, system={self.system_key})"
+            f"strategy={self.strategy.value}, system={self.system_key}{extras})"
         )

@@ -1,0 +1,156 @@
+"""Pluggable scheduling policies: which pending batch group runs next.
+
+The request queue groups pending jobs by :attr:`TraversalRequest.batch_key`
+(:mod:`repro.service.queue`); whenever a worker frees up it drains exactly one
+group.  *Which* group is the scheduling decision, and under a deep queue it is
+the difference between a server that merely stays busy and one that spends its
+engine sweeps where they matter.  Three policies ship:
+
+``fifo``
+    Arrival order of the groups — exactly the pre-policy behaviour, and the
+    default.  Predictable and starvation-free, but a deep backlog of bulk
+    work delays every latecomer, deadline or not.
+``largest``
+    The group with the most pending jobs first.  Multi-source batched
+    execution pays each frontier sweep once per *group*, so draining the
+    widest group maximizes jobs retired per sweep (throughput), at the cost
+    of letting small groups wait.
+``edf``
+    Earliest deadline first: the group whose most urgent member job expires
+    soonest.  Groups with no deadlines sort last (among themselves: FIFO).
+    Classic EDF is optimal for meeting feasible deadlines on one machine,
+    and under the skewed workloads of ``BENCH_scheduler.json`` it meets
+    deadlines strict FIFO cannot.
+
+Policies only *order* work; admission control (queue limits, tenant quotas)
+lives in :meth:`RequestQueue.push_or_join` and expiry of already-missed
+deadlines in :meth:`Service._drain_one_batch`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..config import SCHEDULING_POLICIES
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .jobs import Job
+
+#: Effective deadline of a group none of whose jobs carry one: sorts last.
+_NO_DEADLINE = float("inf")
+
+
+class SchedulingPolicy(abc.ABC):
+    """Strategy object choosing the next batch group to drain.
+
+    ``select`` receives the queue's live group mapping (batch key -> pending
+    jobs, iteration order = group creation order) and returns the key of the
+    group a worker should execute next.  It is called under the queue lock:
+    implementations must be fast, must not block, and must treat the mapping
+    as read-only.  The mapping is never empty.
+    """
+
+    #: Stable name used by :class:`~repro.config.ServiceConfig.policy`.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        groups: Mapping[tuple, Sequence["Job"]],
+        group_deadlines: Mapping[tuple, float] | None = None,
+    ) -> tuple:
+        """Return the batch key of the group to drain next.
+
+        ``group_deadlines`` is the queue's incrementally maintained map of
+        each group's most urgent absolute deadline (inf when none), letting
+        deadline-aware policies stay O(groups) instead of rescanning every
+        pending job; policies that don't need it ignore it, and it may be
+        omitted (EDF then derives the same values from the jobs).
+        """
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Drain groups in arrival order — the historical default behaviour."""
+
+    name = "fifo"
+
+    def select(
+        self,
+        groups: Mapping[tuple, Sequence["Job"]],
+        group_deadlines: Mapping[tuple, float] | None = None,
+    ) -> tuple:
+        return next(iter(groups))
+
+
+class LargestBatchPolicy(SchedulingPolicy):
+    """Drain the widest group first; ties break toward the older group."""
+
+    name = "largest"
+
+    def select(
+        self,
+        groups: Mapping[tuple, Sequence["Job"]],
+        group_deadlines: Mapping[tuple, float] | None = None,
+    ) -> tuple:
+        best_key = None
+        best_size = -1
+        for key, jobs in groups.items():
+            if len(jobs) > best_size:
+                best_key, best_size = key, len(jobs)
+        return best_key
+
+
+def group_deadline(jobs: Sequence["Job"]) -> float:
+    """Absolute deadline of a group: its most urgent member (inf if none)."""
+    return min(
+        (job.deadline_at for job in jobs if job.deadline_at is not None),
+        default=_NO_DEADLINE,
+    )
+
+
+class EdfPolicy(SchedulingPolicy):
+    """Earliest-deadline-first over groups; deadline-free groups go last."""
+
+    name = "edf"
+
+    def select(
+        self,
+        groups: Mapping[tuple, Sequence["Job"]],
+        group_deadlines: Mapping[tuple, float] | None = None,
+    ) -> tuple:
+        best_key = None
+        best_deadline = None
+        for key, jobs in groups.items():
+            if group_deadlines is not None:
+                deadline = group_deadlines.get(key, _NO_DEADLINE)
+            else:
+                deadline = group_deadline(jobs)
+            # Strict < keeps ties (and the all-inf case) in arrival order.
+            if best_deadline is None or deadline < best_deadline:
+                best_key, best_deadline = key, deadline
+        return best_key
+
+
+_POLICY_CLASSES: dict[str, type[SchedulingPolicy]] = {
+    policy.name: policy for policy in (FifoPolicy, LargestBatchPolicy, EdfPolicy)
+}
+assert set(_POLICY_CLASSES) == set(SCHEDULING_POLICIES), (
+    "repro.config.SCHEDULING_POLICIES and repro.service.scheduler drifted apart"
+)
+
+
+def make_policy(policy: str | SchedulingPolicy | None) -> SchedulingPolicy:
+    """Resolve a policy name (or pass through an instance; ``None`` = FIFO)."""
+    if policy is None:
+        return FifoPolicy()
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return _POLICY_CLASSES[policy]()
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown scheduling policy {policy!r}; "
+            f"choose one of: {', '.join(SCHEDULING_POLICIES)}"
+        ) from None

@@ -17,10 +17,18 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from collections import deque
 from typing import Callable, Iterable
 
 from ..config import ServiceConfig, SystemConfig, default_system
-from ..errors import JobFailedError, JobNotFoundError, ServiceError, SimulationError
+from ..errors import (
+    AdmissionError,
+    DeadlineExceededError,
+    JobFailedError,
+    JobNotFoundError,
+    ServiceError,
+    SimulationError,
+)
 from ..graph.csr import CSRGraph
 from ..traversal.api import run
 from ..traversal.arena import EngineArena
@@ -35,7 +43,7 @@ from .jobs import Job, JobStatus
 from .queue import RequestQueue
 from .registry import GraphRegistry
 from .requests import TraversalRequest
-from .stats import ServiceStats
+from .stats import LatencyStats, ServiceStats
 from .workers import WorkerPool
 
 #: Signature of the execution backend: given a normalized request and the
@@ -77,18 +85,33 @@ class Service:
         self._engine = engine
         self._arena = EngineArena(max_idle=max(8, 2 * self.config.max_workers))
         self._cache = ResultCache(self.config.result_cache_entries)
-        self._queue = RequestQueue()
+        self._queue = RequestQueue(policy=self.config.policy)
         self._pool = WorkerPool(self.config.max_workers)
         self._jobs: dict[str, Job] = {}
+        #: Completion order of jobs still in ``_jobs`` (ids, oldest first):
+        #: retention pruning pops from the head instead of rescanning the
+        #: whole table, so a deep unfinished backlog costs nothing to skip.
+        self._finished_order: deque[str] = deque()
         self._lock = threading.Lock()
+        #: Serializes the closed-flag check with enqueue + dispatch, so a
+        #: racing close() can never observe a submission half-way through
+        #: (see submit/close).  Kept separate from ``self._lock`` because the
+        #: submission path re-acquires ``self._lock`` internally.
+        self._admission_lock = threading.Lock()
         self._job_ids = itertools.count(1)
         self._submitted = 0
         self._deduplicated = 0
         self._completed = 0
         self._failed = 0
+        self._rejected = 0
+        self._expired = 0
+        self._deadlines_met = 0
+        self._deadlines_missed = 0
         self._executions = 0
         self._batches = 0
         self._engine_seconds = 0.0
+        self._wait_samples: deque[float] = deque(maxlen=self.config.latency_window)
+        self._latency_samples: deque[float] = deque(maxlen=self.config.latency_window)
         self._started_at = time.perf_counter()
         self._closed = False
 
@@ -118,49 +141,79 @@ class Service:
         The returned job may be shared with earlier clients (deduplication)
         or already complete (result-cache hit); callers should treat it as
         read-only and collect the answer through :meth:`result`.
+
+        Raises :class:`~repro.errors.AdmissionError` when the pending queue
+        is at ``config.queue_limit`` or the request's tenant is at
+        ``config.tenant_quota``.  Submissions that join an in-flight job or
+        hit the result cache consume no queue capacity and are always
+        admitted.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
         if request.graph not in self.registry:
             # Fail fast at the front door: a typo'd graph name should not
             # consume a worker slot before being rejected.
             self.registry.get(request.graph)  # raises UnknownGraphError
         request = request.with_system(request.system or self.system)
-        with self._lock:
-            self._submitted += 1
-            job_id = f"job-{next(self._job_ids)}"
-        job = Job(job_id=job_id, request=request)
 
-        # The dedup-index lookup, cache lookup and enqueue are one atomic
-        # step (see RequestQueue.push_or_join), so while the cache retains
-        # the entry an identical request is answered by exactly one
-        # execution no matter how submissions interleave.
-        outcome, payload = self._queue.push_or_join(job, cache_lookup=self._cache.get)
-        if outcome == "joined":
-            with self._lock:
-                self._deduplicated += 1
-            return payload
-        if outcome == "cached":
-            job.mark_done(payload, from_cache=True)
-            with self._lock:
-                self._completed += 1
-                self._jobs[job_id] = job
-                self._prune_finished_jobs()
-            return job
-        with self._lock:
-            self._jobs[job_id] = job
-            self._prune_finished_jobs()
-        try:
-            self._pool.submit(self._drain_one_batch)
-        except ServiceError as exc:
-            # close() raced with this submit: withdraw the job so nobody
-            # blocks forever on a wakeup that will never come.  If a worker
-            # already grabbed it, that worker owns its completion.
-            if self._queue.discard(job):
-                job.mark_failed(exc)
+        # The closed check, the dedup/cache/enqueue step and the worker
+        # wakeup all happen under one admission lock, making submission
+        # atomic with respect to close(): once close() has set the flag, no
+        # job can slip into the queue or the pool behind it.
+        with self._admission_lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            job = Job(job_id=f"job-{next(self._job_ids)}", request=request)
+            # The dedup-index lookup, cache lookup, admission checks and
+            # enqueue are one atomic step (see RequestQueue.push_or_join),
+            # so while the cache retains the entry an identical request is
+            # answered by exactly one execution no matter how submissions
+            # interleave.
+            try:
+                outcome, payload = self._queue.push_or_join(
+                    job,
+                    cache_lookup=self._cache.get,
+                    queue_limit=self.config.queue_limit,
+                    tenant_quota=self.config.tenant_quota,
+                )
+            except AdmissionError:
                 with self._lock:
-                    self._failed += 1
-        return job
+                    self._rejected += 1
+                raise
+            with self._lock:
+                self._submitted += 1
+            if outcome == "joined":
+                with self._lock:
+                    self._deduplicated += 1
+                return payload
+            if outcome == "cached":
+                job.mark_done(payload, from_cache=True)
+                with self._lock:
+                    self._completed += 1
+                    self._jobs[job.job_id] = job
+                    self._note_finished_locked(job)  # also enforces retention
+                return job
+            with self._lock:
+                self._jobs[job.job_id] = job
+                if job.done:
+                    # A worker raced ahead and finished the job before this
+                    # insert: its _note_finished_locked saw the id missing
+                    # from _jobs and skipped the entry, so make it here or
+                    # the job would be unprunable forever.
+                    self._mark_prunable_locked(job)
+                self._prune_finished_jobs()
+            try:
+                self._pool.submit(self._drain_one_batch)
+            except ServiceError as exc:
+                # Defensive only: with the admission lock held, close()
+                # cannot race this dispatch, so the pool refusing means it
+                # failed for its own reasons.  Withdraw the job so nobody
+                # blocks forever on a wakeup that will never come; if a
+                # worker already grabbed it, that worker owns its completion.
+                if self._queue.discard(job):
+                    job.mark_failed(exc)
+                    with self._lock:
+                        self._failed += 1
+                        self._note_finished_locked(job)
+            return job
 
     def submit_many(self, requests: Iterable[TraversalRequest]) -> list[Job]:
         return [self.submit(request) for request in requests]
@@ -172,13 +225,59 @@ class Service:
         long-running deployments: pruned jobs are no longer reachable via
         :meth:`job`/:meth:`result`-by-id, but Job objects already handed to
         clients keep working, and reusable results live on in the result
-        cache.  Unfinished jobs are never pruned.
+        cache.  The retention bound applies to *finished* jobs only, exactly
+        as :attr:`ServiceConfig.job_retention` promises: unfinished jobs are
+        never pruned, never scanned (the finished-order deque makes a deep
+        unfinished backlog cost O(1) here), and never crowd freshly finished
+        jobs out of the table.
         """
-        while len(self._jobs) > self.config.job_retention:
-            oldest_id = next(iter(self._jobs))
-            if not self._jobs[oldest_id].done:
-                return
-            del self._jobs[oldest_id]
+        excess = len(self._finished_order) - self.config.job_retention
+        while excess > 0 and self._finished_order:
+            self._jobs.pop(self._finished_order.popleft(), None)
+            excess -= 1
+
+    def _mark_prunable_locked(self, job: Job) -> None:
+        """Enter a finished, table-resident job into the pruning order once.
+
+        Caller holds ``self._lock``; ``retention_noted`` keeps the deque and
+        the finished-job count exact even when the completion racing with the
+        submit-side insert makes both sides try the entry.
+        """
+        if not job.retention_noted:
+            job.retention_noted = True
+            self._finished_order.append(job.job_id)
+
+    def _note_finished_locked(self, *jobs: Job) -> None:
+        """Record latency samples and deadline outcomes for finished jobs.
+
+        Caller holds ``self._lock``.  Every path that moves a job to a
+        terminal state funnels through here so the percentile window and the
+        deadline hit counters see cache hits, failures and expiries alike.
+        Deadlines are judged per *waiter*: a deduplicated job carrying both a
+        tight and a patient budget can count one miss and one met.
+        """
+        for job in jobs:
+            wait = job.wait_seconds
+            if wait is not None:
+                self._wait_samples.append(wait)
+            total = job.total_seconds
+            if total is not None:
+                self._latency_samples.append(total)
+            if job.job_id in self._jobs:
+                self._mark_prunable_locked(job)
+            finished_at = job.finished_at
+            for deadline_at in job.deadline_waiters:
+                if (
+                    job.status is JobStatus.DONE
+                    and finished_at is not None
+                    and finished_at <= deadline_at
+                ):
+                    self._deadlines_met += 1
+                else:
+                    self._deadlines_missed += 1
+        # Enforce the retention bound at completion time, not merely at the
+        # next submit, so an idle server does not hold extra finished jobs.
+        self._prune_finished_jobs()
 
     # ------------------------------------------------------------------ #
     # Results
@@ -227,6 +326,11 @@ class Service:
         if not batch:
             # Another worker already drained the group this wakeup was for.
             return
+        batch = self._fail_expired(batch)
+        if not batch:
+            # Fully expired groups never reach an engine sweep, so they do
+            # not count as batches — amortization stays executions-per-sweep.
+            return
         with self._lock:
             self._batches += 1
         try:
@@ -237,12 +341,44 @@ class Service:
                 self._queue.release(job)
             with self._lock:
                 self._failed += len(batch)
+                self._note_finished_locked(*batch)
             return
         if self._engine is None:
             self._execute_builtin(batch, graph)
             return
         for job in batch:
             self._execute_one(job, graph, lambda job: self._engine(job.request, graph))
+
+    def _fail_expired(self, batch: list[Job]) -> list[Job]:
+        """Fail the jobs whose deadline lapsed in the queue; return the rest.
+
+        Expiry is checked once per drained group, *before* execution: a
+        request that can no longer be useful never occupies an engine, which
+        is the whole point of deadline-aware scheduling under overload.
+        """
+        now = time.perf_counter()
+        live: list[Job] = []
+        expired: list[Job] = []
+        for job in batch:
+            # queue.expire decides AND retires the dedup entry atomically, so
+            # a deadline-free duplicate racing this check either rescued the
+            # job (expire_at cleared -> live) or re-executes on its own.
+            (expired if self._queue.expire(job, now) else live).append(job)
+        if not expired:
+            return batch
+        for job in expired:
+            job.mark_failed(
+                DeadlineExceededError(
+                    f"{job.job_id} expired in queue: deadline was "
+                    f"{job.request.deadline:g}s, waited "
+                    f"{now - job.submitted_at:.3f}s ({job.request.describe()})"
+                )
+            )
+        with self._lock:
+            self._failed += len(expired)
+            self._expired += len(expired)
+            self._note_finished_locked(*expired)
+        return live
 
     def _execute_one(self, job: Job, graph: CSRGraph, runner: Callable) -> None:
         """Run one job with full bookkeeping and job-level failure isolation."""
@@ -251,6 +387,8 @@ class Service:
         try:
             result = runner(job)
         except Exception as exc:  # noqa: BLE001 - job-level isolation
+            # Counters first, completion signal second: a client that wakes
+            # from result() must already see this job in the stats.
             with self._lock:
                 self._executions += 1
                 self._failed += 1
@@ -264,9 +402,13 @@ class Service:
             self._cache.put(job.request.cache_key, result)
             job.mark_done(result)
         finally:
-            # Only after the cache holds the result, so identical requests
-            # always find either the in-flight job or the cached answer.
+            # Release only after the cache holds the result, so identical
+            # requests always find either the in-flight job or the cached
+            # answer — and note only after the release, so no duplicate can
+            # still join and mutate the waiter list mid-accounting.
             self._queue.release(job)
+            with self._lock:
+                self._note_finished_locked(job)
 
     def _execute_builtin(self, batch: list[Job], graph: CSRGraph) -> None:
         """Drain one batch group on the built-in engine path.
@@ -280,9 +422,15 @@ class Service:
         runnable = []
         for job in batch:
             source = job.request.source
-            if source is not None and not 0 <= source < graph.num_vertices:
-                # Pre-validate so one bad source fails its own job, never the
-                # whole batch it happened to be grouped with.
+            # Pre-validate so one bad source fails its own job, never the
+            # whole batch it happened to be grouped with.  A missing source
+            # on a source-requiring application is just as poisonous to
+            # run_batch as an out-of-range one, so both take the solo path
+            # (where _run_leased raises for exactly these conditions).
+            invalid = job.request.application is not Application.CC and (
+                source is None or not 0 <= source < graph.num_vertices
+            )
+            if invalid:
                 self._execute_one(
                     job, graph, lambda job: self._run_leased(job.request, graph)
                 )
@@ -320,6 +468,8 @@ class Service:
             for job in runnable:
                 job.mark_failed(exc)
                 self._queue.release(job)
+            with self._lock:
+                self._note_finished_locked(*runnable)
             return
         elapsed = time.perf_counter() - started
         with self._lock:
@@ -330,6 +480,8 @@ class Service:
             self._cache.put(job.request.cache_key, result)
             job.mark_done(result)
             self._queue.release(job)
+        with self._lock:
+            self._note_finished_locked(*runnable)
 
     def _run_leased(self, request: TraversalRequest, graph: CSRGraph) -> TraversalResult:
         """Run one request against an engine leased from the arena."""
@@ -383,6 +535,13 @@ class Service:
                 uptime_seconds=time.perf_counter() - self._started_at,
                 cache=self._cache.stats(),
                 registry=self.registry.stats(),
+                policy=self.config.policy,
+                rejected=self._rejected,
+                expired=self._expired,
+                deadlines_met=self._deadlines_met,
+                deadlines_missed=self._deadlines_missed,
+                queue_wait=LatencyStats.from_samples(self._wait_samples),
+                latency=LatencyStats.from_samples(self._latency_samples),
             )
 
     def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
@@ -392,7 +551,14 @@ class Service:
         and their jobs failed (so no waiter blocks forever) instead of being
         executed; batches already running always complete.
         """
-        self._closed = True
+        # Taking the admission lock makes the flag flip atomic with respect
+        # to submit(): every submission either completed (enqueued AND
+        # dispatched to the pool) before this point — and is then drained or
+        # cancelled below — or observes the flag and is rejected.  No job can
+        # any longer land in the queue after pool shutdown with only the
+        # ServiceError side channel to save its waiters.
+        with self._admission_lock:
+            self._closed = True
         self._pool.shutdown(wait=wait, cancel_pending=cancel_pending)
         if not cancel_pending:
             return
@@ -406,6 +572,7 @@ class Service:
                 self._queue.release(job)
             with self._lock:
                 self._failed += len(batch)
+                self._note_finished_locked(*batch)
 
     def __enter__(self) -> "Service":
         return self

@@ -8,10 +8,54 @@ consistent view instead of poking at internals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable
 
 from .cache import CacheStats
 from .registry import RegistryStats
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Percentile summary of a sliding window of per-job latency samples.
+
+    Computed over the most recent ``ServiceConfig.latency_window`` finished
+    jobs, so a long-running server reports current behaviour rather than an
+    all-time average that no longer means anything.
+    """
+
+    count: int = 0
+    mean_seconds: float = 0.0
+    p50_seconds: float = 0.0
+    p95_seconds: float = 0.0
+    p99_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencyStats":
+        ordered = sorted(samples)
+        if not ordered:
+            return cls()
+
+        def percentile(fraction: float) -> float:
+            index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+            return ordered[index]
+
+        return cls(
+            count=len(ordered),
+            mean_seconds=sum(ordered) / len(ordered),
+            p50_seconds=percentile(0.50),
+            p95_seconds=percentile(0.95),
+            p99_seconds=percentile(0.99),
+            max_seconds=ordered[-1],
+        )
+
+    def describe_ms(self) -> str:
+        """Compact ``p50/p95/p99`` rendering in milliseconds."""
+        return (
+            f"{self.p50_seconds * 1e3:.2f}/{self.p95_seconds * 1e3:.2f}/"
+            f"{self.p99_seconds * 1e3:.2f} ms"
+        )
 
 
 @dataclass(frozen=True)
@@ -40,6 +84,20 @@ class ServiceStats:
     uptime_seconds: float
     cache: CacheStats
     registry: RegistryStats
+    #: Active scheduling policy name ("fifo" / "largest" / "edf").
+    policy: str = "fifo"
+    #: Submissions refused by admission control (queue limit / tenant quota).
+    rejected: int = 0
+    #: Jobs failed because their deadline passed while still queued.
+    expired: int = 0
+    #: Deadline-carrying jobs that completed within their budget.
+    deadlines_met: int = 0
+    #: Deadline-carrying jobs that finished late, failed, or expired.
+    deadlines_missed: int = 0
+    #: Queueing delay (submission -> execution start) percentiles.
+    queue_wait: LatencyStats = field(default_factory=LatencyStats)
+    #: End-to-end latency (submission -> completion) percentiles.
+    latency: LatencyStats = field(default_factory=LatencyStats)
 
     @property
     def throughput_rps(self) -> float:
@@ -62,11 +120,23 @@ class ServiceStats:
             return 0.0
         return self.executions / self.batches
 
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of deadline-carrying jobs that finished in time."""
+        total = self.deadlines_met + self.deadlines_missed
+        return self.deadlines_met / total if total else 0.0
+
     def describe(self) -> str:
         """Multi-line human-readable rendering used by the CLI report."""
         lines = [
             f"submitted={self.submitted}  deduplicated={self.deduplicated} "
             f"({self.dedup_rate:.0%})  completed={self.completed}  failed={self.failed}",
+            f"scheduling: policy={self.policy}  rejected={self.rejected}  "
+            f"expired={self.expired}  deadlines {self.deadlines_met} met / "
+            f"{self.deadlines_missed} missed",
+            f"latency p50/p95/p99: queued {self.queue_wait.describe_ms()}, "
+            f"total {self.latency.describe_ms()} "
+            f"(window of {self.latency.count})",
             f"engine executions={self.executions} in {self.batches} batches "
             f"(amortization {self.amortization:.2f} jobs/batch, "
             f"{self.engine_seconds:.3f}s in engine)",
@@ -76,6 +146,7 @@ class ServiceStats:
             f"registry: {self.registry.loads} loads, {self.registry.hits} hits, "
             f"{self.registry.evictions} evictions, "
             f"{self.registry.resident_graphs} resident "
-            f"({self.registry.resident_bytes} simulated bytes)",
+            f"({self.registry.resident_bytes} simulated bytes, "
+            f"{self.registry.pinned_bytes} pinned by loader closures)",
         ]
         return "\n".join(lines)

@@ -22,18 +22,23 @@ web).  Request entries expand multiplicatively: ``sources`` fans one entry out
 per source, ``random_sources`` draws sources from the graph, and ``repeat``
 duplicates the request — the natural way to exercise deduplication and the
 result cache from a workload file.
+
+Scheduling and admission knobs ride along: top-level ``policy`` ("fifo" /
+"largest" / "edf"), ``queue_limit`` and ``tenant_quota`` configure the
+service, and per-request ``deadline`` (seconds) / ``tenant`` mark entries for
+EDF ordering and quota accounting.  Submissions shed by admission control are
+reported, not fatal.
 """
 
 from __future__ import annotations
 
 import json
-import statistics
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..config import ServiceConfig
-from ..errors import ServiceError
+from ..errors import AdmissionError, ServiceError
 from ..graph.datasets import get_spec, pick_sources
 from ..graph.generators import (
     powerlaw_graph,
@@ -45,7 +50,7 @@ from ..types import EMOGI_STRATEGY
 from .jobs import JobStatus
 from .requests import TraversalRequest
 from .service import Service
-from .stats import ServiceStats
+from .stats import LatencyStats, ServiceStats
 
 _GENERATORS = {
     "rmat": rmat_graph,
@@ -65,6 +70,8 @@ class WorkloadReport:
     latencies: tuple[float, ...]
     failures: int
     stats: ServiceStats
+    #: Submissions refused by admission control (queue limit / tenant quota).
+    rejected: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -72,25 +79,25 @@ class WorkloadReport:
             return 0.0
         return self.total_requests / self.wall_seconds
 
-    def _percentile(self, fraction: float) -> float:
-        if not self.latencies:
-            return 0.0
-        ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-        return ordered[index]
+    @property
+    def latency_stats(self) -> LatencyStats:
+        """Percentile summary of the per-request latencies (one formula,
+        shared with :class:`~repro.service.stats.ServiceStats`)."""
+        return LatencyStats.from_samples(self.latencies)
 
     def to_table(self) -> str:
-        mean_latency = statistics.mean(self.latencies) if self.latencies else 0.0
+        latency = self.latency_stats
         lines = [
             "Serving workload report",
             "=" * 55,
             f"requests served     : {self.total_requests} "
-            f"({self.unique_results} unique results, {self.failures} failed)",
+            f"({self.unique_results} unique results, {self.failures} failed, "
+            f"{self.rejected} rejected at admission)",
             f"wall time           : {self.wall_seconds:.3f} s",
             f"throughput          : {self.requests_per_second:.1f} requests/s",
-            f"latency mean/p50/p95: {mean_latency * 1e3:.2f} / "
-            f"{self._percentile(0.50) * 1e3:.2f} / "
-            f"{self._percentile(0.95) * 1e3:.2f} ms",
+            f"latency mean/p50/p95: {latency.mean_seconds * 1e3:.2f} / "
+            f"{latency.p50_seconds * 1e3:.2f} / "
+            f"{latency.p95_seconds * 1e3:.2f} ms",
             "-" * 55,
             self.stats.describe(),
         ]
@@ -113,10 +120,21 @@ def config_from_spec(
     workers: int | None = None,
     budget_mib: float | None = None,
     cache_entries: int | None = None,
+    policy: str | None = None,
+    queue_limit: int | None = None,
+    tenant_quota: int | None = None,
 ) -> ServiceConfig:
     """Service knobs from a workload spec, with optional (CLI) overrides."""
     if budget_mib is None:
         budget_mib = spec.get("registry_budget_mib")
+    if policy is None:
+        # `or` also maps an explicit JSON null onto the default, matching
+        # how null queue_limit/tenant_quota mean "use the default" below.
+        policy = spec.get("policy") or "fifo"
+    if queue_limit is None:
+        queue_limit = spec.get("queue_limit")
+    if tenant_quota is None:
+        tenant_quota = spec.get("tenant_quota")
     return ServiceConfig(
         max_workers=int(workers if workers is not None else spec.get("workers", 4)),
         registry_budget_bytes=(
@@ -127,6 +145,9 @@ def config_from_spec(
             if cache_entries is not None
             else spec.get("result_cache_entries", 1024)
         ),
+        policy=str(policy),
+        queue_limit=int(queue_limit) if queue_limit is not None else None,
+        tenant_quota=int(tenant_quota) if tenant_quota is not None else None,
     )
 
 
@@ -198,6 +219,8 @@ def expand_requests(service: Service, spec: dict) -> list[TraversalRequest]:
             sources = [int(s) for s in picked]
         else:
             sources = [int(entry.get("source", 0))]
+        deadline = entry.get("deadline")
+        tenant = entry.get("tenant")
         for source in sources:
             requests.extend(
                 TraversalRequest(
@@ -205,6 +228,8 @@ def expand_requests(service: Service, spec: dict) -> list[TraversalRequest]:
                     graph=graph,
                     source=source,
                     strategy=strategy,
+                    deadline=deadline,
+                    tenant=tenant,
                 )
                 for _ in range(repeat)
             )
@@ -214,9 +239,20 @@ def expand_requests(service: Service, spec: dict) -> list[TraversalRequest]:
 def run_workload(
     service: Service, requests: list[TraversalRequest], timeout: float | None = None
 ) -> WorkloadReport:
-    """Fire every request at the service and wait for all of them."""
+    """Fire every request at the service and wait for all of them.
+
+    Submissions refused by admission control (queue limit / tenant quota)
+    are counted in the report's ``rejected`` field rather than aborting the
+    run — an open-loop driver keeps firing when the server sheds load.
+    """
     started = time.perf_counter()
-    jobs = service.submit_many(requests)
+    jobs = []
+    rejected = 0
+    for request in requests:
+        try:
+            jobs.append(service.submit(request))
+        except AdmissionError:
+            rejected += 1
     if not service.wait_all(timeout):
         raise ServiceError(f"workload did not finish within {timeout}s")
     wall = time.perf_counter() - started
@@ -234,6 +270,7 @@ def run_workload(
         latencies=latencies,
         failures=failures,
         stats=service.stats(),
+        rejected=rejected,
     )
 
 

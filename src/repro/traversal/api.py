@@ -93,6 +93,43 @@ def normalize_source(application: Application | str, source: object) -> int | No
     raise ConfigurationError(f"source vertex must be an integer, got {source!r}")
 
 
+def normalize_deadline(deadline: object) -> float | None:
+    """Canonicalize a serving deadline: seconds of latency budget, or None.
+
+    Deadlines are *relative* (seconds from submission) so requests stay
+    hashable and replayable; the serving layer converts them to absolute
+    expiry times at admission.  Accepts any real number, returns a plain
+    ``float`` so equal budgets compare equal regardless of the numeric type
+    the client used.
+    """
+    if deadline is None:
+        return None
+    if isinstance(deadline, (bool, np.bool_)):
+        raise ConfigurationError(f"deadline must be seconds, got {deadline!r}")
+    try:
+        seconds = float(deadline)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"deadline must be seconds, got {deadline!r}"
+        ) from None
+    if not np.isfinite(seconds) or seconds <= 0:
+        raise ConfigurationError(
+            f"deadline must be a positive finite number of seconds, got {seconds!r}"
+        )
+    return seconds
+
+
+def normalize_tenant(tenant: object) -> str | None:
+    """Canonicalize a tenant label: a non-empty string, or None (anonymous)."""
+    if tenant is None:
+        return None
+    if not isinstance(tenant, str) or not tenant:
+        raise ConfigurationError(
+            f"tenant must be a non-empty string, got {tenant!r}"
+        )
+    return tenant
+
+
 def run(
     application: Application | str,
     graph: CSRGraph,

@@ -1,0 +1,616 @@
+"""Tests for scheduling policies, admission control and deadline handling."""
+
+import threading
+import time
+from collections import OrderedDict
+
+import pytest
+
+from repro.config import SCHEDULING_POLICIES, ServiceConfig
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeadlineExceededError,
+    JobFailedError,
+)
+from repro.service import (
+    EdfPolicy,
+    FifoPolicy,
+    GraphRegistry,
+    Job,
+    JobStatus,
+    LargestBatchPolicy,
+    LatencyStats,
+    RequestQueue,
+    Service,
+    TraversalRequest,
+    default_engine,
+    make_policy,
+)
+from repro.service.workload import config_from_spec, expand_requests
+from repro.types import Application
+
+
+def make_job(job_id: str, source: int, deadline: float | None = None, **kwargs) -> Job:
+    request = TraversalRequest(
+        Application.BFS, "g", source=source, deadline=deadline, **kwargs
+    )
+    return Job(job_id=job_id, request=request)
+
+
+class GatedCountingEngine:
+    """Counts engine invocations; optionally blocks until released."""
+
+    def __init__(self, gated: bool = False):
+        self.calls: list[tuple] = []
+        self.gate = threading.Event()
+        if not gated:
+            self.gate.set()
+        self._lock = threading.Lock()
+
+    def __call__(self, request, graph):
+        with self._lock:
+            self.calls.append(request.cache_key)
+        self.gate.wait(30)
+        return default_engine(request, graph)
+
+
+@pytest.fixture
+def registry(random_graph, uniform_graph):
+    registry = GraphRegistry()
+    registry.register_graph(random_graph)
+    registry.register_graph(uniform_graph)
+    return registry
+
+
+def make_service(registry, engine=None, **config_overrides) -> Service:
+    config = ServiceConfig(**{"max_workers": 2, **config_overrides})
+    return Service(registry=registry, config=config, engine=engine)
+
+
+# --------------------------------------------------------------------- #
+# Request-level normalization of the new fields
+# --------------------------------------------------------------------- #
+class TestRequestFields:
+    def test_deadline_normalized_to_float(self):
+        assert TraversalRequest("bfs", "g", source=0, deadline=2).deadline == 2.0
+        assert TraversalRequest("bfs", "g", source=0).deadline is None
+
+    @pytest.mark.parametrize("bad", [0, -1.5, float("inf"), float("nan"), "soon", True])
+    def test_invalid_deadline_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            TraversalRequest("bfs", "g", source=0, deadline=bad)
+
+    @pytest.mark.parametrize("bad", ["", 7, 1.0])
+    def test_invalid_tenant_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            TraversalRequest("bfs", "g", source=0, tenant=bad)
+
+    def test_deadline_and_tenant_excluded_from_keys(self):
+        plain = TraversalRequest("bfs", "g", source=0)
+        urgent = TraversalRequest("bfs", "g", source=0, deadline=0.5, tenant="acme")
+        assert plain.cache_key == urgent.cache_key
+        assert plain.batch_key == urgent.batch_key
+
+    def test_describe_mentions_deadline_and_tenant(self):
+        described = TraversalRequest(
+            "bfs", "g", source=0, deadline=1.5, tenant="acme"
+        ).describe()
+        assert "deadline=1.5s" in described and "tenant=acme" in described
+
+    def test_job_derives_absolute_deadline(self):
+        job = make_job("j", 0, deadline=5.0)
+        assert job.deadline_at == pytest.approx(job.submitted_at + 5.0)
+        assert not job.expired()
+        assert make_job("k", 0).deadline_at is None
+
+
+# --------------------------------------------------------------------- #
+# Policy unit behaviour
+# --------------------------------------------------------------------- #
+class TestPolicies:
+    def groups(self, *entries):
+        """Build an insertion-ordered group mapping from (key, jobs) pairs."""
+        return OrderedDict(entries)
+
+    def test_fifo_picks_oldest_group(self):
+        groups = self.groups(
+            (("a",), [make_job("a1", 1)]),
+            (("b",), [make_job("b1", 2), make_job("b2", 3)]),
+        )
+        assert FifoPolicy().select(groups) == ("a",)
+
+    def test_largest_picks_widest_group_ties_fifo(self):
+        groups = self.groups(
+            (("a",), [make_job("a1", 1)]),
+            (("b",), [make_job("b1", 2), make_job("b2", 3)]),
+            (("c",), [make_job("c1", 4), make_job("c2", 5)]),
+        )
+        assert LargestBatchPolicy().select(groups) == ("b",)
+
+    def test_edf_picks_most_urgent_group(self):
+        groups = self.groups(
+            (("a",), [make_job("a1", 1)]),
+            (("b",), [make_job("b1", 2, deadline=50.0)]),
+            (("c",), [make_job("c1", 3, deadline=5.0), make_job("c2", 4)]),
+        )
+        assert EdfPolicy().select(groups) == ("c",)
+
+    def test_edf_without_deadlines_degrades_to_fifo(self):
+        groups = self.groups(
+            (("a",), [make_job("a1", 1)]),
+            (("b",), [make_job("b1", 2)]),
+        )
+        assert EdfPolicy().select(groups) == ("a",)
+
+    def test_make_policy(self):
+        assert isinstance(make_policy(None), FifoPolicy)
+        assert isinstance(make_policy("largest"), LargestBatchPolicy)
+        edf = EdfPolicy()
+        assert make_policy(edf) is edf
+        with pytest.raises(ConfigurationError):
+            make_policy("shortest-job-first")
+        for name in SCHEDULING_POLICIES:
+            assert make_policy(name).name == name
+
+    def test_config_rejects_unknown_policy_and_bad_limits(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(policy="lifo")
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(queue_limit=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(tenant_quota=-1)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(latency_window=0)
+
+
+# --------------------------------------------------------------------- #
+# Queue-level scheduling + admission
+# --------------------------------------------------------------------- #
+class TestQueueScheduling:
+    def test_deadline_job_makes_its_whole_group_urgent(self):
+        queue = RequestQueue(policy="edf")
+        sssp_first = Job(
+            job_id="s", request=TraversalRequest(Application.SSSP, "g", source=0)
+        )
+        queue.push_or_join(sssp_first)
+        relaxed = [make_job(f"r{i}", i) for i in range(2)]
+        for job in relaxed:
+            queue.push_or_join(job)
+        # deadline/tenant are excluded from batch_key, so the urgent job
+        # lands in the existing BFS group — and drags the whole group ahead
+        # of the older SSSP group under EDF.
+        urgent = make_job("u", 10, deadline=1.0, tenant="acme")
+        queue.push_or_join(urgent)
+        batch = queue.pop_batch()
+        assert urgent in batch and relaxed[0] in batch
+        assert queue.pop_batch() == [sssp_first]
+
+    def test_pop_order_across_groups(self):
+        queue = RequestQueue(policy="edf")
+        bulk = [make_job(f"b{i}", i) for i in range(3)]
+        for job in bulk:
+            queue.push_or_join(job)
+        urgent = Job(
+            job_id="u",
+            request=TraversalRequest(
+                Application.SSSP, "g", source=0, deadline=0.5
+            ),
+        )
+        queue.push_or_join(urgent)
+        assert queue.pop_batch() == [urgent]
+        assert queue.pop_batch() == bulk
+        assert queue.pop_batch() == []
+
+    def test_queue_limit_rejects_when_full(self):
+        queue = RequestQueue()
+        queue.push_or_join(make_job("a", 0), queue_limit=2)
+        queue.push_or_join(make_job("b", 1), queue_limit=2)
+        with pytest.raises(AdmissionError):
+            queue.push_or_join(make_job("c", 2), queue_limit=2)
+        # draining frees capacity again
+        queue.pop_batch()
+        outcome, _ = queue.push_or_join(make_job("d", 3), queue_limit=2)
+        assert outcome == "queued"
+
+    def test_join_and_cache_hits_bypass_admission(self):
+        queue = RequestQueue()
+        first = make_job("a", 0)
+        queue.push_or_join(first, queue_limit=1)
+        outcome, payload = queue.push_or_join(make_job("b", 0), queue_limit=1)
+        assert outcome == "joined" and payload is first
+        sentinel = object()
+        outcome, payload = queue.push_or_join(
+            make_job("c", 99), cache_lookup=lambda key: sentinel, queue_limit=1
+        )
+        assert outcome == "cached" and payload is sentinel
+
+    def test_tenant_quota_is_per_tenant(self):
+        queue = RequestQueue()
+        queue.push_or_join(make_job("a", 0, tenant="acme"), tenant_quota=1)
+        with pytest.raises(AdmissionError) as excinfo:
+            queue.push_or_join(make_job("b", 1, tenant="acme"), tenant_quota=1)
+        assert excinfo.value.tenant == "acme"
+        # other tenants and the anonymous bucket are unaffected
+        queue.push_or_join(make_job("c", 2, tenant="globex"), tenant_quota=1)
+        queue.push_or_join(make_job("d", 3), tenant_quota=1)
+        with pytest.raises(AdmissionError):
+            queue.push_or_join(make_job("e", 4), tenant_quota=1)
+        assert queue.pending_by_tenant() == {"acme": 1, "globex": 1, None: 1}
+
+    def test_join_merges_deadlines_min_schedule_max_expiry(self):
+        queue = RequestQueue(policy="edf")
+        shared = make_job("a", 0, deadline=5.0)
+        queue.push_or_join(shared)
+        joiner = make_job("b", 0, deadline=1.0)
+        outcome, payload = queue.push_or_join(joiner)
+        assert outcome == "joined" and payload is shared
+        # the most urgent waiter drives scheduling, the most patient expiry
+        assert shared.deadline_at == pytest.approx(joiner.submitted_at + 1.0, abs=0.5)
+        assert shared.expire_at == pytest.approx(shared.submitted_at + 5.0, abs=0.5)
+        assert shared.deadline_at < shared.expire_at
+        later = make_job("c", 0, deadline=60.0)
+        queue.push_or_join(later)
+        assert shared.expire_at == pytest.approx(later.submitted_at + 60.0, abs=1.0)
+
+    def test_deadline_free_joiner_makes_job_unexpirable(self):
+        queue = RequestQueue(policy="edf")
+        urgent = make_job("a", 0, deadline=0.001)
+        queue.push_or_join(urgent)
+        queue.push_or_join(make_job("b", 0))  # joined, owed the result forever
+        assert urgent.expire_at is None
+        time.sleep(0.005)
+        assert not urgent.expired()
+        # scheduling urgency is retained for EDF even though expiry is off
+        assert urgent.deadline_at is not None
+
+    def test_urgent_joiner_promotes_relaxed_job(self):
+        queue = RequestQueue(policy="edf")
+        relaxed = make_job("r", 0)
+        queue.push_or_join(relaxed)
+        other_group = Job(
+            job_id="s",
+            request=TraversalRequest(Application.SSSP, "g", source=0, deadline=9.0),
+        )
+        queue.push_or_join(other_group)
+        # a duplicate of the relaxed job arrives with a tighter deadline:
+        # its urgency transfers to the shared job and outranks the SSSP group
+        queue.push_or_join(make_job("u", 0, deadline=1.0))
+        assert relaxed.deadline_at is not None
+        assert relaxed.expire_at is None  # the original waiter has no deadline
+        assert queue.pop_batch() == [relaxed]
+
+    def test_discard_recomputes_group_urgency(self):
+        queue = RequestQueue(policy="edf")
+        tight = make_job("t", 0, deadline=1.0)
+        patient = make_job("p", 1, deadline=120.0)
+        queue.push_or_join(tight)
+        queue.push_or_join(patient)
+        middle = Job(
+            job_id="m",
+            request=TraversalRequest(Application.SSSP, "g", source=0, deadline=30.0),
+        )
+        queue.push_or_join(middle)
+        # withdrawing the tight job must demote its group below the SSSP one
+        assert queue.discard(tight)
+        assert queue.pop_batch() == [middle]
+        assert queue.pop_batch() == [patient]
+
+    def test_expire_is_atomic_with_dedup_retirement(self):
+        queue = RequestQueue()
+        lapsed = make_job("a", 0, deadline=0.001)
+        queue.push_or_join(lapsed)
+        queue.pop_batch()
+        time.sleep(0.005)
+        now = time.perf_counter()
+        assert queue.expire(lapsed, now) is True
+        # the dedup entry is gone: an identical request re-executes on its own
+        outcome, _ = queue.push_or_join(make_job("b", 0))
+        assert outcome == "queued"
+        # a job rescued by a deadline-free joiner is never expired
+        rescued = make_job("c", 5, deadline=0.001)
+        queue.push_or_join(rescued)
+        queue.push_or_join(make_job("d", 5))  # joins, clears expire_at
+        queue.pop_batch()
+        time.sleep(0.005)
+        assert queue.expire(rescued, time.perf_counter()) is False
+        assert queue.find_inflight(rescued.request.cache_key) is rescued
+
+    def test_tenant_accounting_survives_pop_and_discard(self):
+        queue = RequestQueue()
+        jobs = [make_job(f"j{i}", i, tenant="acme") for i in range(3)]
+        for job in jobs:
+            queue.push_or_join(job)
+        assert queue.discard(jobs[0])
+        assert queue.pending_by_tenant() == {"acme": 2}
+        queue.pop_batch()
+        assert queue.pending_by_tenant() == {}
+        assert queue.pending_count() == 0
+
+
+# --------------------------------------------------------------------- #
+# Service-level scheduling, admission, deadlines
+# --------------------------------------------------------------------- #
+class TestServiceScheduling:
+    def submit_contrast_workload(self, service, engine, graph_a, graph_b):
+        """Blocker + an early relaxed group + a late deadline group."""
+        blocker = service.submit(TraversalRequest("cc", graph_a.name))
+        deadline = time.monotonic() + 5
+        while not engine.calls and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert engine.calls, "worker never picked up the blocker"
+        relaxed = [
+            service.submit(TraversalRequest("bfs", graph_a.name, source=s))
+            for s in (1, 2)
+        ]
+        urgent = [
+            service.submit(
+                TraversalRequest("sssp", graph_b.name, source=s, deadline=60.0)
+            )
+            for s in (1, 2)
+        ]
+        return blocker, relaxed, urgent
+
+    @pytest.mark.parametrize(
+        "policy,urgent_first", [("fifo", False), ("edf", True)]
+    )
+    def test_drain_order_contrast(
+        self, registry, random_graph, uniform_graph, policy, urgent_first
+    ):
+        engine = GatedCountingEngine(gated=True)
+        with make_service(
+            registry, engine=engine, max_workers=1, policy=policy
+        ) as service:
+            blocker, relaxed, urgent = self.submit_contrast_workload(
+                service, engine, random_graph, uniform_graph
+            )
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+            for job in (blocker, *relaxed, *urgent):
+                assert job.status is JobStatus.DONE
+        relaxed_pos = engine.calls.index(relaxed[0].request.cache_key)
+        urgent_pos = engine.calls.index(urgent[0].request.cache_key)
+        assert (urgent_pos < relaxed_pos) == urgent_first
+
+    def test_expired_job_fails_before_execution(self, registry, random_graph):
+        engine = GatedCountingEngine(gated=True)
+        with make_service(
+            registry, engine=engine, max_workers=1, policy="edf"
+        ) as service:
+            blocker = service.submit(TraversalRequest("cc", random_graph.name))
+            deadline = time.monotonic() + 5
+            while not engine.calls and time.monotonic() < deadline:
+                time.sleep(0.005)
+            doomed = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=1, deadline=0.01)
+            )
+            time.sleep(0.05)  # let the deadline lapse while queued
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+            assert blocker.status is JobStatus.DONE
+            assert doomed.status is JobStatus.FAILED
+            assert isinstance(doomed.error, DeadlineExceededError)
+            with pytest.raises(JobFailedError):
+                service.result(doomed, timeout=1)
+        stats = service.stats()
+        assert stats.expired == 1
+        assert stats.deadlines_missed == 1
+        assert stats.deadlines_met == 0
+        # the expired job never reached the engine
+        assert len(engine.calls) == 1
+
+    def test_deadline_free_duplicate_is_not_failed_by_expiry(
+        self, registry, random_graph
+    ):
+        """Regression: a no-deadline duplicate joined onto a deadline job
+        used to inherit the deadline's fate — expiry killed the shared job
+        and failed a waiter that never asked for a deadline."""
+        engine = GatedCountingEngine(gated=True)
+        with make_service(
+            registry, engine=engine, max_workers=1, policy="edf"
+        ) as service:
+            blocker = service.submit(TraversalRequest("cc", random_graph.name))
+            deadline = time.monotonic() + 5
+            while not engine.calls and time.monotonic() < deadline:
+                time.sleep(0.005)
+            urgent = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=1, deadline=0.01)
+            )
+            patient = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=1)
+            )
+            assert patient is urgent  # deduplicated onto the same job
+            time.sleep(0.05)  # the urgent waiter's budget lapses in queue
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+            # the shared job executed for the patient waiter's sake
+            assert urgent.status is JobStatus.DONE
+            assert blocker.status is JobStatus.DONE
+        stats = service.stats()
+        assert stats.expired == 0
+        # the urgent waiter's deadline was still missed — and counted
+        assert stats.deadlines_missed == 1
+
+    def test_mixed_budget_waiters_judged_individually(
+        self, registry, random_graph
+    ):
+        """A dedup-shared job with a tight and a patient budget counts one
+        miss and one met — not a single verdict from the tightest deadline."""
+        engine = GatedCountingEngine(gated=True)
+        with make_service(
+            registry, engine=engine, max_workers=1, policy="edf"
+        ) as service:
+            blocker = service.submit(TraversalRequest("cc", random_graph.name))
+            deadline = time.monotonic() + 5
+            while not engine.calls and time.monotonic() < deadline:
+                time.sleep(0.005)
+            tight = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=1, deadline=0.01)
+            )
+            patient = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=1, deadline=60.0)
+            )
+            assert patient is tight  # shared job, two deadline waiters
+            time.sleep(0.05)  # the tight budget lapses, the patient one holds
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+            assert blocker.status is JobStatus.DONE
+            # the job still expires only past the *latest* waiter deadline,
+            # so it ran and completed for the patient waiter
+            assert tight.status is JobStatus.DONE
+        stats = service.stats()
+        assert stats.expired == 0
+        assert stats.deadlines_met == 1
+        assert stats.deadlines_missed == 1
+
+    def test_met_deadline_counted(self, registry, random_graph):
+        with make_service(registry, policy="edf") as service:
+            job = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=0, deadline=30.0)
+            )
+            service.result(job, timeout=30)
+            assert job.met_deadline is True
+            service.close()  # flush worker-side accounting before reading stats
+        stats = service.stats()
+        assert stats.deadlines_met == 1
+        assert stats.deadlines_missed == 0
+
+    def test_full_queue_submit_raises_admission_error(self, registry, random_graph):
+        engine = GatedCountingEngine(gated=True)
+        service = make_service(
+            registry, engine=engine, max_workers=1, queue_limit=2
+        )
+        try:
+            blocker = service.submit(TraversalRequest("cc", random_graph.name))
+            deadline = time.monotonic() + 5
+            while not engine.calls and time.monotonic() < deadline:
+                time.sleep(0.005)
+            queued = [
+                service.submit(TraversalRequest("bfs", random_graph.name, source=s))
+                for s in (1, 2)
+            ]
+            with pytest.raises(AdmissionError):
+                service.submit(TraversalRequest("bfs", random_graph.name, source=3))
+            # duplicates of queued work are still admitted (they join)
+            dup = service.submit(TraversalRequest("bfs", random_graph.name, source=1))
+            assert dup is queued[0]
+            assert service.stats().rejected == 1
+        finally:
+            engine.gate.set()
+            service.close()
+        assert blocker.status is JobStatus.DONE
+
+    def test_tenant_quota_enforced_by_service(self, registry, random_graph):
+        engine = GatedCountingEngine(gated=True)
+        service = make_service(
+            registry, engine=engine, max_workers=1, tenant_quota=1
+        )
+        try:
+            service.submit(TraversalRequest("cc", random_graph.name, tenant="bulk"))
+            deadline = time.monotonic() + 5
+            while not engine.calls and time.monotonic() < deadline:
+                time.sleep(0.005)
+            service.submit(
+                TraversalRequest("bfs", random_graph.name, source=1, tenant="acme")
+            )
+            with pytest.raises(AdmissionError):
+                service.submit(
+                    TraversalRequest("bfs", random_graph.name, source=2, tenant="acme")
+                )
+            # a different tenant still gets in
+            service.submit(
+                TraversalRequest("bfs", random_graph.name, source=3, tenant="globex"
+                )
+            )
+        finally:
+            engine.gate.set()
+            service.close()
+
+    def test_latency_percentiles_in_stats(self, registry, random_graph):
+        with make_service(registry) as service:
+            for source in range(4):
+                service.result(
+                    service.submit(
+                        TraversalRequest("bfs", random_graph.name, source=source)
+                    ),
+                    timeout=30,
+                )
+            service.close()
+        stats = service.stats()
+        assert stats.latency.count == 4
+        assert stats.latency.p95_seconds >= stats.latency.p50_seconds >= 0
+        assert stats.queue_wait.count == 4
+        assert stats.policy == "fifo"
+        description = stats.describe()
+        assert "scheduling: policy=fifo" in description
+        assert "latency p50/p95/p99" in description
+
+    def test_fifo_results_identical_to_edf(self, registry, random_graph):
+        """Policies change order, never answers."""
+        outcomes = {}
+        for policy in ("fifo", "edf", "largest"):
+            with make_service(registry, max_workers=1, policy=policy) as service:
+                jobs = [
+                    service.submit(
+                        TraversalRequest("bfs", random_graph.name, source=s)
+                    )
+                    for s in range(4)
+                ]
+                outcomes[policy] = [
+                    service.result(job, timeout=30).values.tolist() for job in jobs
+                ]
+        assert outcomes["fifo"] == outcomes["edf"] == outcomes["largest"]
+
+
+class TestLatencyStats:
+    def test_from_samples_empty(self):
+        stats = LatencyStats.from_samples(())
+        assert stats.count == 0 and stats.p95_seconds == 0.0
+
+    def test_from_samples_percentiles(self):
+        stats = LatencyStats.from_samples([0.1 * i for i in range(1, 101)])
+        assert stats.count == 100
+        assert stats.p50_seconds == pytest.approx(5.0, abs=0.2)
+        assert stats.p95_seconds == pytest.approx(9.5, abs=0.2)
+        assert stats.max_seconds == pytest.approx(10.0)
+        assert "ms" in stats.describe_ms()
+
+
+# --------------------------------------------------------------------- #
+# Workload / config plumbing
+# --------------------------------------------------------------------- #
+class TestWorkloadPlumbing:
+    def test_config_from_spec_reads_scheduling_keys(self):
+        spec = {
+            "graphs": [{"name": "g", "generator": "rmat"}],
+            "requests": [{"app": "bfs", "graph": "g"}],
+            "policy": "edf",
+            "queue_limit": 7,
+            "tenant_quota": 3,
+        }
+        config = config_from_spec(spec)
+        assert config.policy == "edf"
+        assert config.queue_limit == 7
+        assert config.tenant_quota == 3
+        override = config_from_spec(spec, policy="largest", queue_limit=9)
+        assert override.policy == "largest" and override.queue_limit == 9
+
+    def test_expand_requests_carries_deadline_and_tenant(self, random_graph):
+        registry = GraphRegistry()
+        registry.register_graph(random_graph)
+        with make_service(registry) as service:
+            spec = {
+                "graphs": [],
+                "requests": [
+                    {
+                        "app": "bfs",
+                        "graph": random_graph.name,
+                        "sources": [0, 1],
+                        "deadline": 2.5,
+                        "tenant": "acme",
+                    }
+                ],
+            }
+            requests = expand_requests(service, spec)
+        assert len(requests) == 2
+        assert all(r.deadline == 2.5 and r.tenant == "acme" for r in requests)

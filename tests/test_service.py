@@ -224,6 +224,28 @@ class TestBuiltinBatchedExecution:
             cc_result.values, run(Application.CC, random_graph).values
         )
 
+    def test_missing_source_poisons_only_its_own_job(self, registry, random_graph):
+        """Regression: a BFS job whose source decayed to None used to slip
+        past the out-of-range pre-validation into run_batch, where the raised
+        error failed the entire multi-source group."""
+        good_requests = [
+            TraversalRequest("bfs", random_graph.name, source=s) for s in (0, 1)
+        ]
+        poisoned = TraversalRequest("bfs", random_graph.name, source=2)
+        object.__setattr__(poisoned, "source", None)  # bypass normalization
+        with make_service(registry) as service:
+            jobs = [
+                Job(job_id=f"poison-{i}", request=request)
+                for i, request in enumerate([*good_requests, poisoned])
+            ]
+            service._execute_builtin(jobs, random_graph)
+        for job, request in zip(jobs[:2], good_requests):
+            assert job.status is JobStatus.DONE
+            direct = run(Application.BFS, random_graph, source=request.source)
+            assert np.array_equal(job.result.values, direct.values)
+        assert jobs[2].status is JobStatus.FAILED
+        assert isinstance(jobs[2].error, SimulationError)
+
     def test_invalid_source_fails_only_its_own_job(self, registry, random_graph):
         bad_source = random_graph.num_vertices + 5
         with make_service(registry, max_workers=1) as service:
@@ -333,6 +355,88 @@ class TestStats:
 
 
 class TestLifecycle:
+    def test_unfinished_job_does_not_block_pruning(self, registry, random_graph):
+        """Regression: pruning used to stop at the first unfinished oldest
+        job, so one long-running job let the job table grow unbounded."""
+
+        class BlockFirstSourceEngine:
+            def __init__(self):
+                self.gate = threading.Event()
+
+            def __call__(self, request, graph):
+                if request.source == 0:
+                    self.gate.wait(30)
+                return default_engine(request, graph)
+
+        engine = BlockFirstSourceEngine()
+        service = make_service(registry, engine=engine, job_retention=2)
+        try:
+            blocker = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=0)
+            )
+            finished = []
+            for source in range(1, 6):
+                job = service.submit(
+                    TraversalRequest("bfs", random_graph.name, source=source)
+                )
+                service.result(job, timeout=30)
+                finished.append(job)
+            # the long-running blocker is still the oldest entry, yet the
+            # finished jobs behind it were pruned down to the retention bound
+            with service._lock:
+                table_size = len(service._jobs)
+            assert table_size <= 3  # blocker + at most job_retention finished
+            assert service.job(blocker.job_id) is blocker  # never pruned
+            with pytest.raises(JobNotFoundError):
+                service.job(finished[0].job_id)
+        finally:
+            engine.gate.set()
+            service.close()
+        assert blocker.status is JobStatus.DONE
+
+    def test_close_is_atomic_with_submit(self, registry, random_graph):
+        """Regression: close() flipped the closed flag without the lock that
+        submit() checks it under, so a racing submit could enqueue after pool
+        shutdown and only recover through the ServiceError side channel.
+        Under the admission lock every submission either completes (and is
+        drained) or is rejected up front — no job may hang unfinished."""
+        engine = GatedCountingEngine()
+        for _ in range(5):
+            service = make_service(registry, engine=engine, max_workers=2)
+            accepted: list[Job] = []
+            errors: list[BaseException] = []
+            start = threading.Barrier(5)
+
+            def hammer(offset: int) -> None:
+                start.wait(5)
+                for source in range(offset, offset + 20):
+                    try:
+                        accepted.append(
+                            service.submit(
+                                TraversalRequest(
+                                    "bfs", random_graph.name, source=source
+                                )
+                            )
+                        )
+                    except ServiceError as exc:
+                        errors.append(exc)
+                        return
+
+            threads = [
+                threading.Thread(target=hammer, args=(100 * i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            start.wait(5)
+            service.close()
+            for thread in threads:
+                thread.join(timeout=30)
+                assert not thread.is_alive()
+            # every accepted job must reach a terminal state: nothing may be
+            # stranded in a queue nobody will ever drain again
+            for job in accepted:
+                assert job.wait(30), f"{job.job_id} stranded after close()"
+
     def test_finished_jobs_pruned_beyond_retention(self, registry, random_graph):
         engine = GatedCountingEngine()
         with make_service(registry, engine=engine, job_retention=4) as service:

@@ -25,6 +25,17 @@ class TestServeBatch:
                      "--budget-mib", "32", "--cache-entries", "64"]) == 0
         assert "requests/s" in capsys.readouterr().out
 
+    def test_scheduling_overrides(self, capsys):
+        assert main(["serve-batch", str(WORKLOAD), "--policy", "largest",
+                     "--queue-limit", "512", "--tenant-quota", "128"]) == 0
+        output = capsys.readouterr().out
+        assert "policy=largest" in output
+        assert "rejected at admission" in output
+
+    def test_unknown_policy_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-batch", str(WORKLOAD), "--policy", "lifo"])
+
     def test_missing_file(self, capsys):
         assert main(["serve-batch", "no-such-workload.json"]) == 2
         assert "serve-batch failed" in capsys.readouterr().err

@@ -224,3 +224,97 @@ class TestEviction:
     def test_invalid_budget_rejected(self):
         with pytest.raises(ConfigurationError):
             GraphRegistry(budget_bytes=0)
+
+
+class TestPinnedGraphs:
+    """register_graph pins the graph in its loader closure: eviction drops
+    only the registry reference, so the stats must say so explicitly."""
+
+    def test_pinned_bytes_reported_separately(self):
+        registry = GraphRegistry()
+        pinned = make_graph("pinned")
+        registry.register_graph(pinned)
+        registry.register("lazy", lambda: make_graph("lazy"))
+        registry.get("pinned")
+        registry.get("lazy")
+        stats = registry.stats()
+        assert stats.pinned_graphs == 1
+        assert stats.pinned_bytes == pinned.total_bytes
+        assert stats.resident_graphs == 2
+
+    def test_eviction_does_not_shrink_pinned_bytes(self):
+        registry = GraphRegistry()
+        pinned = make_graph("pinned")
+        registry.register_graph(pinned)
+        registry.get("pinned")
+        assert registry.evict("pinned") is True
+        stats = registry.stats()
+        assert stats.resident_bytes == 0  # the registry reference is gone...
+        assert stats.pinned_bytes == pinned.total_bytes  # ...the bytes are not
+        # and the "reload" hands back the very same pinned object
+        assert registry.get("pinned") is pinned
+
+
+class TestLoaderFailureReelection:
+    """A failed load releases the per-name election so the next get() (or a
+    concurrent waiter) re-elects itself instead of waiting forever."""
+
+    def test_sequential_retry_after_failure(self):
+        graph = make_graph("flaky")
+        calls = {"count": 0}
+
+        def loader():
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise OSError("disk hiccup")
+            return graph
+
+        registry = GraphRegistry()
+        registry.register("flaky", loader)
+        with pytest.raises(OSError):
+            registry.get("flaky")
+        assert registry.get("flaky") is graph
+        assert calls["count"] == 2
+        stats = registry.stats()
+        assert stats.loads == 1  # only the successful load counts
+        assert stats.misses == 2
+
+    def test_concurrent_waiter_reelects_after_failure(self):
+        graph = make_graph("flaky")
+        entered = threading.Event()
+        release = threading.Event()
+        calls = {"count": 0}
+
+        def loader():
+            calls["count"] += 1
+            if calls["count"] == 1:
+                entered.set()
+                release.wait(10)
+                raise OSError("disk hiccup")
+            return graph
+
+        registry = GraphRegistry()
+        registry.register("flaky", loader)
+        outcomes = {}
+
+        def first():
+            try:
+                outcomes["first"] = registry.get("flaky")
+            except OSError as exc:
+                outcomes["first"] = exc
+
+        def second():
+            outcomes["second"] = registry.get("flaky")
+
+        thread_a = threading.Thread(target=first)
+        thread_a.start()
+        assert entered.wait(10)  # A holds the election and is mid-load
+        thread_b = threading.Thread(target=second)
+        thread_b.start()
+        release.set()  # A's load now fails
+        thread_a.join(timeout=10)
+        thread_b.join(timeout=10)
+        assert not thread_b.is_alive(), "waiter was never re-elected"
+        assert isinstance(outcomes["first"], OSError)
+        assert outcomes["second"] is graph
+        assert calls["count"] == 2
