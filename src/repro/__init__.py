@@ -36,6 +36,7 @@ from .errors import (
     DatasetError,
     DeadlineExceededError,
     GraphFormatError,
+    InfeasibleDeadlineError,
     ReproError,
     SimulationError,
 )
@@ -95,6 +96,7 @@ __all__ = [
     "SimulationError",
     "DatasetError",
     "AdmissionError",
+    "InfeasibleDeadlineError",
     "DeadlineExceededError",
     # graphs
     "CSRGraph",

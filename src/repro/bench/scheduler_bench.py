@@ -13,6 +13,17 @@ long enough for EDF to preempt the backlog (one in-flight group plus the
 urgent group itself), far too short for FIFO to drain the bulk work first.
 A second mini-benchmark fills a bounded queue to show admission control
 shedding load instead of growing the backlog without bound.
+
+The **multi-tenant scenario** contrasts FIFO with cost-model-driven
+weighted-fair queueing: an aggressive tenant floods the queue with bulk batch
+groups, then a polite tenant submits a handful of small groups.  Under FIFO
+the polite tenant waits out the entire burst (its p95 collapses to the full
+drain time); under ``wfq`` each group is charged its estimated cost against
+its tenant's share, so the polite tenant's groups jump the burst and its p95
+holds.  The same scenario fires one infeasible-deadline probe: with
+``reject_infeasible`` the cost model refuses it at submit
+(``rejected_infeasible``), where FIFO-without-admission lets it expire in the
+queue.
 """
 
 from __future__ import annotations
@@ -25,12 +36,13 @@ from pathlib import Path
 import numpy as np
 
 from ..config import SCHEDULING_POLICIES, ServiceConfig
-from ..errors import AdmissionError
+from ..errors import AdmissionError, InfeasibleDeadlineError
 from ..graph.csr import CSRGraph
 from ..graph.generators import random_weights, rmat_graph
 from ..service.registry import GraphRegistry
 from ..service.requests import TraversalRequest
 from ..service.service import Service
+from ..service.stats import LatencyStats
 from ..traversal.multisource import run_batch
 from ..types import AccessStrategy, Application
 
@@ -155,6 +167,172 @@ def _run_policy(policy: str, graphs, bulk, urgent, timeout: float) -> dict:
     }
 
 
+#: Sources per aggressive bulk group in the multi-tenant scenario.
+DEFAULT_AGGRESSIVE_SOURCES = 8
+#: Sources per polite group (the polite tenant asks for little).
+DEFAULT_POLITE_SOURCES = 2
+#: Fair-queueing shares of the multi-tenant scenario: the polite tenant is
+#: favored 4:1, the usual interactive-over-batch split.
+DEFAULT_TENANT_WEIGHTS = {"polite": 4.0, "aggressive": 1.0}
+
+
+
+
+def _run_multi_tenant_policy(
+    policy: str, graphs, aggressive, polite, probe, timeout: float
+) -> dict:
+    """One policy run of the two-tenant contrast plus the infeasible probe.
+
+    The probe rides along differently per policy: the ``wfq`` run enables
+    cost-model admission (``reject_infeasible``) so the hopeless deadline is
+    refused at submit, while the ``fifo`` run admits it and lets it expire in
+    the queue — the exact failure mode admission control removes.
+    """
+    registry = GraphRegistry()
+    for graph in graphs:
+        registry.register_graph(graph)
+    service = Service(
+        registry=registry,
+        config=ServiceConfig(
+            max_workers=1,
+            policy=policy,
+            tenant_weights=DEFAULT_TENANT_WEIGHTS,
+            reject_infeasible=(policy == "wfq"),
+        ),
+    )
+    started = time.perf_counter()
+    jobs_by_tenant: dict[str, list] = {"aggressive": [], "polite": []}
+    for request in aggressive:
+        jobs_by_tenant["aggressive"].append(service.submit(request))
+    for request in polite:
+        jobs_by_tenant["polite"].append(service.submit(request))
+    probe_rejected = False
+    probe_job = None
+    try:
+        probe_job = service.submit(probe)
+    except InfeasibleDeadlineError:
+        probe_rejected = True
+    finished = service.wait_all(timeout=timeout)
+    wall = time.perf_counter() - started
+    service.close()
+    stats = service.stats()
+    tenants = {}
+    for tenant, jobs in jobs_by_tenant.items():
+        # One percentile definition for the whole repo: the ceil-based
+        # nearest rank of LatencyStats, not a hand-rolled copy of it.
+        latency = LatencyStats.from_samples(
+            job.total_seconds for job in jobs if job.total_seconds is not None
+        )
+        tenants[tenant] = {
+            "jobs": len(jobs),
+            "p50_ms": 1e3 * latency.p50_seconds if latency.count else None,
+            "p95_ms": 1e3 * latency.p95_seconds if latency.count else None,
+            "worst_ms": 1e3 * latency.max_seconds if latency.count else None,
+        }
+    return {
+        "policy": policy,
+        "finished_in_time": finished,
+        "wall_seconds": wall,
+        "completed": stats.completed,
+        "throughput_rps": stats.completed / wall if wall > 0 else 0.0,
+        "tenants": tenants,
+        "probe_rejected_at_submit": probe_rejected,
+        "probe_expired_in_queue": probe_job is not None
+        and stats.expired > 0,
+        "rejected_infeasible": stats.rejected_infeasible,
+        "expired": stats.expired,
+        "cost_model_families": stats.cost_model.families,
+        "cost_model_mean_abs_error_ms": 1e3 * stats.cost_model.mean_abs_error_seconds,
+    }
+
+
+def bench_multi_tenant(
+    graphs,
+    aggressive_sources: int = DEFAULT_AGGRESSIVE_SOURCES,
+    polite_sources: int = DEFAULT_POLITE_SOURCES,
+    timeout: float = 300.0,
+) -> dict:
+    """Aggressive-vs-polite tenant contrast under fifo and wfq.
+
+    The aggressive tenant floods every bulk combo on both bulk graphs before
+    the polite tenant's small groups arrive, so arrival order is maximally
+    unfair; the report shows whether the policy repairs it.
+    """
+    bulk_graphs, small = graphs[:2], graphs[2]
+    # Warm the engine code paths once so the first timed run (fifo) does not
+    # pay one-off numpy/JIT-cache costs the second run skips — the
+    # throughput comparison must measure scheduling, not warmup order.
+    for graph in graphs:
+        run_batch(
+            Application.BFS, graph, [0], strategy=AccessStrategy.MERGED_ALIGNED
+        )
+    aggressive = [
+        TraversalRequest(
+            application, graph.name, source=source,
+            strategy=strategy, tenant="aggressive",
+        )
+        for graph in bulk_graphs
+        for application, strategy in _BULK_COMBOS
+        for source in range(aggressive_sources)
+    ]
+    polite = [
+        TraversalRequest(
+            application, small.name, source=source,
+            strategy=strategy, tenant="polite",
+        )
+        for application, strategy in _BULK_COMBOS
+        for source in range(polite_sources)
+    ]
+    # A deadline no backlog this deep can meet: the admission-enabled run
+    # must reject it at submit, the FIFO run lets it expire in the queue.
+    probe = TraversalRequest(
+        Application.BFS, small.name, source=small.num_vertices - 1,
+        strategy=AccessStrategy.NAIVE, deadline=1e-3, tenant="probe",
+    )
+    runs = [
+        _run_multi_tenant_policy(policy, graphs, aggressive, polite, probe, timeout)
+        for policy in ("fifo", "wfq")
+    ]
+    by_policy = {run["policy"]: run for run in runs}
+    fifo, wfq = by_policy["fifo"], by_policy["wfq"]
+    fifo_p95 = fifo["tenants"]["polite"]["p95_ms"]
+    wfq_p95 = wfq["tenants"]["polite"]["p95_ms"]
+    throughput_ratio = (
+        wfq["throughput_rps"] / fifo["throughput_rps"]
+        if fifo["throughput_rps"]
+        else None
+    )
+    return {
+        "workload": {
+            "aggressive_jobs": len(aggressive),
+            "aggressive_groups": 2 * len(_BULK_COMBOS),
+            "polite_jobs": len(polite),
+            "polite_groups": len(_BULK_COMBOS),
+            "tenant_weights": dict(DEFAULT_TENANT_WEIGHTS),
+            "probe_deadline_seconds": probe.deadline,
+        },
+        "policies": runs,
+        "summary": {
+            "fifo_polite_p95_ms": fifo_p95,
+            "wfq_polite_p95_ms": wfq_p95,
+            "wfq_holds_polite_p95": (
+                wfq_p95 < fifo_p95
+                if fifo_p95 is not None and wfq_p95 is not None
+                else None
+            ),
+            "throughput_ratio_wfq_over_fifo": throughput_ratio,
+            "throughput_within_10pct": (
+                abs(throughput_ratio - 1.0) <= 0.10
+                if throughput_ratio is not None
+                else None
+            ),
+            "probe_rejected_under_wfq": wfq["probe_rejected_at_submit"]
+            and wfq["rejected_infeasible"] == 1,
+            "probe_expired_under_fifo": fifo["probe_expired_in_queue"],
+        },
+    }
+
+
 def bench_admission(graph: CSRGraph, queue_limit: int = 4, burst: int = 32) -> dict:
     """Fill a bounded queue and count how much of the burst is shed."""
     registry = GraphRegistry()
@@ -209,6 +387,7 @@ def bench_scheduler(
     runs = [
         _run_policy(policy, graphs, bulk, urgent, timeout) for policy in policies
     ]
+    multi_tenant = bench_multi_tenant(graphs, timeout=timeout)
     by_policy = {run["policy"]: run for run in runs}
     # The headline contrast only exists when both policies actually ran; a
     # deliberate subset must not fabricate a comparison against urgent_met=0.
@@ -228,6 +407,7 @@ def bench_scheduler(
         },
         "policies": runs,
         "admission": bench_admission(graphs[2]),
+        "multi_tenant": multi_tenant,
         "summary": {
             "fifo_urgent_met": fifo_met,
             "edf_urgent_met": edf_met,
@@ -236,6 +416,7 @@ def bench_scheduler(
                 if fifo_met is not None and edf_met is not None
                 else None
             ),
+            "wfq_holds_polite_p95": multi_tenant["summary"]["wfq_holds_polite_p95"],
         },
     }
 
@@ -297,5 +478,31 @@ def format_report(report: dict) -> str:
             "EDF meets deadlines FIFO misses: "
             f"{'yes' if verdict else 'NO'} "
             f"(fifo {summary['fifo_urgent_met']}, edf {summary['edf_urgent_met']})"
+        )
+    multi = report.get("multi_tenant")
+    if multi is not None:
+        mt_summary = multi["summary"]
+        workload = multi["workload"]
+
+        def ms(value):
+            # A degraded run (timeout, zero finished polite jobs) reports
+            # None; render it instead of crashing the whole report.
+            return "n/a" if value is None else f"{value:.1f} ms"
+
+        ratio = mt_summary["throughput_ratio_wfq_over_fifo"]
+        lines.append(
+            f"multi-tenant: {workload['aggressive_jobs']} aggressive jobs vs "
+            f"{workload['polite_jobs']} polite; polite p95 "
+            f"fifo {ms(mt_summary['fifo_polite_p95_ms'])} -> "
+            f"wfq {ms(mt_summary['wfq_polite_p95_ms'])} "
+            f"({'held' if mt_summary['wfq_holds_polite_p95'] else 'NOT held'}), "
+            f"throughput ratio {'n/a' if ratio is None else f'{ratio:.2f}'}"
+        )
+        lines.append(
+            "infeasible probe: "
+            f"wfq rejected at submit: "
+            f"{'yes' if mt_summary['probe_rejected_under_wfq'] else 'NO'}; "
+            f"fifo expired in queue: "
+            f"{'yes' if mt_summary['probe_expired_under_fifo'] else 'NO'}"
         )
     return "\n".join(lines)

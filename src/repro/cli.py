@@ -99,7 +99,52 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         default=None,
         help="maximum pending jobs per tenant (overrides the workload file)",
     )
+    parser.add_argument(
+        "--tenant-weights",
+        type=_parse_tenant_weights,
+        default=None,
+        metavar="TENANT=W[,TENANT=W...]",
+        help="relative fair-queueing shares for the wfq policy, e.g. "
+        "'interactive=4,bulk=1' (overrides the workload file)",
+    )
+    parser.add_argument(
+        "--cost-alpha",
+        type=float,
+        default=None,
+        help="EWMA weight of the newest cost-model observation, in (0, 1] "
+        "(overrides the workload file)",
+    )
+    parser.add_argument(
+        "--reject-infeasible",
+        action="store_true",
+        default=None,
+        help="reject deadline requests the cost model deems unmeetable at "
+        "submit instead of letting them expire in the queue",
+    )
     return parser
+
+
+def _parse_tenant_weights(text: str) -> dict:
+    """Parse 'tenant=weight,tenant=weight' CLI syntax into a mapping."""
+    weights = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        tenant, separator, weight = item.partition("=")
+        if not separator:
+            raise argparse.ArgumentTypeError(
+                f"expected TENANT=WEIGHT, got {item!r}"
+            )
+        try:
+            weights[tenant.strip()] = float(weight)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"weight for {tenant.strip()!r} must be a number, got {weight!r}"
+            ) from None
+    if not weights:
+        raise argparse.ArgumentTypeError("no tenant weights given")
+    return weights
 
 
 def _build_bench_traversal_parser() -> argparse.ArgumentParser:
@@ -269,6 +314,9 @@ def _serve_batch(argv: list[str]) -> int:
             policy=args.policy,
             queue_limit=args.queue_limit,
             tenant_quota=args.tenant_quota,
+            tenant_weights=args.tenant_weights,
+            cost_alpha=args.cost_alpha,
+            reject_infeasible=args.reject_infeasible,
         )
     except (OSError, ValueError, ReproError) as exc:
         print(f"serve-batch failed: {exc}", file=sys.stderr)

@@ -17,6 +17,7 @@ I/O amplification — matches the paper.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import astuple, dataclass, field, replace
 
 from .errors import ConfigurationError
@@ -245,7 +246,43 @@ class SystemConfig:
 #: Scheduling policies accepted by :attr:`ServiceConfig.policy`; the
 #: implementations live in :mod:`repro.service.scheduler` (which validates
 #: against this tuple so the two cannot drift apart).
-SCHEDULING_POLICIES = ("fifo", "largest", "edf")
+SCHEDULING_POLICIES = ("fifo", "largest", "edf", "wfq")
+
+
+def normalize_tenant_weights(weights) -> tuple[tuple[str, float], ...] | None:
+    """Canonicalize a tenant→weight mapping for weighted-fair queueing.
+
+    Accepts any mapping (or an already-normalized item tuple) and returns a
+    sorted, immutable ``((tenant, weight), ...)`` tuple so the frozen
+    :class:`ServiceConfig` stays hashable and two configs with the same
+    weights compare equal regardless of dict ordering.  Weights are relative
+    shares — only their ratios matter — so no rescaling is applied; each must
+    be a positive finite number and each tenant a non-empty string.
+    """
+    if weights is None:
+        return None
+    items = weights.items() if hasattr(weights, "items") else weights
+    normalized = []
+    for tenant, weight in items:
+        if not isinstance(tenant, str) or not tenant:
+            raise ConfigurationError(
+                f"tenant_weights keys must be non-empty tenant names, got {tenant!r}"
+            )
+        if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+            raise ConfigurationError(
+                f"tenant_weights[{tenant!r}] must be a number, got {weight!r}"
+            )
+        weight = float(weight)
+        if not math.isfinite(weight) or weight <= 0:
+            raise ConfigurationError(
+                f"tenant_weights[{tenant!r}] must be positive and finite, "
+                f"got {weight!r}"
+            )
+        normalized.append((tenant, weight))
+    deduped = dict(normalized)
+    if len(deduped) != len(normalized):
+        raise ConfigurationError("tenant_weights names a tenant twice")
+    return tuple(sorted(deduped.items()))
 
 
 @dataclass(frozen=True)
@@ -270,9 +307,27 @@ class ServiceConfig:
     job_retention: int = 4096
     #: Which pending batch group a free worker drains next: ``"fifo"``
     #: (arrival order, the default), ``"largest"`` (most jobs first, maximizing
-    #: multi-source amortization per engine sweep), or ``"edf"`` (earliest
-    #: deadline first).  See :mod:`repro.service.scheduler`.
+    #: multi-source amortization per engine sweep), ``"edf"`` (earliest
+    #: deadline first), or ``"wfq"`` (start-time weighted-fair queueing over
+    #: tenants, charged by predicted drain cost).  See
+    #: :mod:`repro.service.scheduler`.
     policy: str = "fifo"
+    #: Relative fair-queueing shares per tenant for the ``"wfq"`` policy,
+    #: given as a mapping (canonicalized to a sorted item tuple).  A tenant
+    #: absent from the mapping — including the anonymous ``None`` tenant —
+    #: gets weight 1.0.  Only ratios matter: ``{"a": 3, "b": 1}`` lets tenant
+    #: ``a`` drain three units of estimated engine cost for every one of
+    #: ``b``'s while both are backlogged.
+    tenant_weights: tuple | None = None
+    #: EWMA smoothing factor of the online cost model
+    #: (:mod:`repro.service.costmodel`): weight of the newest observation.
+    #: Must be in (0, 1].
+    cost_alpha: float = 0.25
+    #: Reject deadline-carrying submissions whose estimated queue wait plus
+    #: execution already exceeds their budget
+    #: (:class:`~repro.errors.InfeasibleDeadlineError` at ``submit``) instead
+    #: of letting them expire in the queue.
+    reject_infeasible: bool = False
     #: Maximum jobs waiting in the queue; a submit beyond this raises
     #: :class:`~repro.errors.AdmissionError` instead of growing the backlog
     #: without bound.  ``None`` disables the limit.
@@ -298,6 +353,15 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"unknown scheduling policy {self.policy!r}; "
                 f"choose one of: {', '.join(SCHEDULING_POLICIES)}"
+            )
+        object.__setattr__(
+            self, "tenant_weights", normalize_tenant_weights(self.tenant_weights)
+        )
+        if not isinstance(self.cost_alpha, (int, float)) or not (
+            0.0 < float(self.cost_alpha) <= 1.0
+        ):
+            raise ConfigurationError(
+                f"cost_alpha must be in (0, 1], got {self.cost_alpha!r}"
             )
         if self.queue_limit is not None and self.queue_limit <= 0:
             raise ConfigurationError("queue_limit must be positive or None")

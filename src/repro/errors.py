@@ -51,6 +51,17 @@ class AdmissionError(ServiceError):
         self.tenant = tenant
 
 
+class InfeasibleDeadlineError(AdmissionError):
+    """A deadline-carrying submission cannot possibly finish in time.
+
+    Raised at :meth:`repro.service.Service.submit` when the cost model
+    estimates that the backlog ahead of the request plus its own execution
+    already exceeds the requested latency budget.  Rejecting on arrival beats
+    letting the request expire in the queue: the client learns immediately
+    and no queue slot is wasted on work that cannot be useful.
+    """
+
+
 class DeadlineExceededError(ServiceError):
     """A job's deadline passed while it was still waiting in the queue.
 

@@ -11,7 +11,11 @@ the serving stacks built over specialized engines:
 * :class:`RequestQueue` — in-flight deduplication + same-configuration
   batching + bounded admission (:mod:`repro.service.queue`);
 * :class:`SchedulingPolicy` — pluggable drain ordering: FIFO, largest batch
-  first, earliest deadline first (:mod:`repro.service.scheduler`);
+  first, earliest deadline first, weighted-fair queueing over tenants
+  (:mod:`repro.service.scheduler`);
+* :class:`CostModel` — online EWMA estimates of per-batch-family engine
+  seconds, feeding WFQ ordering and infeasible-deadline admission
+  (:mod:`repro.service.costmodel`);
 * :class:`WorkerPool` — bounded thread-pool execution
   (:mod:`repro.service.workers`);
 * :class:`ResultCache` — LRU result reuse with hit/miss accounting
@@ -22,9 +26,10 @@ the serving stacks built over specialized engines:
   ``python -m repro.cli serve-batch`` (:mod:`repro.service.workload`).
 """
 
-from ..config import SCHEDULING_POLICIES, ServiceConfig
-from ..errors import AdmissionError, DeadlineExceededError
+from ..config import SCHEDULING_POLICIES, ServiceConfig, normalize_tenant_weights
+from ..errors import AdmissionError, DeadlineExceededError, InfeasibleDeadlineError
 from .cache import CacheStats, ResultCache
+from .costmodel import CostModel, CostModelStats
 from .jobs import Job, JobStatus
 from .queue import RequestQueue
 from .registry import GraphRegistry, RegistryStats
@@ -34,10 +39,11 @@ from .scheduler import (
     FifoPolicy,
     LargestBatchPolicy,
     SchedulingPolicy,
+    WeightedFairPolicy,
     make_policy,
 )
 from .service import Engine, Service, default_engine
-from .stats import LatencyStats, ServiceStats
+from .stats import LatencyStats, ServiceStats, TenantStats
 from .workers import WorkerPool
 from .workload import (
     WorkloadReport,
@@ -52,11 +58,14 @@ from .workload import (
 __all__ = [
     "AdmissionError",
     "CacheStats",
+    "CostModel",
+    "CostModelStats",
     "DeadlineExceededError",
     "EdfPolicy",
     "Engine",
     "FifoPolicy",
     "GraphRegistry",
+    "InfeasibleDeadlineError",
     "Job",
     "JobStatus",
     "LargestBatchPolicy",
@@ -69,10 +78,13 @@ __all__ = [
     "Service",
     "ServiceConfig",
     "ServiceStats",
+    "TenantStats",
     "TraversalRequest",
+    "WeightedFairPolicy",
     "WorkerPool",
     "WorkloadReport",
     "make_policy",
+    "normalize_tenant_weights",
     "build_service",
     "config_from_spec",
     "default_engine",

@@ -27,9 +27,16 @@ class JobStatus(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass
+@dataclass(eq=False)
 class Job:
-    """One unit of scheduled work: a request plus its execution state."""
+    """One unit of scheduled work: a request plus its execution state.
+
+    ``eq=False``: jobs compare (and hash) by identity.  Every membership
+    check in the serving layer — ``existing in group``, ``group.remove(job)``
+    — means *this* job object, and a generated field-wise ``__eq__`` would
+    instead compare exceptions, events and timestamps on every queue
+    operation (and could conflate two distinct jobs mid-transition).
+    """
 
     job_id: str
     request: TraversalRequest

@@ -25,17 +25,29 @@ import threading
 from collections import OrderedDict
 from typing import Callable
 
-from ..errors import AdmissionError
+from ..errors import AdmissionError, InfeasibleDeadlineError
+from .costmodel import CostModel
 from .jobs import Job
 from .scheduler import SchedulingPolicy, group_deadline, make_policy
 
 
 class RequestQueue:
-    """Thread-safe queue of batch groups plus the in-flight dedup index."""
+    """Thread-safe queue of batch groups plus the in-flight dedup index.
 
-    def __init__(self, policy: SchedulingPolicy | str | None = None) -> None:
+    The optional ``cost_model`` powers infeasible-deadline admission
+    (:meth:`push_or_join` with ``reject_infeasible``); pass the same instance
+    to a ``"wfq"`` policy so ordering and admission share one view of
+    predicted costs.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy | str | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
         self._lock = threading.Lock()
-        self._policy = make_policy(policy)
+        self._policy = make_policy(policy, cost_model=cost_model)
+        self._cost_model = cost_model
         self._groups: OrderedDict[tuple, list[Job]] = OrderedDict()
         #: Most urgent absolute deadline per pending group (inf when none),
         #: maintained incrementally on push/join/discard so deadline-aware
@@ -55,6 +67,8 @@ class RequestQueue:
         cache_lookup: Callable[[tuple], object] | None = None,
         queue_limit: int | None = None,
         tenant_quota: int | None = None,
+        reject_infeasible: bool = False,
+        workers: int = 1,
     ) -> tuple[str, object]:
         """Enqueue ``job``, join the identical in-flight job, or hit the cache.
 
@@ -77,6 +91,16 @@ class RequestQueue:
         (``queue_limit``) or exhausted tenant quota (``tenant_quota``;
         tenant-less requests share the anonymous ``None`` bucket) raises
         :class:`AdmissionError` without enqueueing anything.
+
+        With ``reject_infeasible`` (and a cost model), a deadline-carrying
+        job whose estimated wait — the whole pending backlog's predicted
+        drain cost spread over ``workers``, plus its own execution — already
+        exceeds its budget raises :class:`InfeasibleDeadlineError` at
+        arrival instead of expiring in the queue later.  The backlog bound
+        is deliberately policy-agnostic and conservative (every pending
+        group might drain first); a hopeless request is refused in
+        microseconds while a merely tight one is admitted and given to the
+        deadline-aware policies.
         """
         key = job.request.cache_key
         with self._lock:
@@ -115,6 +139,25 @@ class RequestQueue:
                     raise AdmissionError(
                         f"tenant {tenant!r} has {held} jobs pending "
                         f"(tenant_quota={tenant_quota})",
+                        tenant=tenant,
+                    )
+            if (
+                reject_infeasible
+                and self._cost_model is not None
+                and job.request.deadline is not None
+            ):
+                backlog = sum(
+                    self._cost_model.estimate_group(group_key, len(group_jobs))
+                    for group_key, group_jobs in self._groups.items()
+                )
+                estimated = backlog / max(1, workers) + self._cost_model.estimate_job(
+                    job.request.batch_key
+                )
+                if estimated > job.request.deadline:
+                    raise InfeasibleDeadlineError(
+                        f"deadline of {job.request.deadline:g}s cannot be met: "
+                        f"estimated backlog wait + execution is {estimated:.3f}s "
+                        f"({self._pending} jobs pending; {job.request.describe()})",
                         tenant=tenant,
                     )
             self._inflight[key] = job

@@ -181,6 +181,17 @@ class GraphRegistry:
             **dict(graph.meta),
         }
 
+    def peek(self, name: str) -> CSRGraph | None:
+        """The resident graph named ``name``, or None — never loads.
+
+        Unlike :meth:`get` this neither triggers the loader nor touches the
+        LRU order, so cheap introspection (e.g. the cost model bootstrapping
+        an estimate from graph size) cannot evict anything or block on a slow
+        load.
+        """
+        with self._lock:
+            return self._resident.get(name)
+
     def names(self) -> tuple[str, ...]:
         with self._lock:
             return tuple(sorted(self._loaders))

@@ -24,6 +24,7 @@ from ..config import ServiceConfig, SystemConfig, default_system
 from ..errors import (
     AdmissionError,
     DeadlineExceededError,
+    InfeasibleDeadlineError,
     JobFailedError,
     JobNotFoundError,
     ServiceError,
@@ -39,11 +40,13 @@ from ..traversal.results import TraversalResult
 from ..traversal.sssp import run_sssp
 from ..types import Application
 from .cache import ResultCache
+from .costmodel import CostModel
 from .jobs import Job, JobStatus
 from .queue import RequestQueue
 from .registry import GraphRegistry
 from .requests import TraversalRequest
-from .stats import LatencyStats, ServiceStats
+from .scheduler import make_policy
+from .stats import LatencyStats, ServiceStats, TenantStats
 from .workers import WorkerPool
 
 #: Signature of the execution backend: given a normalized request and the
@@ -85,7 +88,22 @@ class Service:
         self._engine = engine
         self._arena = EngineArena(max_idle=max(8, 2 * self.config.max_workers))
         self._cache = ResultCache(self.config.result_cache_entries)
-        self._queue = RequestQueue(policy=self.config.policy)
+        #: Online per-batch-family cost estimator, fed by every successful
+        #: execution below and consumed by the WFQ policy and by
+        #: infeasible-deadline admission.  Bootstrap estimates peek at the
+        #: registry (resident graphs only — estimating must never force a
+        #: load or an eviction).
+        self._costmodel = CostModel(
+            alpha=self.config.cost_alpha, graph_size_lookup=self._graph_size
+        )
+        self._queue = RequestQueue(
+            policy=make_policy(
+                self.config.policy,
+                tenant_weights=self.config.tenant_weights,
+                cost_model=self._costmodel,
+            ),
+            cost_model=self._costmodel,
+        )
         self._pool = WorkerPool(self.config.max_workers)
         self._jobs: dict[str, Job] = {}
         #: Completion order of jobs still in ``_jobs`` (ids, oldest first):
@@ -104,9 +122,17 @@ class Service:
         self._completed = 0
         self._failed = 0
         self._rejected = 0
+        self._rejected_infeasible = 0
         self._expired = 0
         self._deadlines_met = 0
         self._deadlines_missed = 0
+        #: Lifetime per-tenant outcome counters (two ints per distinct tenant
+        #: label ever seen).  Tenants are expected to be a small, stable set
+        #: of service classes — do not encode per-user or per-request IDs
+        #: into :attr:`TraversalRequest.tenant`, which would grow these (and
+        #: the WFQ policy's virtual clocks) with label cardinality.
+        self._tenant_completed: dict[str | None, int] = {}
+        self._tenant_missed: dict[str | None, int] = {}
         self._executions = 0
         self._batches = 0
         self._engine_seconds = 0.0
@@ -132,6 +158,13 @@ class Service:
             service.registry.register_dataset(symbol, **load_kwargs)
         return service
 
+    def _graph_size(self, name: str) -> tuple[int, int] | None:
+        """(vertices, edges) of a *resident* graph for cost bootstrapping."""
+        graph = self.registry.peek(name)
+        if graph is None:
+            return None
+        return graph.num_vertices, graph.num_edges
+
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
@@ -144,9 +177,11 @@ class Service:
 
         Raises :class:`~repro.errors.AdmissionError` when the pending queue
         is at ``config.queue_limit`` or the request's tenant is at
-        ``config.tenant_quota``.  Submissions that join an in-flight job or
-        hit the result cache consume no queue capacity and are always
-        admitted.
+        ``config.tenant_quota``, and (with ``config.reject_infeasible``) its
+        :class:`~repro.errors.InfeasibleDeadlineError` subclass when the cost
+        model predicts a deadline-carrying request cannot finish within its
+        budget.  Submissions that join an in-flight job or hit the result
+        cache consume no queue capacity and are always admitted.
         """
         if request.graph not in self.registry:
             # Fail fast at the front door: a typo'd graph name should not
@@ -173,10 +208,14 @@ class Service:
                     cache_lookup=self._cache.get,
                     queue_limit=self.config.queue_limit,
                     tenant_quota=self.config.tenant_quota,
+                    reject_infeasible=self.config.reject_infeasible,
+                    workers=self.config.max_workers,
                 )
-            except AdmissionError:
+            except AdmissionError as exc:
                 with self._lock:
                     self._rejected += 1
+                    if isinstance(exc, InfeasibleDeadlineError):
+                        self._rejected_infeasible += 1
                 raise
             with self._lock:
                 self._submitted += 1
@@ -265,6 +304,17 @@ class Service:
                 self._latency_samples.append(total)
             if job.job_id in self._jobs:
                 self._mark_prunable_locked(job)
+            # Per-tenant breakdown, attributed to the job's owning tenant
+            # (the first submitter; joined duplicates ride along): completed
+            # jobs, and deadline-carrying jobs that blew their tightest
+            # budget (late, failed or expired).
+            tenant = job.request.tenant
+            if job.status is JobStatus.DONE:
+                self._tenant_completed[tenant] = (
+                    self._tenant_completed.get(tenant, 0) + 1
+                )
+            if job.met_deadline is False:
+                self._tenant_missed[tenant] = self._tenant_missed.get(tenant, 0) + 1
             finished_at = job.finished_at
             for deadline_at in job.deadline_waiters:
                 if (
@@ -395,10 +445,15 @@ class Service:
                 self._engine_seconds += time.perf_counter() - started
             job.mark_failed(exc)
         else:
+            elapsed = time.perf_counter() - started
             with self._lock:
                 self._executions += 1
                 self._completed += 1
-                self._engine_seconds += time.perf_counter() - started
+                self._engine_seconds += elapsed
+            # Only successful runs feed the cost model: a failure can raise
+            # long before any frontier sweep, and that near-zero timing says
+            # nothing about what draining this family actually costs.
+            self._costmodel.observe(job.request.batch_key, 1, elapsed)
             self._cache.put(job.request.cache_key, result)
             job.mark_done(result)
         finally:
@@ -476,6 +531,9 @@ class Service:
             self._executions += len(runnable)
             self._completed += len(runnable)
             self._engine_seconds += elapsed
+        # One observation per drained group: width + wall-clock seconds is
+        # exactly the (per-sweep, per-job) sample the cost model EWMAs want.
+        self._costmodel.observe(request.batch_key, len(runnable), elapsed)
         for job, result in zip(runnable, outcome.results):
             self._cache.put(job.request.cache_key, result)
             job.mark_done(result)
@@ -520,6 +578,11 @@ class Service:
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def cost_model(self) -> CostModel:
+        """The service's online cost estimator (read-mostly; thread-safe)."""
+        return self._costmodel
+
     def stats(self) -> ServiceStats:
         with self._lock:
             return ServiceStats(
@@ -537,11 +600,23 @@ class Service:
                 registry=self.registry.stats(),
                 policy=self.config.policy,
                 rejected=self._rejected,
+                rejected_infeasible=self._rejected_infeasible,
                 expired=self._expired,
                 deadlines_met=self._deadlines_met,
                 deadlines_missed=self._deadlines_missed,
                 queue_wait=LatencyStats.from_samples(self._wait_samples),
                 latency=LatencyStats.from_samples(self._latency_samples),
+                cost_model=self._costmodel.stats(),
+                tenants={
+                    tenant: TenantStats(
+                        completed=self._tenant_completed.get(tenant, 0),
+                        missed=self._tenant_missed.get(tenant, 0),
+                    )
+                    for tenant in sorted(
+                        self._tenant_completed.keys() | self._tenant_missed.keys(),
+                        key=lambda t: (t is None, t),
+                    )
+                },
             )
 
     def close(self, wait: bool = True, cancel_pending: bool = False) -> None:

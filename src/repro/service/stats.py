@@ -8,10 +8,12 @@ consistent view instead of poking at internals.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from .cache import CacheStats
+from .costmodel import CostModelStats
 from .registry import RegistryStats
 
 
@@ -38,7 +40,13 @@ class LatencyStats:
             return cls()
 
         def percentile(fraction: float) -> float:
-            index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+            # Ceil-based nearest rank over the n-1 gaps: round *up* to the
+            # next sample, never down.  ``round`` here (with Python's
+            # banker's rounding) used to make p50 of an even-sized window
+            # return the lower sample — p50 of two samples was the minimum —
+            # silently understating every even-window percentile.  A latency
+            # percentile should err conservative.
+            index = min(len(ordered) - 1, math.ceil(fraction * (len(ordered) - 1)))
             return ordered[index]
 
         return cls(
@@ -56,6 +64,17 @@ class LatencyStats:
             f"{self.p50_seconds * 1e3:.2f}/{self.p95_seconds * 1e3:.2f}/"
             f"{self.p99_seconds * 1e3:.2f} ms"
         )
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Per-tenant serving outcomes (jobs attributed to their first submitter)."""
+
+    #: Jobs of this tenant that finished successfully.
+    completed: int = 0
+    #: Deadline-carrying jobs of this tenant that blew their tightest budget
+    #: (finished late, failed, or expired in the queue).
+    missed: int = 0
 
 
 @dataclass(frozen=True)
@@ -84,10 +103,14 @@ class ServiceStats:
     uptime_seconds: float
     cache: CacheStats
     registry: RegistryStats
-    #: Active scheduling policy name ("fifo" / "largest" / "edf").
+    #: Active scheduling policy name ("fifo" / "largest" / "edf" / "wfq").
     policy: str = "fifo"
-    #: Submissions refused by admission control (queue limit / tenant quota).
+    #: Submissions refused by admission control (queue limit / tenant quota /
+    #: infeasible deadline).
     rejected: int = 0
+    #: The subset of ``rejected`` refused because the cost model judged the
+    #: requested deadline unmeetable at arrival.
+    rejected_infeasible: int = 0
     #: Jobs failed because their deadline passed while still queued.
     expired: int = 0
     #: Deadline-carrying jobs that completed within their budget.
@@ -98,6 +121,11 @@ class ServiceStats:
     queue_wait: LatencyStats = field(default_factory=LatencyStats)
     #: End-to-end latency (submission -> completion) percentiles.
     latency: LatencyStats = field(default_factory=LatencyStats)
+    #: Coverage and accuracy of the online cost model feeding WFQ and
+    #: infeasible-deadline admission.
+    cost_model: CostModelStats = field(default_factory=CostModelStats)
+    #: Per-tenant completed/missed breakdown (``None`` = anonymous traffic).
+    tenants: Mapping[str | None, TenantStats] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -131,9 +159,11 @@ class ServiceStats:
         lines = [
             f"submitted={self.submitted}  deduplicated={self.deduplicated} "
             f"({self.dedup_rate:.0%})  completed={self.completed}  failed={self.failed}",
-            f"scheduling: policy={self.policy}  rejected={self.rejected}  "
-            f"expired={self.expired}  deadlines {self.deadlines_met} met / "
+            f"scheduling: policy={self.policy}  rejected={self.rejected} "
+            f"({self.rejected_infeasible} infeasible)  expired={self.expired}  "
+            f"deadlines {self.deadlines_met} met / "
             f"{self.deadlines_missed} missed",
+            f"cost model: {self.cost_model.describe()}",
             f"latency p50/p95/p99: queued {self.queue_wait.describe_ms()}, "
             f"total {self.latency.describe_ms()} "
             f"(window of {self.latency.count})",
@@ -149,4 +179,13 @@ class ServiceStats:
             f"({self.registry.resident_bytes} simulated bytes, "
             f"{self.registry.pinned_bytes} pinned by loader closures)",
         ]
+        if self.tenants:
+            lines.append(
+                "tenants: "
+                + "  ".join(
+                    f"{tenant or '(anonymous)'}: {outcome.completed} completed / "
+                    f"{outcome.missed} missed"
+                    for tenant, outcome in self.tenants.items()
+                )
+            )
         return "\n".join(lines)

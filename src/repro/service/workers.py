@@ -33,14 +33,6 @@ class WorkerPool:
 
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)`` on the pool."""
-
-        def tracked() -> object:
-            try:
-                return fn(*args, **kwargs)
-            finally:
-                with self._lock:
-                    self._active -= 1
-
         # The closed check and the executor submit happen under one lock so a
         # concurrent shutdown() cannot slip between them; any residual
         # executor-level refusal surfaces as the same ServiceError.
@@ -48,12 +40,24 @@ class WorkerPool:
             if self._closed:
                 raise ServiceError("worker pool is shut down")
             try:
-                future = self._executor.submit(tracked)
+                future = self._executor.submit(fn, *args, **kwargs)
             except RuntimeError as exc:
                 raise ServiceError("worker pool is shut down") from exc
             self._active += 1
             self._dispatched += 1
+        # The decrement lives in a done-callback, not a wrapper around ``fn``:
+        # ``shutdown(cancel_pending=True)`` cancels queued tasks whose body
+        # never runs, and a wrapper-based decrement then leaked ``_active``
+        # forever.  Done-callbacks fire for completion, failure AND
+        # cancellation, exactly once each.  Added outside the lock: a future
+        # that already finished runs the callback inline on this thread, and
+        # taking the (non-reentrant) lock while holding it would deadlock.
+        future.add_done_callback(self._task_done)
         return future
+
+    def _task_done(self, _future: Future) -> None:
+        with self._lock:
+            self._active -= 1
 
     @property
     def active(self) -> int:

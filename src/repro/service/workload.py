@@ -24,10 +24,13 @@ duplicates the request — the natural way to exercise deduplication and the
 result cache from a workload file.
 
 Scheduling and admission knobs ride along: top-level ``policy`` ("fifo" /
-"largest" / "edf"), ``queue_limit`` and ``tenant_quota`` configure the
-service, and per-request ``deadline`` (seconds) / ``tenant`` mark entries for
-EDF ordering and quota accounting.  Submissions shed by admission control are
-reported, not fatal.
+"largest" / "edf" / "wfq"), ``queue_limit``, ``tenant_quota``,
+``tenant_weights`` (a tenant→share object for WFQ), ``cost_alpha`` (cost
+model EWMA) and ``reject_infeasible`` (reject deadlines the cost model deems
+unmeetable at arrival) configure the service, and per-request ``deadline``
+(seconds) / ``tenant`` mark entries for deadline-aware ordering and
+per-tenant accounting.  Submissions shed by admission control are reported,
+not fatal.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..config import ServiceConfig
-from ..errors import AdmissionError, ServiceError
+from ..errors import AdmissionError, InfeasibleDeadlineError, ServiceError
 from ..graph.datasets import get_spec, pick_sources
 from ..graph.generators import (
     powerlaw_graph,
@@ -70,8 +73,11 @@ class WorkloadReport:
     latencies: tuple[float, ...]
     failures: int
     stats: ServiceStats
-    #: Submissions refused by admission control (queue limit / tenant quota).
+    #: Submissions refused by admission control (queue limit / tenant quota /
+    #: infeasible deadline).
     rejected: int = 0
+    #: The subset of ``rejected`` refused for an unmeetable deadline.
+    rejected_infeasible: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -92,7 +98,8 @@ class WorkloadReport:
             "=" * 55,
             f"requests served     : {self.total_requests} "
             f"({self.unique_results} unique results, {self.failures} failed, "
-            f"{self.rejected} rejected at admission)",
+            f"{self.rejected} rejected at admission, "
+            f"{self.rejected_infeasible} of those infeasible deadlines)",
             f"wall time           : {self.wall_seconds:.3f} s",
             f"throughput          : {self.requests_per_second:.1f} requests/s",
             f"latency mean/p50/p95: {latency.mean_seconds * 1e3:.2f} / "
@@ -123,6 +130,9 @@ def config_from_spec(
     policy: str | None = None,
     queue_limit: int | None = None,
     tenant_quota: int | None = None,
+    tenant_weights: dict | None = None,
+    cost_alpha: float | None = None,
+    reject_infeasible: bool | None = None,
 ) -> ServiceConfig:
     """Service knobs from a workload spec, with optional (CLI) overrides."""
     if budget_mib is None:
@@ -135,6 +145,21 @@ def config_from_spec(
         queue_limit = spec.get("queue_limit")
     if tenant_quota is None:
         tenant_quota = spec.get("tenant_quota")
+    if tenant_weights is None:
+        tenant_weights = spec.get("tenant_weights")
+    if cost_alpha is None:
+        cost_alpha = spec.get("cost_alpha")
+    if reject_infeasible is None:
+        reject_infeasible = spec.get("reject_infeasible")
+    # Only forward the knobs that were actually given, so ServiceConfig's
+    # own defaults stay the single source of truth.
+    extra = {}
+    if tenant_weights is not None:
+        extra["tenant_weights"] = tenant_weights
+    if cost_alpha is not None:
+        extra["cost_alpha"] = float(cost_alpha)
+    if reject_infeasible is not None:
+        extra["reject_infeasible"] = bool(reject_infeasible)
     return ServiceConfig(
         max_workers=int(workers if workers is not None else spec.get("workers", 4)),
         registry_budget_bytes=(
@@ -148,6 +173,7 @@ def config_from_spec(
         policy=str(policy),
         queue_limit=int(queue_limit) if queue_limit is not None else None,
         tenant_quota=int(tenant_quota) if tenant_quota is not None else None,
+        **extra,
     )
 
 
@@ -248,11 +274,14 @@ def run_workload(
     started = time.perf_counter()
     jobs = []
     rejected = 0
+    rejected_infeasible = 0
     for request in requests:
         try:
             jobs.append(service.submit(request))
-        except AdmissionError:
+        except AdmissionError as exc:
             rejected += 1
+            if isinstance(exc, InfeasibleDeadlineError):
+                rejected_infeasible += 1
     if not service.wait_all(timeout):
         raise ServiceError(f"workload did not finish within {timeout}s")
     wall = time.perf_counter() - started
@@ -271,6 +300,7 @@ def run_workload(
         failures=failures,
         stats=service.stats(),
         rejected=rejected,
+        rejected_infeasible=rejected_infeasible,
     )
 
 

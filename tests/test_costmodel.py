@@ -1,0 +1,125 @@
+"""Tests for the online per-batch-family cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.costmodel import (
+    BOOTSTRAP_SECONDS_PER_EDGE,
+    BOOTSTRAP_SECONDS_PER_VERTEX,
+    DEFAULT_BOOTSTRAP_SECONDS,
+    CostModel,
+)
+
+FAMILY = ("g", "bfs", "merged_aligned", "default")
+
+
+class TestBootstrap:
+    def test_unknown_family_uses_flat_default(self):
+        model = CostModel()
+        assert model.estimate_job(FAMILY) == pytest.approx(DEFAULT_BOOTSTRAP_SECONDS)
+        assert model.estimate_group(FAMILY, 4) == pytest.approx(
+            4 * DEFAULT_BOOTSTRAP_SECONDS
+        )
+
+    def test_graph_size_lookup_scales_bootstrap(self):
+        model = CostModel(graph_size_lookup=lambda name: (100, 5000))
+        expected = (
+            5000 * BOOTSTRAP_SECONDS_PER_EDGE + 100 * BOOTSTRAP_SECONDS_PER_VERTEX
+        )
+        assert model.estimate_job(FAMILY) == pytest.approx(expected)
+        # a bigger graph costs proportionally more before any samples exist
+        big = CostModel(graph_size_lookup=lambda name: (1000, 50000))
+        assert big.estimate_job(FAMILY) == pytest.approx(10 * expected)
+
+    def test_lookup_miss_falls_back_to_default(self):
+        model = CostModel(graph_size_lookup=lambda name: None)
+        assert model.estimate_job(FAMILY) == pytest.approx(DEFAULT_BOOTSTRAP_SECONDS)
+
+    def test_estimate_never_calls_lookup_once_sampled(self):
+        calls = []
+
+        def lookup(name):
+            calls.append(name)
+            return (10, 100)
+
+        model = CostModel(graph_size_lookup=lookup)
+        model.observe(FAMILY, 2, 0.010)
+        calls.clear()
+        model.estimate_group(FAMILY, 2)
+        assert calls == []
+
+
+class TestLearning:
+    def test_first_observation_replaces_bootstrap(self):
+        model = CostModel(alpha=0.5)
+        model.observe(FAMILY, 4, 0.020)
+        # group EWMA seeded at 20ms, per-job at 5ms
+        assert model.estimate_group(FAMILY, 4) == pytest.approx(0.020)
+        assert model.estimate_group(FAMILY, 1) == pytest.approx(0.020)  # sweep floor
+        assert model.estimate_group(FAMILY, 8) == pytest.approx(0.040)  # marginal
+
+    def test_ewma_update_math(self):
+        model = CostModel(alpha=0.5)
+        model.observe(FAMILY, 1, 0.010)
+        model.observe(FAMILY, 1, 0.030)
+        # 0.010 + 0.5 * (0.030 - 0.010) = 0.020
+        assert model.estimate_job(FAMILY) == pytest.approx(0.020)
+
+    def test_convergence_to_stationary_cost(self):
+        model = CostModel(alpha=0.25)
+        for _ in range(30):
+            model.observe(FAMILY, 8, 0.080)
+        assert model.estimate_group(FAMILY, 8) == pytest.approx(0.080, rel=1e-6)
+        # a narrower group still pays the sweep floor; a wider one scales
+        # with the marginal per-job cost
+        assert model.estimate_job(FAMILY) == pytest.approx(0.080, rel=1e-6)
+        assert model.estimate_group(FAMILY, 16) == pytest.approx(0.160, rel=1e-6)
+        assert model.family_samples(FAMILY) == 30
+
+    def test_families_are_independent(self):
+        other = ("h", "sssp", "uvm", "default")
+        model = CostModel()
+        model.observe(FAMILY, 1, 0.001)
+        model.observe(other, 1, 1.0)
+        assert model.estimate_job(FAMILY) == pytest.approx(0.001)
+        assert model.estimate_job(other) == pytest.approx(1.0)
+        assert model.stats().families == 2
+
+    def test_defensive_rejects_garbage_observations(self):
+        model = CostModel()
+        model.observe(FAMILY, 0, 1.0)
+        model.observe(FAMILY, 4, -1.0)
+        model.observe(FAMILY, 4, float("nan"))
+        assert model.family_samples(FAMILY) == 0
+        assert model.stats().samples == 0
+
+
+class TestAccuracyTracking:
+    def test_error_scored_against_prior_estimate(self):
+        model = CostModel(graph_size_lookup=lambda name: None)
+        model.observe(FAMILY, 1, DEFAULT_BOOTSTRAP_SECONDS + 0.005)
+        stats = model.stats()
+        assert stats.samples == 1
+        assert stats.mean_abs_error_seconds == pytest.approx(0.005)
+
+    def test_error_shrinks_as_model_converges(self):
+        model = CostModel(alpha=0.5)
+        model.observe(FAMILY, 1, 0.050)
+        early = model.stats().mean_abs_error_seconds
+        for _ in range(40):
+            model.observe(FAMILY, 1, 0.050)
+        late = model.stats().mean_abs_error_seconds
+        assert late < early  # the running mean is dragged down by good predictions
+
+    def test_describe_mentions_families_and_error(self):
+        model = CostModel()
+        model.observe(FAMILY, 1, 0.010)
+        text = model.stats().describe()
+        assert "1 families" in text and "ms" in text
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [0.0, -0.5, 1.5])
+    def test_bad_alpha_rejected(self, alpha):
+        with pytest.raises(ConfigurationError):
+            CostModel(alpha=alpha)

@@ -6,14 +6,20 @@ from collections import OrderedDict
 
 import pytest
 
-from repro.config import SCHEDULING_POLICIES, ServiceConfig
+from repro.config import (
+    SCHEDULING_POLICIES,
+    ServiceConfig,
+    normalize_tenant_weights,
+)
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
     DeadlineExceededError,
+    InfeasibleDeadlineError,
     JobFailedError,
 )
 from repro.service import (
+    CostModel,
     EdfPolicy,
     FifoPolicy,
     GraphRegistry,
@@ -24,6 +30,7 @@ from repro.service import (
     RequestQueue,
     Service,
     TraversalRequest,
+    WeightedFairPolicy,
     default_engine,
     make_policy,
 )
@@ -153,6 +160,14 @@ class TestPolicies:
         for name in SCHEDULING_POLICIES:
             assert make_policy(name).name == name
 
+    def test_make_policy_wires_wfq_weights_and_cost_model(self):
+        model = CostModel()
+        policy = make_policy("wfq", tenant_weights={"a": 2.0}, cost_model=model)
+        assert isinstance(policy, WeightedFairPolicy)
+        assert policy.weight_of("a") == 2.0
+        assert policy.weight_of("unknown") == WeightedFairPolicy.DEFAULT_WEIGHT
+        assert policy.weight_of(None) == WeightedFairPolicy.DEFAULT_WEIGHT
+
     def test_config_rejects_unknown_policy_and_bad_limits(self):
         with pytest.raises(ConfigurationError):
             ServiceConfig(policy="lifo")
@@ -162,6 +177,144 @@ class TestPolicies:
             ServiceConfig(tenant_quota=-1)
         with pytest.raises(ConfigurationError):
             ServiceConfig(latency_window=0)
+
+
+# --------------------------------------------------------------------- #
+# Weighted-fair queueing policy
+# --------------------------------------------------------------------- #
+class TestWeightedFairPolicy:
+    def groups(self, *entries):
+        return OrderedDict(entries)
+
+    def drain(self, policy, groups, rounds=None):
+        """Repeatedly select-and-pop, returning the selection order."""
+        order = []
+        while groups and (rounds is None or len(order) < rounds):
+            key = policy.select(groups)
+            groups.pop(key)
+            order.append(key)
+        return order
+
+    def test_single_tenant_degrades_to_fifo(self):
+        policy = WeightedFairPolicy()
+        groups = self.groups(
+            (("a",), [make_job("a1", 1)]),
+            (("b",), [make_job("b1", 2)]),
+            (("c",), [make_job("c1", 3)]),
+        )
+        assert self.drain(policy, groups) == [("a",), ("b",), ("c",)]
+
+    def test_polite_group_preempts_backlogged_burst(self):
+        policy = WeightedFairPolicy()
+        groups = self.groups(
+            *(
+                ((f"agg{i}",), [make_job(f"a{i}", i, tenant="aggressive")])
+                for i in range(5)
+            )
+        )
+        # the burst is tagged and two groups drain before the polite tenant
+        # shows up at all
+        assert self.drain(policy, groups, rounds=2) == [("agg0",), ("agg1",)]
+        groups[("polite",)] = [make_job("p", 99, tenant="polite")]
+        # its first group outranks the burst's remaining backlog immediately
+        assert policy.select(groups) == ("polite",)
+
+    def test_weights_divide_service_proportionally(self):
+        policy = WeightedFairPolicy(tenant_weights={"paying": 3.0, "free": 1.0})
+        groups = self.groups(
+            *(
+                ((f"{tenant}{i}",), [make_job(f"{tenant}{i}", i, tenant=tenant)])
+                for tenant in ("paying", "free")
+                for i in range(4)
+            )
+        )
+        order = self.drain(policy, groups)
+        # equal-cost groups, 3:1 weights: the paying tenant drains three
+        # groups for every one of the free tenant's while both are backlogged
+        first_free = next(i for i, key in enumerate(order) if key[0].startswith("free"))
+        assert order[:3] == [("paying0",), ("paying1",), ("paying2",)]
+        assert first_free == 3
+        paying_served = sum(
+            1 for key in order[:5] if key[0].startswith("paying")
+        )
+        assert paying_served == 4  # 4 paying + 1 free in the first 5 slots
+
+    def test_unserved_tenant_is_never_starved(self):
+        """Regression guard: a backlogged tenant's tag is assigned once, so a
+        heavier competitor cannot keep resetting it and starve the tenant."""
+        policy = WeightedFairPolicy(tenant_weights={"heavy": 100.0})
+        groups = self.groups(
+            *(((f"h{i}",), [make_job(f"h{i}", i, tenant="heavy")]) for i in range(8))
+        )
+        groups[("light",)] = [make_job("l", 99, tenant="light")]
+        order = self.drain(policy, groups)
+        # weight 100 lets the heavy tenant drain its whole backlog of 8
+        # cheap groups first, but the light group's arrival-time tag is
+        # preserved — it is served, not pushed back forever
+        assert ("light",) in order
+
+    def test_recreated_batch_key_does_not_inherit_stale_tag(self):
+        """Regression: a group emptied by discard() and recreated under the
+        same batch key by a different submission must be tagged afresh, not
+        scheduled at the vanished group's frozen priority."""
+        policy = WeightedFairPolicy()
+        wide = [make_job(f"w{i}", i, tenant="bulky") for i in range(10)]
+        groups = self.groups(
+            (("K",), wide),
+            (("L",), [make_job("l", 90, tenant="other")]),
+        )
+        assert policy.select(groups) == ("L",)  # cost 1 beats cost 10
+        groups.pop(("L",))
+        # the wide group vanishes without being selected (every job
+        # withdrawn), and the key is recreated by a different tenant's
+        # cheap single job before the next select
+        groups.pop(("K",))
+        groups[("K",)] = [make_job("n", 91, tenant="newcomer")]
+        groups[("M",)] = [make_job(f"m{i}", i, tenant="other") for i in range(5)]
+        # fresh tag: virtual finish ~1, beating the 5-wide group — with the
+        # stale (finish=10) tag it would lose and be scheduled dead last
+        assert policy.select(groups) == ("K",)
+        model = CostModel()
+        cheap = ("small", "bfs", "merged_aligned", "default")
+        costly = ("huge", "bfs", "merged_aligned", "default")
+        model.observe(cheap, 1, 0.001)
+        model.observe(costly, 1, 1.0)
+        policy = WeightedFairPolicy(cost_model=model)
+        groups = self.groups(
+            (costly, [make_job("big", 0, tenant="a")]),
+            (cheap, [make_job("small", 1, tenant="b")]),
+        )
+        # equal weights, but the cheap group's virtual finish comes first
+        # even though the costly one arrived earlier
+        assert policy.select(groups) == cheap
+
+    def test_tenant_weights_validation(self):
+        assert normalize_tenant_weights(None) is None
+        assert normalize_tenant_weights({"b": 2, "a": 1}) == (("a", 1.0), ("b", 2.0))
+        for bad in (
+            {"a": 0},
+            {"a": -1.0},
+            {"a": float("inf")},
+            {"a": float("nan")},
+            {"a": "heavy"},
+            {"a": True},
+            {"": 1.0},
+            {7: 1.0},
+        ):
+            with pytest.raises(ConfigurationError):
+                normalize_tenant_weights(bad)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(tenant_weights={"a": -2.0})
+        config = ServiceConfig(policy="wfq", tenant_weights={"a": 2.5})
+        assert config.tenant_weights == (("a", 2.5),)
+
+    def test_config_accepts_wfq_policy(self):
+        assert "wfq" in SCHEDULING_POLICIES
+        assert ServiceConfig(policy="wfq").policy == "wfq"
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(cost_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(cost_alpha=1.5)
 
 
 # --------------------------------------------------------------------- #
@@ -315,6 +468,47 @@ class TestQueueScheduling:
         time.sleep(0.005)
         assert queue.expire(rescued, time.perf_counter()) is False
         assert queue.find_inflight(rescued.request.cache_key) is rescued
+
+    def test_infeasible_deadline_rejected_at_push(self):
+        model = CostModel()
+        family = TraversalRequest(Application.BFS, "g", source=0).batch_key
+        model.observe(family, 1, 0.5)  # this family costs ~500ms per job
+        queue = RequestQueue(cost_model=model)
+        for i in range(3):
+            queue.push_or_join(make_job(f"b{i}", i))
+        # ~1.5s of backlog + ~0.5s of its own execution cannot fit in 0.2s
+        with pytest.raises(InfeasibleDeadlineError) as excinfo:
+            queue.push_or_join(
+                make_job("doomed", 9, deadline=0.2, tenant="acme"),
+                reject_infeasible=True,
+            )
+        assert excinfo.value.tenant == "acme"
+        assert isinstance(excinfo.value, AdmissionError)  # one except clause
+        # a feasible budget is admitted, and more workers shrink the wait
+        outcome, _ = queue.push_or_join(
+            make_job("ok", 10, deadline=30.0), reject_infeasible=True
+        )
+        assert outcome == "queued"
+
+    def test_infeasibility_check_is_opt_in_and_spares_joiners(self):
+        model = CostModel()
+        family = TraversalRequest(Application.BFS, "g", source=0).batch_key
+        model.observe(family, 1, 0.5)
+        queue = RequestQueue(cost_model=model)
+        first = make_job("a", 0)
+        queue.push_or_join(first)
+        # without the flag, a hopeless deadline is admitted (and would later
+        # expire in the queue — the pre-admission behaviour)
+        outcome, _ = queue.push_or_join(
+            make_job("hopeless", 5, deadline=1e-6)
+        )
+        assert outcome == "queued"
+        # duplicates join the in-flight job and bypass admission entirely,
+        # however hopeless their own budget is
+        outcome, payload = queue.push_or_join(
+            make_job("dup", 0, deadline=1e-6), reject_infeasible=True
+        )
+        assert outcome == "joined" and payload is first
 
     def test_tenant_accounting_survives_pop_and_discard(self):
         queue = RequestQueue()
@@ -526,6 +720,153 @@ class TestServiceScheduling:
             engine.gate.set()
             service.close()
 
+    def test_wfq_polite_tenant_jumps_aggressive_burst(
+        self, registry, random_graph, uniform_graph
+    ):
+        """Two-tenant skewed burst: WFQ serves the polite tenant's group
+        ahead of the aggressive backlog that arrived first."""
+        engine = GatedCountingEngine(gated=True)
+        with make_service(
+            registry,
+            engine=engine,
+            max_workers=1,
+            policy="wfq",
+            tenant_weights={"polite": 4.0, "aggressive": 1.0},
+        ) as service:
+            blocker = service.submit(
+                TraversalRequest("cc", random_graph.name, tenant="aggressive")
+            )
+            deadline = time.monotonic() + 5
+            while not engine.calls and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert engine.calls, "worker never picked up the blocker"
+            # the aggressive burst: three distinct batch groups, six jobs
+            aggressive = [
+                service.submit(
+                    TraversalRequest(
+                        app, random_graph.name, source=s,
+                        strategy=strategy, tenant="aggressive",
+                    )
+                )
+                for app, strategy in (
+                    ("bfs", "merged_aligned"),
+                    ("bfs", "uvm"),
+                    ("sssp", "merged_aligned"),
+                )
+                for s in (1, 2)
+            ]
+            polite = service.submit(
+                TraversalRequest(
+                    "bfs", uniform_graph.name, source=0, tenant="polite"
+                )
+            )
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+        order = [engine.calls.index(job.request.cache_key) for job in aggressive]
+        polite_pos = engine.calls.index(polite.request.cache_key)
+        # the polite group drains before every aggressive burst group
+        assert polite_pos < min(order)
+        stats = service.stats()
+        assert stats.tenants["polite"].completed == 1
+        assert stats.tenants["aggressive"].completed == 1 + len(aggressive)
+        assert stats.tenants["polite"].missed == 0
+
+    def test_infeasible_deadline_rejected_at_submit_not_expired(
+        self, registry, random_graph
+    ):
+        engine = GatedCountingEngine(gated=True)
+        service = make_service(
+            registry, engine=engine, max_workers=1, reject_infeasible=True
+        )
+        try:
+            blocker = service.submit(TraversalRequest("cc", random_graph.name))
+            deadline = time.monotonic() + 5
+            while not engine.calls and time.monotonic() < deadline:
+                time.sleep(0.005)
+            backlog = [
+                service.submit(TraversalRequest("bfs", random_graph.name, source=s))
+                for s in (1, 2, 3, 4)
+            ]
+            with pytest.raises(InfeasibleDeadlineError):
+                service.submit(
+                    TraversalRequest(
+                        "bfs", random_graph.name, source=9, deadline=1e-4
+                    )
+                )
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+            for job in (blocker, *backlog):
+                assert job.status is JobStatus.DONE
+        finally:
+            engine.gate.set()
+            service.close()
+        stats = service.stats()
+        # rejected at the front door, never enqueued: no expiry, no failure
+        assert stats.rejected == 1
+        assert stats.rejected_infeasible == 1
+        assert stats.expired == 0
+        assert stats.failed == 0
+        assert "(1 infeasible)" in stats.describe()
+
+    def test_queue_expiry_accounting_distinct_from_infeasible(
+        self, registry, random_graph
+    ):
+        """The same hopeless deadline: without admission control it is
+        admitted, expires in the queue, and lands in `expired` — not in
+        `rejected_infeasible`."""
+        engine = GatedCountingEngine(gated=True)
+        service = make_service(registry, engine=engine, max_workers=1)
+        try:
+            blocker = service.submit(TraversalRequest("cc", random_graph.name))
+            deadline = time.monotonic() + 5
+            while not engine.calls and time.monotonic() < deadline:
+                time.sleep(0.005)
+            doomed = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=9, deadline=0.01)
+            )
+            time.sleep(0.05)
+            engine.gate.set()
+            assert service.wait_all(timeout=30)
+            assert doomed.status is JobStatus.FAILED
+            assert isinstance(doomed.error, DeadlineExceededError)
+        finally:
+            engine.gate.set()
+            service.close()
+        stats = service.stats()
+        assert stats.expired == 1
+        assert stats.rejected_infeasible == 0
+        assert stats.rejected == 0
+        assert stats.tenants[None].missed == 1
+
+    def test_cost_model_converges_to_observed_engine_seconds(
+        self, registry, random_graph
+    ):
+        with make_service(registry, max_workers=1) as service:
+            jobs = []
+            for s in range(6):
+                # submit-and-wait one at a time: each job drains as its own
+                # singleton group, giving six distinct observations
+                job = service.submit(
+                    TraversalRequest("bfs", random_graph.name, source=s)
+                )
+                service.result(job, timeout=30)
+                jobs.append(job)
+            service.close()
+        stats = service.stats()
+        model = service.cost_model
+        # the service pins requests to its default system, so the executed
+        # family key carries the platform fingerprint, not "default"
+        family = jobs[0].request.batch_key
+        assert model.family_samples(family) == 6
+        assert stats.cost_model.families >= 1
+        assert stats.cost_model.samples == 6
+        # the EWMA estimate tracks what the engine actually costs: within a
+        # small factor of the observed mean seconds per execution
+        observed = stats.engine_seconds / stats.executions
+        estimate = model.estimate_job(family)
+        assert observed / 3 <= estimate <= observed * 3
+        assert "cost model:" in stats.describe()
+
     def test_latency_percentiles_in_stats(self, registry, random_graph):
         with make_service(registry) as service:
             for source in range(4):
@@ -575,6 +916,39 @@ class TestLatencyStats:
         assert stats.max_seconds == pytest.approx(10.0)
         assert "ms" in stats.describe_ms()
 
+    def test_single_sample_is_every_percentile(self):
+        stats = LatencyStats.from_samples([3.0])
+        assert stats.p50_seconds == 3.0
+        assert stats.p95_seconds == 3.0
+        assert stats.p99_seconds == 3.0
+        assert stats.max_seconds == 3.0
+
+    def test_even_window_p50_rounds_up_not_down(self):
+        """Regression: banker's rounding on `round(0.5)` returned the *lower*
+        sample for even windows — p50 of two samples was the minimum."""
+        stats = LatencyStats.from_samples([1.0, 9.0])
+        assert stats.p50_seconds == 9.0
+        assert stats.p95_seconds == 9.0
+
+    def test_twenty_sample_window_percentiles(self):
+        stats = LatencyStats.from_samples([float(i) for i in range(1, 21)])
+        # ceil-based nearest rank over the 19 gaps: p50 -> index 10 (the
+        # upper median), p95/p99 -> index 19 (the maximum)
+        assert stats.p50_seconds == 11.0
+        assert stats.p95_seconds == 20.0
+        assert stats.p99_seconds == 20.0
+        assert stats.max_seconds == 20.0
+
+    def test_percentiles_are_monotone_in_fraction(self):
+        for n in (1, 2, 3, 4, 5, 20):
+            stats = LatencyStats.from_samples([float(i) for i in range(n)])
+            assert (
+                stats.p50_seconds
+                <= stats.p95_seconds
+                <= stats.p99_seconds
+                <= stats.max_seconds
+            )
+
 
 # --------------------------------------------------------------------- #
 # Workload / config plumbing
@@ -594,6 +968,34 @@ class TestWorkloadPlumbing:
         assert config.tenant_quota == 3
         override = config_from_spec(spec, policy="largest", queue_limit=9)
         assert override.policy == "largest" and override.queue_limit == 9
+
+    def test_config_from_spec_reads_wfq_keys(self):
+        spec = {
+            "graphs": [{"name": "g", "generator": "rmat"}],
+            "requests": [{"app": "bfs", "graph": "g"}],
+            "policy": "wfq",
+            "tenant_weights": {"interactive": 4, "bulk": 1},
+            "cost_alpha": 0.5,
+            "reject_infeasible": True,
+        }
+        config = config_from_spec(spec)
+        assert config.policy == "wfq"
+        assert config.tenant_weights == (("bulk", 1.0), ("interactive", 4.0))
+        assert config.cost_alpha == 0.5
+        assert config.reject_infeasible is True
+        # CLI-style overrides beat the file
+        override = config_from_spec(
+            spec, tenant_weights={"interactive": 2}, reject_infeasible=False
+        )
+        assert override.tenant_weights == (("interactive", 2.0),)
+        assert override.reject_infeasible is False
+        # defaults when the file says nothing
+        bare = config_from_spec(
+            {"graphs": [{"name": "g"}], "requests": [{"app": "bfs", "graph": "g"}]}
+        )
+        assert bare.tenant_weights is None
+        assert bare.reject_infeasible is False
+        assert bare.cost_alpha == ServiceConfig().cost_alpha
 
     def test_expand_requests_carries_deadline_and_tenant(self, random_graph):
         registry = GraphRegistry()

@@ -21,6 +21,7 @@ from repro.service import (
     JobStatus,
     Service,
     TraversalRequest,
+    WorkerPool,
     default_engine,
 )
 from repro.service.workload import (
@@ -538,3 +539,99 @@ class TestWorkload:
         spec["graphs"][0]["generator"] = "mystery"
         with pytest.raises(ServiceError):
             build_service(spec)
+
+
+class TestWorkerPool:
+    def test_cancelled_pending_tasks_release_active_count(self):
+        """Regression: shutdown(cancel_pending=True) cancelled queued tasks
+        whose tracked() wrapper never ran, so `_active` was never decremented
+        and ServiceStats.active_workers stayed positive forever."""
+        pool = WorkerPool(max_workers=1)
+        gate = threading.Event()
+        release = threading.Event()
+
+        def blocker():
+            gate.set()
+            release.wait(30)
+
+        pool.submit(blocker)
+        assert gate.wait(5), "worker never started"
+        # these can never start: the single worker is occupied
+        for _ in range(4):
+            pool.submit(lambda: None)
+        assert pool.active == 5
+        pool.shutdown(wait=False, cancel_pending=True)
+        release.set()
+        # the running task finishes, the queued ones are cancelled — both
+        # paths must decrement, leaving nothing in flight
+        deadline = time.monotonic() + 5
+        while pool.active and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert pool.active == 0
+        assert pool.dispatched == 5
+
+    def test_completed_and_failing_tasks_release_active_count(self):
+        pool = WorkerPool(max_workers=2)
+        done = pool.submit(lambda: 42)
+        failed = pool.submit(lambda: 1 / 0)
+        assert done.result(timeout=5) == 42
+        with pytest.raises(ZeroDivisionError):
+            failed.result(timeout=5)
+        deadline = time.monotonic() + 5
+        while pool.active and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert pool.active == 0
+        pool.shutdown()
+
+    def test_service_stats_active_workers_zero_after_cancel_close(
+        self, registry, random_graph
+    ):
+        """The service-level view of the same leak: active_workers must read
+        zero after close(cancel_pending=True) drops a queued backlog."""
+        engine = GatedCountingEngine(gated=True)
+        service = make_service(registry, engine=engine, max_workers=1)
+        jobs = [
+            service.submit(TraversalRequest("bfs", random_graph.name, source=s))
+            for s in range(6)
+        ]
+        deadline = time.monotonic() + 5
+        while not engine.calls and time.monotonic() < deadline:
+            time.sleep(0.005)
+        engine.gate.set()
+        service.close(wait=True, cancel_pending=True)
+        deadline = time.monotonic() + 5
+        while service.stats().active_workers and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.stats().active_workers == 0
+        for job in jobs:
+            assert job.done  # nobody is left blocking on a cancelled batch
+
+
+class TestJobIdentity:
+    def test_jobs_compare_by_identity_not_fields(self):
+        request = TraversalRequest("bfs", "g", source=0)
+        first = Job(job_id="j-1", request=request)
+        twin = Job(job_id="j-1", request=request)
+        # field-for-field twins are still *different* jobs: queue membership
+        # checks must never conflate them
+        assert first != twin
+        assert first == first
+        assert len({first, twin}) == 2
+
+    def test_group_membership_uses_identity(self):
+        request = TraversalRequest("bfs", "g", source=0)
+        job = Job(job_id="j-1", request=request)
+        twin = Job(job_id="j-1", request=request)
+        group = [job]
+        assert job in group
+        assert twin not in group
+        group.remove(job)
+        assert group == []
+
+    def test_identity_semantics_survive_state_transitions(self):
+        request = TraversalRequest("bfs", "g", source=0)
+        job = Job(job_id="j-1", request=request)
+        table = {job: "entry"}
+        job.mark_failed(RuntimeError("boom"))
+        # a generated field-wise __hash__/__eq__ would have changed here
+        assert table[job] == "entry"

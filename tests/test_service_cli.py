@@ -32,9 +32,24 @@ class TestServeBatch:
         assert "policy=largest" in output
         assert "rejected at admission" in output
 
+    def test_wfq_overrides(self, capsys):
+        assert main(["serve-batch", str(WORKLOAD), "--policy", "wfq",
+                     "--tenant-weights", "interactive=4,bulk=1",
+                     "--cost-alpha", "0.5", "--reject-infeasible"]) == 0
+        output = capsys.readouterr().out
+        assert "policy=wfq" in output
+        assert "cost model:" in output
+        assert "infeasible" in output
+
     def test_unknown_policy_rejected_by_parser(self, capsys):
         with pytest.raises(SystemExit):
             main(["serve-batch", str(WORKLOAD), "--policy", "lifo"])
+
+    def test_bad_tenant_weights_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-batch", str(WORKLOAD), "--tenant-weights", "oops"])
+        with pytest.raises(SystemExit):
+            main(["serve-batch", str(WORKLOAD), "--tenant-weights", "a=heavy"])
 
     def test_missing_file(self, capsys):
         assert main(["serve-batch", "no-such-workload.json"]) == 2
