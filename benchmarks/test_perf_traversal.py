@@ -1,10 +1,11 @@
-"""Perf trajectory: batched multi-source traversal vs per-source runs.
+"""Perf trajectory: batched traversal vs per-source / per-config runs.
 
 Unlike the figure benchmarks (which reproduce the paper's numbers), this
 module tracks the *implementation's* wall-clock throughput over time: it runs
-the 64-source ``run_average`` protocol serially and batched, verifies the two
-are bit-identical, and writes ``BENCH_traversal.json`` at the repo root so CI
-can archive the trend.
+the 64-source ``run_average`` protocol (BFS, SSSP) and the multi-lane
+streaming protocol (CC, PageRank) serially and batched, verifies the two are
+bit-identical, and writes ``BENCH_traversal.json`` at the repo root so CI can
+archive the trend.
 
 The assertion thresholds are deliberately loose (CI machines are noisy); the
 headline numbers live in the JSON artifact.
@@ -21,7 +22,8 @@ from repro.bench.traversal_bench import (
     format_report,
     write_report,
 )
-from repro.types import AccessStrategy, Application
+from repro.traversal.relax import default_method
+from repro.types import AccessStrategy
 
 #: Repo-root location of the JSON artifact (next to ROADMAP.md).
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_traversal.json"
@@ -31,6 +33,7 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_traversal.json"
 BENCH_VERTICES = 12000
 BENCH_EDGES = 180000
 BENCH_SOURCES = 64
+BENCH_LANES = 8
 
 
 def test_batched_traversal_beats_serial(results_dir):
@@ -39,7 +42,8 @@ def test_batched_traversal_beats_serial(results_dir):
         graph=graph,
         num_sources=BENCH_SOURCES,
         strategies=(AccessStrategy.MERGED_ALIGNED, AccessStrategy.UVM),
-        applications=(Application.BFS, Application.SSSP),
+        applications=("bfs", "sssp", "cc", "pagerank"),
+        num_lanes=BENCH_LANES,
     )
     write_report(report, BENCH_PATH)
     (results_dir / "bench_traversal.txt").write_text(format_report(report) + "\n")
@@ -48,19 +52,28 @@ def test_batched_traversal_beats_serial(results_dir):
     # The artifact this run just wrote must round-trip as valid JSON.
     parsed = json.loads(BENCH_PATH.read_text())
     assert parsed["benchmark"] == "traversal-batching"
-    assert {"graph", "runs", "summary"} <= set(parsed)
+    assert {"graph", "runs", "summary", "relax_backend"} <= set(parsed)
     for run in parsed["runs"]:
-        assert run["batched_sources_per_sec"] > 0
         assert run["serial_seconds"] > 0
+        assert run["batched_seconds"] > 0
 
     assert report["summary"]["all_values_match"]
 
     bfs_runs = [run for run in report["runs"] if run["application"] == "bfs"]
     sssp_runs = [run for run in report["runs"] if run["application"] == "sssp"]
-    # BFS carries the headline ≥3x target; gate loosely so a noisy CI
-    # machine cannot flake the suite while still catching real regressions.
+    streaming_runs = [run for run in report["runs"] if run["mode"] == "streaming"]
+    assert streaming_runs, "streaming scenarios missing from the report"
+
+    # BFS carries the long-standing ~4.8x headline; gate loosely so a noisy
+    # CI machine cannot flake the suite while still catching real regressions.
     assert all(run["speedup"] > 1.5 for run in bfs_runs)
-    # SSSP's relaxation schedule is inherently per-source (bit-exactness),
-    # so batching only amortizes the engine sweeps: demand no regression
-    # beyond noise rather than a speedup.
-    assert all(run["speedup"] > 0.5 for run in sssp_runs)
+    # The lane-parallel relaxation kernel lifts SSSP to ~5x with the native
+    # backend (the ISSUE 5 target is >=3x); without a C compiler the numpy
+    # kernel only amortizes the engine sweeps, so demand no regression
+    # beyond noise there instead.
+    sssp_floor = 1.5 if default_method() == "native" else 0.5
+    assert all(run["speedup"] > sssp_floor for run in sssp_runs)
+    # Streaming batches share one algorithm pass across all lanes; even on a
+    # noisy machine they must not be slower than the solo runs.
+    assert all(run["speedup"] > 1.0 for run in streaming_runs)
+    assert all(run["metrics_match"] for run in streaming_runs)

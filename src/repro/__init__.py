@@ -68,6 +68,8 @@ from .traversal import (
     run_bfs_batch,
     run_pagerank,
     run_sssp_batch,
+    run_streaming,
+    run_streaming_batch,
     sssp,
 )
 from .baselines import run_halo, run_subway
@@ -119,6 +121,8 @@ __all__ = [
     "run",
     "run_average",
     "run_batch",
+    "run_streaming",
+    "run_streaming_batch",
     "run_bfs_batch",
     "run_sssp_batch",
     "run_pagerank",

@@ -1,11 +1,19 @@
-"""Throughput benchmark: batched multi-source traversal vs per-source runs.
+"""Throughput benchmark: batched traversal vs per-source / per-config runs.
 
 This is the perf-trajectory harness behind ``repro.cli bench-traversal`` and
-``benchmarks/test_perf_traversal.py``: it times the 64-source ``run_average``
-protocol both ways — one independent engine per source (the seed behaviour)
-and one shared engine sweeping all sources per batch — verifies the two
-produce bit-identical per-source values, and reports wall-clock requests/sec
-plus the batched-over-serial speedup as JSON (``BENCH_traversal.json``).
+``benchmarks/test_perf_traversal.py``.  It covers both batching axes:
+
+* **Multi-source** (BFS, SSSP): the 64-source ``run_average`` protocol timed
+  both ways — one independent engine per source (the seed behaviour) and one
+  shared engine sweeping all sources per word through the lane-parallel
+  relaxation kernel — with per-source values verified bit-identical.
+* **Streaming** (CC, PageRank): one run per (strategy, system) platform lane
+  timed both ways — independent solo runs vs one shared algorithm pass
+  replayed into every lane's engine (``run_streaming_batch``) — with
+  per-lane values *and* simulated metrics verified identical.
+
+Results are reported as wall-clock seconds, requests/sec and the
+batched-over-serial speedup, written to ``BENCH_traversal.json``.
 """
 
 from __future__ import annotations
@@ -13,22 +21,32 @@ from __future__ import annotations
 import json
 import platform
 import time
+from itertools import product
 from pathlib import Path
 
 import numpy as np
 
-from ..config import SystemConfig
+from ..config import SystemConfig, ampere_pcie4, default_system
 from ..graph.csr import CSRGraph
 from ..graph.generators import random_weights, rmat_graph
 from ..traversal.api import run_average
+from ..traversal.cc import run_cc
+from ..traversal.pagerank import run_pagerank
+from ..traversal.relax import backend_status, default_method
+from ..traversal.streaming import StreamingLane, run_streaming_batch
 from ..types import AccessStrategy, Application
 
 #: Default benchmark shape: the largest graph the test suite generates.
 DEFAULT_VERTICES = 20000
 DEFAULT_EDGES = 300000
 DEFAULT_SOURCES = 64
+DEFAULT_LANES = 8
 DEFAULT_STRATEGIES = (AccessStrategy.MERGED_ALIGNED, AccessStrategy.UVM)
-DEFAULT_APPLICATIONS = (Application.BFS, Application.SSSP)
+DEFAULT_APPLICATIONS = (Application.BFS, Application.SSSP, "cc", "pagerank")
+
+#: Applications batched across sources vs across platform lanes.
+MULTISOURCE_APPS = ("bfs", "sssp")
+STREAMING_APPS = ("cc", "pagerank")
 
 
 def build_bench_graph(
@@ -41,67 +59,162 @@ def build_bench_graph(
     return graph.with_weights(random_weights(graph.num_edges, seed=seed + 1))
 
 
+def streaming_lanes(num_lanes: int, strategies=None) -> list[StreamingLane]:
+    """``num_lanes`` distinct (strategy, system) platform lanes.
+
+    Cycles the cartesian product of the given strategies (default: all four)
+    with the two stock platforms, so every lane differs in strategy and/or
+    simulated system — the shape the service's streaming fusion drains.
+    """
+    if num_lanes < 1:
+        raise ValueError("need at least one streaming lane")
+    if strategies is None:
+        strategies = tuple(AccessStrategy)
+    systems: list[SystemConfig] = [default_system(), ampere_pcie4()]
+    distinct = [
+        StreamingLane(strategy, system)
+        for system, strategy in product(systems, strategies)
+    ]
+    return [distinct[i % len(distinct)] for i in range(num_lanes)]
+
+
+def _application_name(application) -> str:
+    if isinstance(application, Application):
+        return application.value
+    return str(application)
+
+
+def _bench_multisource(graph, application, strategy, sources, system) -> dict:
+    started = time.perf_counter()
+    serial = run_average(
+        application, graph, sources, strategy=strategy, system=system, batched=False
+    )
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = run_average(
+        application, graph, sources, strategy=strategy, system=system, batched=True
+    )
+    batched_seconds = time.perf_counter() - started
+
+    values_match = all(
+        np.array_equal(a.values, b.values)
+        for a, b in zip(serial.runs, batched.runs)
+    )
+    iterations = max(run.metrics.iterations for run in batched.runs)
+    num_sources = len(sources)
+    return {
+        "mode": "multisource",
+        "application": application.value,
+        "strategy": strategy.value,
+        "num_sources": num_sources,
+        "serial_seconds": serial_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": serial_seconds / batched_seconds
+        if batched_seconds > 0
+        else float("inf"),
+        "serial_sources_per_sec": num_sources / serial_seconds
+        if serial_seconds > 0
+        else float("inf"),
+        "batched_sources_per_sec": num_sources / batched_seconds
+        if batched_seconds > 0
+        else float("inf"),
+        "batched_iterations": iterations,
+        "serial_ms_per_iteration": 1000.0
+        * serial_seconds
+        / max(1, sum(run.metrics.iterations for run in serial.runs)),
+        "batched_ms_per_iteration": 1000.0 * batched_seconds / max(1, iterations),
+        "values_match": values_match,
+    }
+
+
+def _bench_streaming(graph, application: str, lanes) -> dict:
+    solo_runner = run_cc if application == "cc" else run_pagerank
+
+    started = time.perf_counter()
+    serial_results = [
+        solo_runner(graph, strategy=lane.strategy, system=lane.system)
+        for lane in lanes
+    ]
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = run_streaming_batch(application, graph, lanes)
+    batched_seconds = time.perf_counter() - started
+
+    values_match = all(
+        np.array_equal(solo.values, lane_result.values)
+        for solo, lane_result in zip(serial_results, batched.results)
+    )
+    metrics_match = all(
+        solo.metrics.seconds == lane_result.metrics.seconds
+        for solo, lane_result in zip(serial_results, batched.results)
+    )
+    num_lanes = len(lanes)
+    return {
+        "mode": "streaming",
+        "application": application,
+        "strategy": "multi-lane",
+        "num_lanes": num_lanes,
+        "lanes": [
+            {
+                "strategy": lane.strategy.value,
+                "system": lane.system.name if lane.system is not None else "default",
+            }
+            for lane in lanes
+        ],
+        "serial_seconds": serial_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": serial_seconds / batched_seconds
+        if batched_seconds > 0
+        else float("inf"),
+        "serial_lanes_per_sec": num_lanes / serial_seconds
+        if serial_seconds > 0
+        else float("inf"),
+        "batched_lanes_per_sec": num_lanes / batched_seconds
+        if batched_seconds > 0
+        else float("inf"),
+        "values_match": values_match,
+        "metrics_match": metrics_match,
+    }
+
+
 def bench_traversal(
     graph: CSRGraph | None = None,
     num_sources: int = DEFAULT_SOURCES,
     strategies=DEFAULT_STRATEGIES,
     applications=DEFAULT_APPLICATIONS,
+    num_lanes: int = DEFAULT_LANES,
     system: SystemConfig | None = None,
     seed: int = 42,
 ) -> dict:
-    """Time serial vs batched ``run_average`` and return the report dict."""
+    """Time serial vs batched execution and return the report dict.
+
+    ``applications`` may mix the multi-source apps (``bfs``, ``sssp`` — one
+    scenario per strategy, batched across ``num_sources`` sources) and the
+    streaming apps (``cc``, ``pagerank`` — one scenario each, batched across
+    ``num_lanes`` platform lanes).
+    """
     graph = graph if graph is not None else build_bench_graph()
     rng = np.random.default_rng(seed)
     sources = rng.integers(0, graph.num_vertices, num_sources).tolist()
+    strategies = [AccessStrategy(strategy) for strategy in strategies]
 
     runs = []
     for application in applications:
-        application = Application(application)
-        for strategy in strategies:
-            strategy = AccessStrategy(strategy)
-            started = time.perf_counter()
-            serial = run_average(
-                application, graph, sources, strategy=strategy, system=system,
-                batched=False,
-            )
-            serial_seconds = time.perf_counter() - started
-
-            started = time.perf_counter()
-            batched = run_average(
-                application, graph, sources, strategy=strategy, system=system,
-                batched=True,
-            )
-            batched_seconds = time.perf_counter() - started
-
-            values_match = all(
-                np.array_equal(a.values, b.values)
-                for a, b in zip(serial.runs, batched.runs)
-            )
-            iterations = max(run.metrics.iterations for run in batched.runs)
-            runs.append(
-                {
-                    "application": application.value,
-                    "strategy": strategy.value,
-                    "num_sources": num_sources,
-                    "serial_seconds": serial_seconds,
-                    "batched_seconds": batched_seconds,
-                    "speedup": serial_seconds / batched_seconds
-                    if batched_seconds > 0
-                    else float("inf"),
-                    "serial_sources_per_sec": num_sources / serial_seconds
-                    if serial_seconds > 0
-                    else float("inf"),
-                    "batched_sources_per_sec": num_sources / batched_seconds
-                    if batched_seconds > 0
-                    else float("inf"),
-                    "batched_iterations": iterations,
-                    "serial_ms_per_iteration": 1000.0
-                    * serial_seconds
-                    / max(1, sum(run.metrics.iterations for run in serial.runs)),
-                    "batched_ms_per_iteration": 1000.0 * batched_seconds / max(1, iterations),
-                    "values_match": values_match,
-                }
-            )
+        name = _application_name(application)
+        if name in MULTISOURCE_APPS:
+            for strategy in strategies:
+                runs.append(
+                    _bench_multisource(
+                        graph, Application(name), strategy, sources, system
+                    )
+                )
+        elif name in STREAMING_APPS:
+            lanes = streaming_lanes(num_lanes, strategies=strategies)
+            runs.append(_bench_streaming(graph, name, lanes))
+        else:
+            raise ValueError(f"unknown benchmark application {name!r}")
 
     return {
         "benchmark": "traversal-batching",
@@ -113,6 +226,10 @@ def bench_traversal(
         "platform": {
             "python": platform.python_version(),
             "numpy": np.__version__,
+        },
+        "relax_backend": {
+            "method": default_method(),
+            "native": backend_status(),
         },
         "runs": runs,
         "summary": {
@@ -133,21 +250,27 @@ def write_report(report: dict, path: str | Path) -> Path:
 def format_report(report: dict) -> str:
     """Render the report as an aligned plain-text table."""
     header = (
-        f"{'app':6s} {'strategy':16s} {'serial':>9s} {'batched':>9s} "
-        f"{'speedup':>8s} {'src/s':>8s} {'match':>6s}"
+        f"{'app':8s} {'strategy':16s} {'width':>6s} {'serial':>9s} {'batched':>9s} "
+        f"{'speedup':>8s} {'req/s':>8s} {'match':>6s}"
     )
     lines = [
         f"bench-traversal on {report['graph']['name']} "
         f"(|V|={report['graph']['num_vertices']}, |E|={report['graph']['num_edges']}, "
-        f"{report['runs'][0]['num_sources']} sources)",
+        f"relax={report['relax_backend']['method']})",
         header,
         "-" * len(header),
     ]
     for run in report["runs"]:
+        if run["mode"] == "multisource":
+            width = run["num_sources"]
+            throughput = run["batched_sources_per_sec"]
+        else:
+            width = run["num_lanes"]
+            throughput = run["batched_lanes_per_sec"]
         lines.append(
-            f"{run['application']:6s} {run['strategy']:16s} "
+            f"{run['application']:8s} {run['strategy']:16s} {width:6d} "
             f"{run['serial_seconds']:8.3f}s {run['batched_seconds']:8.3f}s "
-            f"{run['speedup']:7.2f}x {run['batched_sources_per_sec']:8.1f} "
+            f"{run['speedup']:7.2f}x {throughput:8.1f} "
             f"{'yes' if run['values_match'] else 'NO':>6s}"
         )
     summary = report["summary"]

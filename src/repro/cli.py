@@ -169,8 +169,16 @@ def _build_bench_traversal_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--apps",
-        default="bfs,sssp",
-        help="comma-separated applications to benchmark (bfs,sssp)",
+        default="bfs,sssp,cc,pagerank",
+        help="comma-separated applications to benchmark: bfs/sssp are "
+        "batched across sources, cc/pagerank across platform lanes",
+    )
+    parser.add_argument(
+        "--lanes",
+        type=int,
+        default=None,
+        help="platform lanes per streaming (cc/pagerank) scenario "
+        "(default: 8, max 64 per word)",
     )
     parser.add_argument(
         "--strategies",
@@ -257,6 +265,7 @@ def _bench_scheduler(argv: list[str]) -> int:
 def _bench_traversal(argv: list[str]) -> int:
     from .bench.traversal_bench import (
         DEFAULT_EDGES,
+        DEFAULT_LANES,
         DEFAULT_SOURCES,
         DEFAULT_VERTICES,
         bench_traversal,
@@ -276,6 +285,7 @@ def _bench_traversal(argv: list[str]) -> int:
             num_sources=args.sources if args.sources is not None else DEFAULT_SOURCES,
             strategies=[s.strip() for s in args.strategies.split(",") if s.strip()],
             applications=[a.strip() for a in args.apps.split(",") if a.strip()],
+            num_lanes=args.lanes if args.lanes is not None else DEFAULT_LANES,
         )
         path = write_report(report, args.output)
     except (OSError, ValueError, ReproError) as exc:

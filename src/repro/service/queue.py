@@ -204,6 +204,37 @@ class RequestQueue:
                 self._forget_pending(job)
             return jobs
 
+    def pop_sibling_groups(self, graph: str, application: str) -> list[list[Job]]:
+        """Pop every pending group running ``application`` on ``graph``.
+
+        Streaming-fusion support: groups of a streaming application (CC)
+        that differ only in platform — strategy and/or system config — can
+        share one algorithm execution, so the drain path collects them all
+        in one go and runs them as lanes of a single
+        :func:`~repro.traversal.streaming.run_streaming_batch`.  This
+        deliberately bypasses the scheduling policy: the siblings ride along
+        with a group the policy already selected, the same coalescing
+        rationale as batch grouping itself, and can only finish earlier than
+        the policy would have run them.  Each popped group is reported to
+        :meth:`SchedulingPolicy.forget_group` so stateful policies (WFQ)
+        refund any virtual time already booked for it.
+        """
+        with self._lock:
+            keys = [
+                key
+                for key in self._groups
+                if key[0] == graph and key[1] == application
+            ]
+            popped: list[list[Job]] = []
+            for key in keys:
+                jobs = self._groups.pop(key)
+                self._group_deadlines.pop(key, None)
+                for job in jobs:
+                    self._forget_pending(job)
+                self._policy.forget_group(key, jobs)
+                popped.append(jobs)
+            return popped
+
     def discard(self, job: Job) -> bool:
         """Withdraw a still-pending job (used when dispatch fails).
 

@@ -80,6 +80,16 @@ class SchedulingPolicy(abc.ABC):
         omitted (EDF then derives the same values from the jobs).
         """
 
+    def forget_group(self, key: tuple, jobs: Sequence["Job"]) -> None:
+        """Note that ``key`` was dequeued without being selected.
+
+        Called under the queue lock when a group leaves the queue outside
+        :meth:`select` — e.g. streaming fusion popping sibling groups to
+        ride along with a selected one.  Stateless policies ignore it;
+        stateful ones (WFQ) refund any bookkeeping already charged for the
+        group, since it will consume no separately scheduled drain.
+        """
+
 
 class FifoPolicy(SchedulingPolicy):
     """Drain groups in arrival order — the historical default behaviour."""
@@ -239,6 +249,30 @@ class WeightedFairPolicy(SchedulingPolicy):
         del self._group_tags[key]
         self._virtual_time = max(self._virtual_time, start)
         return key
+
+    def forget_group(self, key: tuple, jobs: Sequence["Job"]) -> None:
+        """Refund a fused-away group's booked virtual time.
+
+        Tagging charged the group's ``cost/weight`` to its tenant's tail;
+        when the group rides along with a sibling instead of consuming its
+        own drain, that charge would permanently deprioritize the tenant's
+        future groups.  The refund shrinks the tail by exactly the booked
+        interval (``finish - start``); tags already chained on top of it
+        keep their order, only the tenant's *next* tag benefits.
+        """
+        tags = self._group_tags.pop(key, None)
+        if tags is None:
+            return
+        start, finish, anchor = tags
+        if not any(job is anchor for job in jobs):
+            # The tag belonged to a vanished earlier incarnation of this
+            # batch key (same staleness rule select applies): nothing of
+            # these jobs was ever charged.
+            return
+        tenant = anchor.request.tenant
+        tail = self._tenant_tail.get(tenant)
+        if tail is not None:
+            self._tenant_tail[tenant] = max(tail - (finish - start), 0.0)
 
 
 _POLICY_CLASSES: dict[str, type[SchedulingPolicy]] = {

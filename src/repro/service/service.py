@@ -37,6 +37,7 @@ from ..traversal.bfs import run_bfs
 from ..traversal.cc import run_cc
 from ..traversal.multisource import run_batch
 from ..traversal.results import TraversalResult
+from ..traversal.streaming import run_streaming_batch
 from ..traversal.sssp import run_sssp
 from ..types import Application
 from .cache import ResultCache
@@ -495,7 +496,13 @@ class Service:
             return
         request = runnable[0].request
         application = request.application
-        if application is Application.CC or len(runnable) == 1:
+        if application is Application.CC:
+            # Streaming fusion: this group plus every other pending CC group
+            # on the same graph (different strategy/system) execute as lanes
+            # of ONE shared algorithm pass.
+            self._execute_streaming(runnable, graph)
+            return
+        if len(runnable) == 1:
             for job in runnable:
                 self._execute_one(
                     job, graph, lambda job: self._run_leased(job.request, graph)
@@ -540,6 +547,66 @@ class Service:
             self._queue.release(job)
         with self._lock:
             self._note_finished_locked(*runnable)
+
+    def _execute_streaming(self, primary: list[Job], graph: CSRGraph) -> None:
+        """Drain a CC group fused with its same-graph sibling groups.
+
+        The algorithm pass is engine-independent, so one
+        :func:`~repro.traversal.streaming.run_streaming_batch` serves every
+        pending CC group on this graph — each group becomes one
+        (strategy, system) lane with its own arena-leased engine, and each
+        job receives its own lane's result (values shared, metrics per
+        platform, both identical to a solo run's).
+        """
+        groups: list[list[Job]] = [primary]
+        for sibling in self._queue.pop_sibling_groups(
+            primary[0].request.graph, Application.CC.value
+        ):
+            live = self._fail_expired(sibling)
+            if live:
+                groups.append(live)
+                with self._lock:
+                    # Ridden-along groups still count as drained batches so
+                    # amortization stays executions-per-sweep.
+                    self._batches += 1
+        lanes = [(group[0].request.strategy, group[0].request.system) for group in groups]
+        all_jobs = [job for group in groups for job in group]
+        for job in all_jobs:
+            job.mark_running()
+        started = time.perf_counter()
+        try:
+            outcome = run_streaming_batch(
+                Application.CC, graph, lanes, arena=self._arena
+            )
+        except Exception as exc:  # noqa: BLE001 - propagate to every waiter
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._executions += len(all_jobs)
+                self._failed += len(all_jobs)
+                self._engine_seconds += elapsed
+            for job in all_jobs:
+                job.mark_failed(exc)
+                self._queue.release(job)
+            with self._lock:
+                self._note_finished_locked(*all_jobs)
+            return
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._executions += len(all_jobs)
+            self._completed += len(all_jobs)
+            self._engine_seconds += elapsed
+        # Each fused group contributes one cost-model observation; the shared
+        # wall-clock is split evenly across lanes (the engine sweeps dominate
+        # and every lane sweeps the full stream).
+        share = elapsed / len(groups)
+        for group, result in zip(groups, outcome.results):
+            self._costmodel.observe(group[0].request.batch_key, len(group), share)
+            for job in group:
+                self._cache.put(job.request.cache_key, result)
+                job.mark_done(result)
+                self._queue.release(job)
+        with self._lock:
+            self._note_finished_locked(*all_jobs)
 
     def _run_leased(self, request: TraversalRequest, graph: CSRGraph) -> TraversalResult:
         """Run one request against an engine leased from the arena."""

@@ -8,11 +8,12 @@ Merged+Aligned — the last one being "EMOGI").
 """
 
 from ..types import AccessStrategy, Application, EMOGI_STRATEGY
-from .api import bfs, cc, run, run_average, sssp
+from .api import bfs, cc, run, run_average, run_streaming, sssp
 from .arena import EngineArena
 from .engine import TraversalEngine
 from .multisource import MultiSourceResult, run_batch, run_bfs_batch, run_sssp_batch
 from .pagerank import PageRankResult, run_pagerank
+from .streaming import StreamingBatchResult, StreamingLane, run_streaming_batch
 from .results import AggregateResult, TraversalMetrics, TraversalResult
 from .toy import AccessPattern, ToyResult, run_array_copy, run_uvm_array_scan
 
@@ -28,7 +29,11 @@ __all__ = [
     "run_batch",
     "run_bfs_batch",
     "run_sssp_batch",
+    "run_streaming",
+    "run_streaming_batch",
     "MultiSourceResult",
+    "StreamingBatchResult",
+    "StreamingLane",
     "EngineArena",
     "run_pagerank",
     "PageRankResult",

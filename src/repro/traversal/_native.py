@@ -1,0 +1,244 @@
+"""Optional native (C) backend for the lane-parallel relaxation kernel.
+
+The numpy formulations in :mod:`repro.traversal.relax` are bound by numpy's
+pass-at-a-time execution: every (lane, edge) candidate costs several 8-byte
+memory passes across index and value temporaries.  The relaxation inner loop
+is tiny — gather two doubles, add, compare, occasionally store — so a
+compiled loop over the bit-packed lane words (`ctz` over each vertex's
+active-lane mask, vertex-major ``(num_vertices, lanes)`` value rows so one
+vertex's lanes share cache lines) runs the same work an order of magnitude
+faster.
+
+This module builds that loop *at runtime* with whatever C compiler the host
+already has (``gcc``/``cc``), caches the shared object under
+``~/.cache/repro-native/`` keyed by a hash of the source and flags, and loads
+it through :mod:`ctypes` (stdlib — no new dependency).  Everything is gated:
+no compiler, a failed compile, or ``REPRO_NATIVE=0`` simply mean
+:func:`available` returns False and callers stay on the numpy kernel, which
+is kept bit-identical by the relax-kernel equivalence tests.
+
+The C call releases the GIL (plain ``ctypes.CDLL``), so service workers
+draining separate batches relax concurrently.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+#: Environment switch: set REPRO_NATIVE=0 to force the numpy kernel.
+_ENV_SWITCH = "REPRO_NATIVE"
+
+#: Override for the shared-object cache directory.
+_ENV_CACHE_DIR = "REPRO_NATIVE_DIR"
+
+_CFLAGS = ("-O3", "-shared", "-fPIC")
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* One lane-parallel relaxation sweep over the union frontier.
+ *
+ * dist is the (num_vertices, lanes) row-major value matrix; snapshot is a
+ * (num_frontier, lanes) scratch area.  Source values are snapshotted before
+ * any store so a destination improved earlier in the same sweep can never
+ * feed a later candidate -- exactly the gather-then-scatter semantics of the
+ * numpy kernel and of the solo per-source runs.  weights may be NULL
+ * (unweighted graphs relax with 1.0).  next_bits and lane_edges must arrive
+ * zeroed.  Returns the number of (lane, destination) improvements.
+ */
+int64_t repro_relax_word(const int64_t *frontier,
+                         const uint64_t *active_bits,
+                         const int64_t *starts,
+                         const int64_t *ends,
+                         int64_t num_frontier,
+                         const int64_t *edges,
+                         const double *weights,
+                         double *dist,
+                         double *snapshot,
+                         uint64_t *next_bits,
+                         int64_t *lane_edges,
+                         int64_t lanes)
+{
+    for (int64_t f = 0; f < num_frontier; f++) {
+        const double *row = dist + frontier[f] * lanes;
+        double *snap = snapshot + f * lanes;
+        uint64_t bits = active_bits[f];
+        while (bits) {
+            int lane = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            snap[lane] = row[lane];
+        }
+    }
+    int64_t improved = 0;
+    for (int64_t f = 0; f < num_frontier; f++) {
+        uint64_t bits = active_bits[f];
+        if (!bits) continue;
+        const double *snap = snapshot + f * lanes;
+        int64_t edge_start = starts[f], edge_end = ends[f];
+        int64_t degree = edge_end - edge_start;
+        uint64_t b = bits;
+        while (b) {
+            lane_edges[__builtin_ctzll(b)] += degree;
+            b &= b - 1;
+        }
+        for (int64_t e = edge_start; e < edge_end; e++) {
+            int64_t destination = edges[e];
+            double weight = weights ? weights[e] : 1.0;
+            double *drow = dist + destination * lanes;
+            b = bits;
+            while (b) {
+                int lane = __builtin_ctzll(b);
+                b &= b - 1;
+                double candidate = snap[lane] + weight;
+                if (candidate < drow[lane]) {
+                    drow[lane] = candidate;
+                    next_bits[destination] |= 1ull << (uint64_t)lane;
+                    improved++;
+                }
+            }
+        }
+    }
+    return improved;
+}
+"""
+
+_lock = threading.Lock()
+_library: ctypes.CDLL | None = None
+_status: str | None = None  # None = not yet probed
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(_ENV_CACHE_DIR)
+    if override:
+        return Path(override)
+    return Path(os.environ.get("XDG_CACHE_HOME", Path.home() / ".cache")) / "repro-native"
+
+
+def _compiler() -> str | None:
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _build() -> tuple[ctypes.CDLL | None, str]:
+    """Compile (or reuse) the shared object; returns (library, status)."""
+    if os.environ.get(_ENV_SWITCH, "1").strip().lower() in ("0", "false", "off", "no"):
+        return None, "disabled via REPRO_NATIVE"
+    compiler = _compiler()
+    if compiler is None:
+        return None, "no C compiler on PATH"
+    digest = hashlib.sha256(
+        ("\x00".join((_SOURCE, *_CFLAGS))).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    shared_object = cache / f"relax_{digest}.so"
+    if not shared_object.exists():
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+            with tempfile.TemporaryDirectory(dir=cache) as workdir:
+                source = Path(workdir) / "relax.c"
+                source.write_text(_SOURCE)
+                built = Path(workdir) / "relax.so"
+                subprocess.run(
+                    [compiler, *_CFLAGS, str(source), "-o", str(built)],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+                # Atomic publish: concurrent builders race benignly.
+                os.replace(built, shared_object)
+        except (OSError, subprocess.SubprocessError) as exc:
+            return None, f"compile failed: {exc}"
+    try:
+        library = ctypes.CDLL(str(shared_object))
+        pointer = np.ctypeslib.ndpointer
+        library.repro_relax_word.restype = ctypes.c_int64
+        library.repro_relax_word.argtypes = [
+            pointer(np.int64, flags="C_CONTIGUOUS"),   # frontier
+            pointer(np.uint64, flags="C_CONTIGUOUS"),  # active_bits
+            pointer(np.int64, flags="C_CONTIGUOUS"),   # starts
+            pointer(np.int64, flags="C_CONTIGUOUS"),   # ends
+            ctypes.c_int64,                            # num_frontier
+            pointer(np.int64, flags="C_CONTIGUOUS"),   # edges
+            ctypes.c_void_p,                           # weights (nullable)
+            pointer(np.float64, flags="C_CONTIGUOUS"), # dist
+            pointer(np.float64, flags="C_CONTIGUOUS"), # snapshot
+            pointer(np.uint64, flags="C_CONTIGUOUS"),  # next_bits
+            pointer(np.int64, flags="C_CONTIGUOUS"),   # lane_edges
+            ctypes.c_int64,                            # lanes
+        ]
+    except OSError as exc:
+        return None, f"load failed: {exc}"
+    return library, f"compiled with {compiler}"
+
+
+def _ensure_loaded() -> ctypes.CDLL | None:
+    global _library, _status
+    if _status is None:
+        with _lock:
+            if _status is None:
+                _library, _status = _build()
+    return _library
+
+
+def available() -> bool:
+    """True when the compiled relaxation kernel is usable on this host."""
+    return _ensure_loaded() is not None
+
+
+def status() -> str:
+    """Human-readable availability note (for benchmark reports)."""
+    _ensure_loaded()
+    return _status or "unknown"
+
+
+def relax_word(
+    frontier: np.ndarray,
+    active_bits: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    edges: np.ndarray,
+    weights: np.ndarray | None,
+    values: np.ndarray,
+    snapshot: np.ndarray,
+    next_bits: np.ndarray,
+    lane_edges: np.ndarray,
+) -> int:
+    """Invoke the compiled sweep; see the C source for the contract.
+
+    ``values`` is the vertex-major ``(num_vertices, lanes)`` matrix updated in
+    place; ``next_bits`` and ``lane_edges`` must arrive zeroed.  The caller
+    guarantees contiguity and dtypes (this is the kernel's private fast path,
+    fronted by :func:`repro.traversal.relax.relax_lanes`).
+    """
+    library = _ensure_loaded()
+    if library is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError(f"native relaxation kernel unavailable: {status()}")
+    lanes = values.shape[1]
+    return int(
+        library.repro_relax_word(
+            frontier,
+            active_bits,
+            starts,
+            ends,
+            frontier.size,
+            edges,
+            weights.ctypes.data if weights is not None else None,
+            values.reshape(-1),
+            snapshot.reshape(-1),
+            next_bits,
+            lane_edges,
+            lanes,
+        )
+    )

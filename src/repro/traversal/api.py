@@ -147,6 +147,26 @@ def run(
     return sssp(graph, source, strategy=strategy, system=system)
 
 
+def run_streaming(
+    application: Application | str,
+    graph: CSRGraph,
+    lanes,
+    arena=None,
+    **kwargs,
+):
+    """Run CC or PageRank once, fanned across platform lanes (§5.4 batched).
+
+    ``lanes`` is a collection of access strategies or ``(strategy, system)``
+    pairs (see :func:`repro.traversal.streaming.normalize_lanes`).  The
+    algorithm executes once per ≤64-lane word; every lane's values and
+    metrics are identical to its solo run.  Returns a
+    :class:`~repro.traversal.streaming.StreamingBatchResult`.
+    """
+    from .streaming import run_streaming_batch
+
+    return run_streaming_batch(application, graph, lanes, arena=arena, **kwargs)
+
+
 def run_average(
     application: Application | str,
     graph: CSRGraph,
@@ -175,7 +195,13 @@ def run_average(
         application=application, graph_name=graph.name, strategy=strategy
     )
     if application is Application.CC:
-        aggregate.add(cc(graph, strategy=strategy, system=system))
+        if batched:
+            from .streaming import run_streaming_batch
+
+            outcome = run_streaming_batch("cc", graph, [(strategy, system)])
+            aggregate.add(outcome.results[0])
+        else:
+            aggregate.add(cc(graph, strategy=strategy, system=system))
         return aggregate
     normalized = [normalize_source(application, source) for source in sources]
     if not normalized:

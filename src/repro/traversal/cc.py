@@ -35,18 +35,23 @@ def run_cc(
     return _cc(graph, engine=engine, strategy=strategy)
 
 
-def _cc(
-    graph: CSRGraph,
-    engine: TraversalEngine | None,
-    strategy: AccessStrategy = EMOGI_STRATEGY,
-) -> TraversalResult:
+def cc_sweep(graph: CSRGraph, engines=()) -> tuple[np.ndarray, int]:
+    """Min-label propagation, driving every engine once per iteration.
+
+    The label evolution is engine-independent (the engines only *account*
+    memory traffic), so one shared algorithm pass can serve any number of
+    simulated platforms: each iteration computes the frontier's CSR slices
+    once and replays them into every engine.  This is what
+    :func:`repro.traversal.streaming.run_streaming_batch` exploits to batch
+    CC across access-strategy/system lanes.  Returns ``(labels, iterations)``.
+    """
     labels = np.arange(graph.num_vertices, dtype=np.int64)
     frontier = all_vertices_frontier(graph)
     iterations = 0
     max_iterations = max(1, graph.num_vertices)
     while frontier.size and iterations < max_iterations:
         starts, ends = frontier_offsets(graph, frontier)
-        if engine is not None:
+        for engine in engines:
             engine.process_frontier(frontier, starts, ends)
         edges = gather_frontier_edges(graph, frontier, starts, ends)
         if edges.num_edges:
@@ -57,7 +62,15 @@ def _cc(
         else:
             frontier = np.empty(0, dtype=VERTEX_DTYPE)
         iterations += 1
+    return labels, iterations
 
+
+def _cc(
+    graph: CSRGraph,
+    engine: TraversalEngine | None,
+    strategy: AccessStrategy = EMOGI_STRATEGY,
+) -> TraversalResult:
+    labels, _ = cc_sweep(graph, engines=() if engine is None else (engine,))
     metrics = engine.finalize() if engine is not None else None
     return TraversalResult(
         application=Application.CC,

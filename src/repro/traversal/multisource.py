@@ -17,11 +17,25 @@ its solo run would have been:
   destinations; a vertex's newly set bits are exactly the sources whose solo
   BFS would discover it this iteration, so per-source levels are bit-identical
   to :func:`repro.traversal.bfs.run_bfs`.
-* **SSSP** relaxes, for each source, exactly the edges whose tail is in that
-  source's frontier (a bit-mask selection from the shared gather).  The
-  per-source relaxation sequence is identical to the solo run's, so distances
-  are bit-identical to :func:`repro.traversal.sssp.run_sssp` — including
-  float rounding.
+* **SSSP** runs on the lane-parallel relaxation kernel of
+  :mod:`repro.traversal.relax`: each iteration expands the union frontier's
+  lane bit-masks into shared (lane, edge) candidate streams — one ragged
+  gather covering every lane at once — and min-reduces every lane's
+  candidates into the flattened vertex-major ``destination * lanes + lane``
+  key space in a single segmented pass (the shared-candidate relaxation;
+  executed by a runtime-compiled C loop over the bit-packed words when the
+  host has a compiler, by blocked numpy indexed-ufunc/reduceat passes
+  otherwise).  For each source the reduced candidate *multiset* is exactly
+  the solo run's, and min over IEEE floats is exactly
+  associative/commutative, so distances are bit-identical to
+  :func:`repro.traversal.sssp.run_sssp` — including float rounding — under
+  every backend.  The kernel's touched-set output doubles as the next
+  frontier, so no per-iteration ``np.unique`` or before/after probing is
+  needed.
+
+The *streaming* applications (CC, PageRank) batch along the platform axis
+instead — one shared algorithm pass replayed into many per-configuration
+engines; see :mod:`repro.traversal.streaming`.
 
 Per-source :class:`TraversalMetrics` are derived by *attributing* the shared
 traffic: each iteration's time is split across the sources active in it,
@@ -38,7 +52,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..arrays import ragged_gather_indices
 from ..config import SystemConfig
 from ..errors import ConfigurationError
 from ..graph.csr import CSRGraph
@@ -47,6 +60,7 @@ from ..types import AccessStrategy, Application, EMOGI_STRATEGY, VERTEX_DTYPE
 from .bfs import UNREACHED, _check_source
 from .engine import TraversalEngine
 from .frontier import frontier_offsets, gather_frontier_destinations
+from .relax import active_lane_mask, make_snapshot, relax_lanes
 from .results import TraversalMetrics, TraversalResult
 from .sssp import UNREACHABLE
 
@@ -126,6 +140,7 @@ def run_batch(
     system: SystemConfig | None = None,
     engine: TraversalEngine | None = None,
     arena=None,
+    relax_method: str | None = None,
 ) -> MultiSourceResult:
     """Run a batched multi-source traversal, chunking sources into 64-bit words.
 
@@ -133,6 +148,10 @@ def run_batch(
     leased from ``arena`` (an :class:`~repro.traversal.arena.EngineArena`),
     or a private one constructed here.  Between words the engine is recycled
     with :meth:`TraversalEngine.reset` instead of being rebuilt.
+
+    ``relax_method`` selects the SSSP relaxation backend (see
+    :data:`repro.traversal.relax.RELAX_METHODS`); ``None`` picks the fastest
+    available.  Every backend produces bit-identical per-source values.
     """
     application = Application(application)
     if application is Application.BFS:
@@ -148,6 +167,15 @@ def run_batch(
         raise ConfigurationError("run_batch needs at least one source")
     for source in source_list:
         _check_source(graph, source)
+
+    weights = None
+    if application is Application.SSSP and graph.has_weights:
+        # Hoisted out of the per-word runner: ONE float64 view of the weight
+        # list per batch (float32 -> float64 is exact, so candidates stay
+        # bit-identical to the solo runs' upcast-per-add).  Unweighted graphs
+        # pass None and relax with the scalar 1.0 — no unit-weight array is
+        # materialized at all, per word or otherwise.
+        weights = np.ascontiguousarray(graph.weights, dtype=np.float64)
 
     leased = None
     if engine is None:
@@ -173,7 +201,7 @@ def run_batch(
             # a cheap no-op.
             engine.reset()
             values, lane_breakdowns, lane_iterations, lane_fractions = chunk_runner(
-                graph, word, engine
+                graph, word, engine, weights, relax_method
             )
             batch_metrics = engine.finalize()
             outcome.batch_metrics.append(batch_metrics)
@@ -207,7 +235,13 @@ def run_batch(
 # ---------------------------------------------------------------------- #
 # Word-level execution (≤64 sources)
 # ---------------------------------------------------------------------- #
-def _bfs_word(graph: CSRGraph, word: list[int], engine: TraversalEngine):
+def _bfs_word(
+    graph: CSRGraph,
+    word: list[int],
+    engine: TraversalEngine,
+    weights=None,
+    relax_method=None,
+):
     num_vertices = graph.num_vertices
     lanes = len(word)
     levels = np.full((lanes, num_vertices), UNREACHED, dtype=np.int64)
@@ -248,18 +282,25 @@ def _bfs_word(graph: CSRGraph, word: list[int], engine: TraversalEngine):
     return levels, attribution.breakdowns, attribution.iterations, attribution.fractions()
 
 
-def _sssp_word(graph: CSRGraph, word: list[int], engine: TraversalEngine):
+def _sssp_word(
+    graph: CSRGraph,
+    word: list[int],
+    engine: TraversalEngine,
+    weights: np.ndarray | None,
+    relax_method: str | None = None,
+):
     num_vertices = graph.num_vertices
     lanes = len(word)
-    if graph.has_weights:
-        weights = graph.weights
-    else:
-        weights = np.ones(graph.num_edges, dtype=np.float64)
-    distances = np.full((lanes, num_vertices), UNREACHABLE, dtype=np.float64)
+    # Vertex-major layout: one vertex's 64 lane distances share cache lines,
+    # which is what makes the relaxation kernel's inner loop fast.  The
+    # transposed view handed back at the end keeps run_batch's per-lane
+    # ``values[lane]`` extraction working unchanged.
+    distances = np.full((num_vertices, lanes), UNREACHABLE, dtype=np.float64)
     frontier_bits = np.zeros(num_vertices, dtype=np.uint64)
     for lane, source in enumerate(word):
         frontier_bits[source] |= _ONE << np.uint64(lane)
-        distances[lane, source] = 0.0
+        distances[source, lane] = 0.0
+    snapshot = make_snapshot(num_vertices, lanes)
 
     attribution = _Attribution(lanes)
     iterations = 0
@@ -271,43 +312,28 @@ def _sssp_word(graph: CSRGraph, word: list[int], engine: TraversalEngine):
         degrees = ends - starts
         active_bits = frontier_bits[frontier]
 
-        # One sorted-unique pass over the union destinations, shared by every
-        # lane: a lane only ever changes a subset of these vertices, so
-        # before/after comparison against the shared set finds exactly the
-        # vertices that lane improved.
-        touched = np.unique(gather_frontier_destinations(graph, frontier, starts, ends))
-        lane_edges = np.zeros(lanes, dtype=np.int64)
-        next_bits = np.zeros(num_vertices, dtype=np.uint64)
-        for lane in range(lanes):
-            in_lane = _lane_mask(active_bits, lane)
-            if not in_lane.any():
-                continue
-            # Gather this lane's edges straight from the CSR slices of its
-            # own frontier (a subset of the union), in exactly the order the
-            # solo run would: relaxation stays bit-identical, float rounding
-            # included.
-            lane_lengths = degrees[in_lane]
-            edge_indices = ragged_gather_indices(starts[in_lane], lane_lengths)
-            lane_edges[lane] = edge_indices.size
-            if edge_indices.size == 0:
-                continue
-            row = distances[lane]
-            lane_sources = np.repeat(frontier[in_lane], lane_lengths)
-            candidates = row[lane_sources] + weights[edge_indices]
-            lane_destinations = graph.edges[edge_indices]
-            before = row[touched].copy()
-            np.minimum.at(row, lane_destinations, candidates)
-            improved = touched[row[touched] < before]
-            if improved.size:
-                next_bits[improved] |= _ONE << np.uint64(lane)
-        attribution.record(iteration, active_bits, degrees, lane_edges=lane_edges)
+        # One lane-parallel relaxation sweep: every lane's candidates are
+        # gathered from the shared CSR slices and min-reduced per
+        # (lane, destination) in a single pass (see repro.traversal.relax).
+        # The kernel's touched-set output IS the next frontier word array.
+        outcome = relax_lanes(
+            distances, graph.edges, frontier, starts, ends, active_bits,
+            weights=weights, method=relax_method, snapshot=snapshot,
+        )
+        attribution.record(
+            iteration,
+            active_bits,
+            degrees,
+            lane_edges=outcome.lane_edges,
+            active=outcome.active_lanes,
+        )
 
-        frontier_bits = next_bits
-        frontier = np.flatnonzero(next_bits).astype(VERTEX_DTYPE)
+        frontier_bits = outcome.next_bits
+        frontier = np.flatnonzero(frontier_bits).astype(VERTEX_DTYPE)
         iterations += 1
 
     return (
-        distances,
+        distances.T,
         attribution.breakdowns,
         attribution.iterations,
         attribution.fractions(),
@@ -355,24 +381,16 @@ class _Attribution:
         active_bits: np.ndarray,
         degrees: np.ndarray,
         lane_edges: np.ndarray | None = None,
+        active: np.ndarray | None = None,
     ) -> None:
+        if active is None:
+            active = active_lane_mask(active_bits, self.lanes)
         if lane_edges is None:
             lane_edges = np.zeros(self.lanes, dtype=np.int64)
-            for lane in range(self.lanes):
+            for lane in np.flatnonzero(active):
                 mask = _lane_mask(active_bits, lane)
-                if mask.any():
-                    lane_edges[lane] = int(degrees[mask].sum())
-                    self.iterations[lane] += 1
-                else:
-                    lane_edges[lane] = -1  # inactive marker
-            active = lane_edges >= 0
-            lane_edges = np.where(active, lane_edges, 0)
-        else:
-            active = np.zeros(self.lanes, dtype=bool)
-            for lane in range(self.lanes):
-                if _lane_mask(active_bits, lane).any():
-                    active[lane] = True
-                    self.iterations[lane] += 1
+                lane_edges[lane] = int(degrees[mask].sum())
+        self.iterations += active
         total = float(lane_edges.sum())
         if total > 0:
             shares = lane_edges / total

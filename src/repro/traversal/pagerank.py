@@ -81,14 +81,21 @@ def run_pagerank(
     return _pagerank(graph, engine, strategy, damping, tolerance, max_iterations)
 
 
-def _pagerank(
+def pagerank_sweep(
     graph: CSRGraph,
-    engine: TraversalEngine | None,
-    strategy: AccessStrategy,
-    damping: float,
-    tolerance: float,
-    max_iterations: int,
-) -> PageRankResult:
+    engines=(),
+    damping: float = 0.85,
+    tolerance: float = 1e-6,
+    max_iterations: int = 100,
+) -> tuple[np.ndarray, int, bool]:
+    """Push-style power iteration, driving every engine once per iteration.
+
+    Like :func:`repro.traversal.cc.cc_sweep`, the score evolution is
+    engine-independent: each iteration streams the whole edge list once for
+    the algorithm and replays the all-vertices frontier into every attached
+    engine, which is how the streaming batch runs one PageRank under many
+    simulated platforms.  Returns ``(scores, iterations, converged)``.
+    """
     if not 0.0 < damping < 1.0:
         raise ConfigurationError("damping must lie strictly between 0 and 1")
     if tolerance <= 0.0:
@@ -98,7 +105,7 @@ def _pagerank(
 
     num_vertices = graph.num_vertices
     if num_vertices == 0:
-        return PageRankResult(graph.name, strategy, np.empty(0), 0, True, None)
+        return np.empty(0), 0, True
 
     degrees = graph.degrees().astype(np.float64)
     sources = graph.edge_sources()
@@ -109,7 +116,7 @@ def _pagerank(
     iterations = 0
     converged = False
     while iterations < max_iterations and not converged:
-        if engine is not None:
+        for engine in engines:
             engine.process_frontier(frontier)
         contribution = np.zeros(num_vertices)
         active = degrees > 0
@@ -122,6 +129,25 @@ def _pagerank(
         scores = new_scores
         iterations += 1
         converged = delta < tolerance
+    return scores, iterations, converged
 
+
+def _pagerank(
+    graph: CSRGraph,
+    engine: TraversalEngine | None,
+    strategy: AccessStrategy,
+    damping: float,
+    tolerance: float,
+    max_iterations: int,
+) -> PageRankResult:
+    scores, iterations, converged = pagerank_sweep(
+        graph,
+        engines=() if engine is None else (engine,),
+        damping=damping,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )
+    if graph.num_vertices == 0:
+        return PageRankResult(graph.name, strategy, scores, iterations, converged, None)
     metrics = engine.finalize() if engine is not None else None
     return PageRankResult(graph.name, strategy, scores, iterations, converged, metrics)

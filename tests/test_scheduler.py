@@ -253,6 +253,57 @@ class TestWeightedFairPolicy:
         # preserved — it is served, not pushed back forever
         assert ("light",) in order
 
+    def test_forget_group_refunds_fused_away_virtual_time(self):
+        """Regression: a sibling group fused into a streaming run (popped via
+        pop_sibling_groups, never selected) must not leave its booked cost on
+        the tenant's virtual tail — otherwise the tenant's future groups are
+        deprioritized for work that rode along free."""
+        def run_sequence(refund: bool):
+            policy = WeightedFairPolicy()
+            fused_jobs = [make_job("t2", 2, tenant="t")]
+            groups = self.groups(
+                (("t1",), [make_job("t1", 1, tenant="t")]),
+                (("t2",), fused_jobs),
+                (("other",), [make_job("o", 3, tenant="other")]),
+            )
+            # One select tags every visible group, charging tenant "t" twice.
+            assert policy.select(groups) == ("t1",)
+            groups.pop(("t1",))
+            # The second group rides along with a streaming run instead of
+            # draining through select (pop_sibling_groups semantics).
+            groups.pop(("t2",))
+            if refund:
+                policy.forget_group(("t2",), fused_jobs)
+            assert policy.select(groups) == ("other",)
+            groups.pop(("other",))
+            # Fresh round: one new group per tenant, "t" arriving first.
+            groups[("t3",)] = [make_job("t3", 4, tenant="t")]
+            groups[("other2",)] = [make_job("o2", 5, tenant="other")]
+            return policy.select(groups)
+
+        # With the refund, both tenants' tails are level again and "t" wins
+        # its arrival-order tie; without it, the fused-away group's charge
+        # still demotes "t" behind the other tenant.
+        assert run_sequence(refund=True) == ("t3",)
+        assert run_sequence(refund=False) == ("other2",)
+
+    def test_forget_group_ignores_unknown_and_stale_tags(self):
+        policy = WeightedFairPolicy()
+        jobs = [make_job("a", 1, tenant="t")]
+        policy.forget_group(("never-seen",), jobs)  # no-op, no error
+        groups = self.groups((("a",), jobs))
+        policy.select(groups)  # tags and immediately selects (tag consumed)
+        policy.forget_group(("a",), jobs)  # tag already gone: no-op
+        # A recreated group under the same key must not refund the vanished
+        # incarnation's charge to the new jobs' tenant.
+        first = [make_job("b1", 2, tenant="t")]
+        groups = self.groups((("b",), first), (("z",), [make_job("z", 9)]))
+        policy.select(groups)  # tags both; selects ("b",)... or ("z",)?
+        tail_before = dict(policy._tenant_tail)
+        recreated = [make_job("b2", 3, tenant="t")]
+        policy.forget_group(("b",), recreated)
+        assert policy._tenant_tail == tail_before
+
     def test_recreated_batch_key_does_not_inherit_stale_tag(self):
         """Regression: a group emptied by discard() and recreated under the
         same batch key by a different submission must be tagged afresh, not

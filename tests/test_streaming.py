@@ -1,0 +1,196 @@
+"""Tests for batched streaming traversals (CC / PageRank across platform lanes).
+
+The streaming batch shares ONE algorithm pass across any number of
+(strategy, system) lanes; each lane's values AND simulated metrics must be
+identical to its solo run — the streaming analog of the multisource module's
+bit-identity guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceConfig, ampere_pcie4, default_system
+from repro.errors import ConfigurationError
+from repro.service import GraphRegistry, Service, TraversalRequest
+from repro.traversal.api import run_average, run_streaming
+from repro.traversal.arena import EngineArena
+from repro.traversal.cc import run_cc
+from repro.traversal.pagerank import run_pagerank
+from repro.traversal.streaming import (
+    StreamingLane,
+    normalize_lanes,
+    run_streaming_batch,
+)
+from repro.types import AccessStrategy, Application
+
+ALL_STRATEGIES = tuple(AccessStrategy)
+
+
+class TestCCStreamingEquivalence:
+    def test_values_and_metrics_identical_to_solo(self, random_graph):
+        lanes = [
+            StreamingLane(strategy, system)
+            for system in (None, ampere_pcie4())
+            for strategy in ALL_STRATEGIES
+        ]
+        batch = run_streaming_batch("cc", random_graph, lanes)
+        assert batch.num_lanes == len(lanes)
+        assert batch.words == 1
+        for lane, result in zip(lanes, batch.results):
+            solo = run_cc(random_graph, strategy=lane.strategy, system=lane.system)
+            assert np.array_equal(result.values, solo.values)
+            assert result.metrics.seconds == solo.metrics.seconds
+            assert result.metrics.iterations == solo.metrics.iterations
+            assert (
+                result.metrics.traffic.useful_bytes
+                == solo.metrics.traffic.useful_bytes
+            )
+
+    def test_application_enum_accepted(self, disconnected_graph):
+        batch = run_streaming_batch(
+            Application.CC, disconnected_graph, [AccessStrategy.UVM]
+        )
+        solo = run_cc(disconnected_graph, strategy=AccessStrategy.UVM)
+        assert np.array_equal(batch.results[0].values, solo.values)
+
+    def test_lane_values_are_independent_copies(self, disconnected_graph):
+        batch = run_streaming_batch(
+            "cc", disconnected_graph, [AccessStrategy.UVM, AccessStrategy.MERGED]
+        )
+        batch.results[0].values[0] = -1
+        assert batch.results[1].values[0] != -1
+
+
+class TestPageRankStreamingEquivalence:
+    def test_scores_and_metrics_identical_to_solo(self, random_graph):
+        lanes = [(s, None) for s in ALL_STRATEGIES]
+        batch = run_streaming_batch("pagerank", random_graph, lanes)
+        for lane, result in zip(normalize_lanes(lanes), batch.results):
+            solo = run_pagerank(random_graph, strategy=lane.strategy)
+            assert np.array_equal(result.values, solo.values)
+            assert result.iterations == solo.iterations
+            assert result.converged == solo.converged
+            assert result.metrics.seconds == solo.metrics.seconds
+
+    def test_pagerank_kwargs_forwarded(self, random_graph):
+        batch = run_streaming_batch(
+            "pagerank", random_graph, [AccessStrategy.UVM], max_iterations=2
+        )
+        assert batch.results[0].iterations <= 2
+
+
+class TestLaneNormalization:
+    def test_accepts_mixed_forms(self):
+        lanes = normalize_lanes(
+            [
+                "uvm",
+                AccessStrategy.MERGED,
+                (AccessStrategy.MERGED_ALIGNED, default_system()),
+                StreamingLane(AccessStrategy.NAIVE),
+            ]
+        )
+        assert [lane.strategy for lane in lanes] == [
+            AccessStrategy.UVM,
+            AccessStrategy.MERGED,
+            AccessStrategy.MERGED_ALIGNED,
+            AccessStrategy.NAIVE,
+        ]
+
+    def test_empty_lanes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_lanes([])
+
+    def test_garbage_lane_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_lanes([object()])
+
+    def test_unknown_application_rejected(self, disconnected_graph):
+        with pytest.raises(ConfigurationError):
+            run_streaming_batch("bfs", disconnected_graph, ["uvm"])
+
+
+class TestWordChunking:
+    def test_more_than_64_lanes_split_into_words(self, disconnected_graph):
+        lanes = [AccessStrategy.UVM] * 70
+        batch = run_streaming_batch("cc", disconnected_graph, lanes)
+        assert batch.num_lanes == 70
+        assert batch.words == 2
+
+
+class TestArenaIntegration:
+    def test_engines_leased_and_returned(self, random_graph):
+        arena = EngineArena(max_idle=8)
+        run_streaming_batch(
+            "cc", random_graph, [AccessStrategy.UVM, AccessStrategy.MERGED],
+            arena=arena,
+        )
+        assert arena.created == 2
+        assert arena.idle_count == 2
+        # A second batch over the same lanes reuses the parked engines.
+        batch = run_streaming_batch(
+            "cc", random_graph, [AccessStrategy.UVM, AccessStrategy.MERGED],
+            arena=arena,
+        )
+        assert arena.reused == 2
+        solo = run_cc(random_graph, strategy=AccessStrategy.UVM)
+        assert np.array_equal(batch.results[0].values, solo.values)
+        assert batch.results[0].metrics.seconds == solo.metrics.seconds
+
+
+class TestApiDispatch:
+    def test_run_streaming_wrapper(self, random_graph):
+        outcome = run_streaming("cc", random_graph, ["uvm", "merged"])
+        assert outcome.num_lanes == 2
+
+    def test_run_average_cc_batched_matches_serial(self, disconnected_graph):
+        batched = run_average(Application.CC, disconnected_graph, [0], batched=True)
+        serial = run_average(Application.CC, disconnected_graph, [0], batched=False)
+        assert batched.num_runs == serial.num_runs == 1
+        assert np.array_equal(batched.runs[0].values, serial.runs[0].values)
+        assert (
+            batched.runs[0].metrics.seconds == serial.runs[0].metrics.seconds
+        )
+
+
+class TestServiceStreamingFusion:
+    def test_cc_groups_fused_across_strategies(self, random_graph):
+        registry = GraphRegistry()
+        registry.register_graph(random_graph)
+        # One worker: the CC jobs across strategies pile up as separate batch
+        # groups, and the first drain fuses them into one streaming run.
+        config = ServiceConfig(max_workers=1)
+        with Service(registry=registry, config=config) as service:
+            jobs = [
+                service.submit(
+                    TraversalRequest("cc", random_graph.name, strategy=strategy)
+                )
+                for strategy in ALL_STRATEGIES
+            ]
+            results = [service.result(job, timeout=30) for job in jobs]
+        for strategy, result in zip(ALL_STRATEGIES, results):
+            solo = run_cc(random_graph, strategy=strategy)
+            assert np.array_equal(result.values, solo.values)
+            assert result.metrics.seconds == solo.metrics.seconds
+        stats = service.stats()
+        assert stats.completed == len(ALL_STRATEGIES)
+        assert stats.executions == len(ALL_STRATEGIES)
+
+    def test_fused_results_cached_per_configuration(self, random_graph):
+        registry = GraphRegistry()
+        registry.register_graph(random_graph)
+        with Service(registry=registry, config=ServiceConfig(max_workers=1)) as service:
+            first = [
+                service.submit(
+                    TraversalRequest("cc", random_graph.name, strategy=strategy)
+                )
+                for strategy in ("uvm", "merged")
+            ]
+            for job in first:
+                service.result(job, timeout=30)
+            again = service.submit(
+                TraversalRequest("cc", random_graph.name, strategy="uvm")
+            )
+            service.result(again, timeout=30)
+        stats = service.stats()
+        assert stats.cache.hits >= 1
+        assert stats.executions == 2
