@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli figure9
     python -m repro.cli all --sources 2
     python -m repro.cli serve-batch examples/workload.json --policy edf
+    python -m repro.cli trace examples/workload.json --output trace.jsonl
+    python -m repro.cli stats examples/workload.json --format prom
     python -m repro.cli bench-traversal --output BENCH_traversal.json
     python -m repro.cli bench-scheduler --output BENCH_scheduler.json
 """
@@ -13,6 +15,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -121,6 +124,19 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="reject deadline requests the cost model deems unmeetable at "
         "submit instead of letting them expire in the queue",
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        help="fraction of requests traced end-to-end, in [0, 1] "
+        "(overrides the workload file; default 1.0)",
+    )
+    parser.add_argument(
+        "--trace-output",
+        default=None,
+        metavar="PATH",
+        help="write the run's spans as JSONL to PATH ('-' for stdout)",
+    )
     return parser
 
 
@@ -145,6 +161,61 @@ def _parse_tenant_weights(text: str) -> dict:
     if not weights:
         raise argparse.ArgumentTypeError("no tenant weights given")
     return weights
+
+
+def _build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Run a JSON workload through the traversal service and export "
+            "the recorded request/sweep spans as JSONL (one span per line)."
+        ),
+    )
+    parser.add_argument("workload", help="path to a workload JSON file")
+    parser.add_argument(
+        "--output",
+        default="-",
+        metavar="PATH",
+        help="where to write the JSONL spans (default '-': stdout)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=float,
+        default=None,
+        help="fraction of requests traced, in [0, 1] (default 1.0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="abort if the workload does not finish within this many seconds",
+    )
+    return parser
+
+
+def _build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description=(
+            "Run a JSON workload through the traversal service and render "
+            "its metrics registry (request outcomes, kernel counters, cost "
+            "model error) in Prometheus text or JSON exposition format."
+        ),
+    )
+    parser.add_argument("workload", help="path to a workload JSON file")
+    parser.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="exposition format (default: prom)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="abort if the workload does not finish within this many seconds",
+    )
+    return parser
 
 
 def _build_bench_traversal_parser() -> argparse.ArgumentParser:
@@ -310,6 +381,17 @@ def _run_one(name: str, harness: ExperimentHarness) -> FigureResult:
     return function(harness)
 
 
+def _write_trace_jsonl(spans, path: str) -> None:
+    """Write span dicts as JSONL to ``path``, or to stdout when ``-``."""
+    lines = "".join(json.dumps(span, sort_keys=True) + "\n" for span in spans)
+    if path == "-":
+        sys.stdout.write(lines)
+        return
+    with open(path, "w") as handle:
+        handle.write(lines)
+    print(f"({len(spans)} span(s) written to {path})")
+
+
 def _serve_batch(argv: list[str]) -> int:
     from .service.workload import serve_workload_file
 
@@ -327,11 +409,53 @@ def _serve_batch(argv: list[str]) -> int:
             tenant_weights=args.tenant_weights,
             cost_alpha=args.cost_alpha,
             reject_infeasible=args.reject_infeasible,
+            trace_sample=args.trace_sample,
         )
     except (OSError, ValueError, ReproError) as exc:
         print(f"serve-batch failed: {exc}", file=sys.stderr)
         return 2
     print(report.to_table())
+    if args.trace_output is not None:
+        try:
+            _write_trace_jsonl(report.traces, args.trace_output)
+        except OSError as exc:
+            print(f"serve-batch trace export failed: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _trace(argv: list[str]) -> int:
+    from .service.workload import serve_workload_file
+
+    args = _build_trace_parser().parse_args(argv)
+    try:
+        report = serve_workload_file(
+            args.workload, timeout=args.timeout, trace_sample=args.sample
+        )
+        _write_trace_jsonl(report.traces, args.output)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _stats(argv: list[str]) -> int:
+    from .service.workload import serve_workload_file
+
+    args = _build_stats_parser().parse_args(argv)
+    try:
+        report = serve_workload_file(args.workload, timeout=args.timeout)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 2
+    registry = report.metrics
+    if registry is None:  # defensive: run_workload always attaches a registry
+        print("stats failed: workload report carries no metrics", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(registry.render_json(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(registry.render_prometheus())
     return 0
 
 
@@ -339,6 +463,10 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve-batch":
         return _serve_batch(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace(argv[1:])
+    if argv and argv[0] == "stats":
+        return _stats(argv[1:])
     if argv and argv[0] == "bench-traversal":
         return _bench_traversal(argv[1:])
     if argv and argv[0] == "bench-scheduler":
@@ -348,6 +476,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.target == "list":
         print("\n".join(ALL_FIGURES))
         print("serve-batch")
+        print("trace")
+        print("stats")
         print("bench-traversal")
         print("bench-scheduler")
         return 0

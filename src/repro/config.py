@@ -339,6 +339,18 @@ class ServiceConfig:
     #: Number of recently finished jobs whose queueing/total latencies feed
     #: the percentile estimates in :class:`~repro.service.stats.ServiceStats`.
     latency_window: int = 2048
+    #: Fraction of requests that receive a full span trace, in [0, 1].
+    #: Sampling is systematic (every ``1/trace_sample``-th request), so low
+    #: rates still give deterministic coverage.  Metrics counters are always
+    #: on regardless of this knob.
+    trace_sample: float = 1.0
+    #: Capacity of the span ring buffer; the oldest spans are evicted when an
+    #: unattended service outruns ``drain_traces()``.
+    trace_buffer: int = 8192
+    #: Tracing master switch: ``None`` defers to the ``REPRO_TRACE``
+    #: environment variable (enabled unless set to a falsy value), ``False``
+    #: disables span recording outright, ``True`` forces it on.
+    trace_enabled: bool | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -369,6 +381,14 @@ class ServiceConfig:
             raise ConfigurationError("tenant_quota must be positive or None")
         if self.latency_window <= 0:
             raise ConfigurationError("latency_window must be positive")
+        if not isinstance(self.trace_sample, (int, float)) or not (
+            0.0 <= float(self.trace_sample) <= 1.0
+        ):
+            raise ConfigurationError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample!r}"
+            )
+        if self.trace_buffer <= 0:
+            raise ConfigurationError("trace_buffer must be positive")
 
 
 #: PCIe 3.0 x16 as measured in the paper (cudaMemcpy peak ≈ 12.3 GB/s).

@@ -1,0 +1,342 @@
+"""Metrics registry with Prometheus-text and JSON exposition.
+
+Three instrument kinds, deliberately minimal:
+
+* :class:`Counter` — monotonically increasing, optionally labelled.
+* :class:`Gauge` — last-write-wins point-in-time value, optionally labelled.
+* :class:`Summary` — a bounded sliding window of observations plus cumulative
+  ``sum``/``count``.  Quantiles are computed with the exact same ceil-based
+  nearest-rank formula as :class:`repro.service.stats.LatencyStats`, so the
+  ``p50/p95/p99`` an operator scrapes match the ones ``Service.stats()``
+  prints.
+
+The registry renders either Prometheus text exposition format (``# HELP`` /
+``# TYPE`` headers, ``{label="value"}`` children, summaries as ``quantile``
+series plus ``_sum``/``_count``) or a nested JSON document, behind
+``repro.cli stats --format prom|json``.
+
+Everything is guarded by one registry-wide lock; instruments never call back
+into the service, so there is no lock-ordering hazard with the service's own
+lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterable, Mapping
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+#: Quantiles rendered for summaries, matching LatencyStats' fields.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _label_key(label_names: tuple[str, ...], labels: Mapping[str, Any]) -> _LabelKey:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple((name, str(labels[name])) for name in label_names)
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Instrument:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...]) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+
+    def render_prometheus(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def render_json(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonic counter with optional labels (one child per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", label_names: Iterable[str] = ()) -> None:
+        super().__init__(name, help, tuple(label_names))
+        self._children: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._children.get(key, 0.0)
+
+    def render_prometheus(self) -> list[str]:
+        with self._lock:
+            children = dict(self._children)
+        if not children and not self.label_names:
+            children = {(): 0.0}
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in sorted(children.items())
+        ]
+
+    def render_json(self) -> Any:
+        with self._lock:
+            if not self.label_names:
+                return self._children.get((), 0.0)
+            return [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._children.items())
+            ]
+
+
+class Gauge(_Instrument):
+    """Point-in-time value with optional labels; ``set`` is last-write-wins."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", label_names: Iterable[str] = ()) -> None:
+        super().__init__(name, help, tuple(label_names))
+        self._children: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return self._children.get(key, 0.0)
+
+    def render_prometheus(self) -> list[str]:
+        with self._lock:
+            children = dict(self._children)
+        if not children and not self.label_names:
+            children = {(): 0.0}
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in sorted(children.items())
+        ]
+
+    def render_json(self) -> Any:
+        with self._lock:
+            if not self.label_names:
+                return self._children.get((), 0.0)
+            return [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._children.items())
+            ]
+
+
+class _SummaryChild:
+    __slots__ = ("window", "sum", "count")
+
+    def __init__(self, window: int) -> None:
+        self.window: deque[float] = deque(maxlen=window)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Summary(_Instrument):
+    """Sliding-window observations with LatencyStats-compatible quantiles.
+
+    ``sum``/``count`` are cumulative (Prometheus summary semantics); the
+    quantiles come from a bounded window of the most recent observations so a
+    long-running service reports current behaviour, exactly like the
+    ``latency_window`` the service stats use.
+    """
+
+    kind = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Iterable[str] = (),
+        window: int = 1024,
+    ) -> None:
+        super().__init__(name, help, tuple(label_names))
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._children: dict[_LabelKey, _SummaryChild] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _SummaryChild(self.window)
+            child.window.append(float(value))
+            child.sum += float(value)
+            child.count += 1
+
+    def snapshot(self, **labels: Any) -> "Any":
+        """LatencyStats over the current window for one label set."""
+        from ..service.stats import LatencyStats  # local: avoids import cycle
+
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            child = self._children.get(key)
+            samples = list(child.window) if child is not None else []
+        return LatencyStats.from_samples(samples)
+
+    def render_prometheus(self) -> list[str]:
+        from ..service.stats import LatencyStats  # local: avoids import cycle
+
+        with self._lock:
+            children = [
+                (key, list(child.window), child.sum, child.count)
+                for key, child in sorted(self._children.items())
+            ]
+        lines: list[str] = []
+        for key, samples, total, count in children:
+            stats = LatencyStats.from_samples(samples)
+            quantile_values = {
+                0.5: stats.p50_seconds,
+                0.95: stats.p95_seconds,
+                0.99: stats.p99_seconds,
+            }
+            for quantile in SUMMARY_QUANTILES:
+                labels = _render_labels(key, (("quantile", _format_value(quantile)),))
+                lines.append(
+                    f"{self.name}{labels} {_format_value(quantile_values[quantile])}"
+                )
+            lines.append(f"{self.name}_sum{_render_labels(key)} {_format_value(total)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {count}")
+        return lines
+
+    def render_json(self) -> Any:
+        from ..service.stats import LatencyStats  # local: avoids import cycle
+
+        with self._lock:
+            children = [
+                (key, list(child.window), child.sum, child.count)
+                for key, child in sorted(self._children.items())
+            ]
+        entries = []
+        for key, samples, total, count in children:
+            stats = LatencyStats.from_samples(samples)
+            entry = {
+                "sum": total,
+                "count": count,
+                "p50": stats.p50_seconds,
+                "p95": stats.p95_seconds,
+                "p99": stats.p99_seconds,
+                "max": stats.max_seconds,
+            }
+            if self.label_names:
+                entries.append({"labels": dict(key), **entry})
+            else:
+                return entry
+        if not self.label_names:
+            return {"sum": 0.0, "count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return entries
+
+
+class MetricsRegistry:
+    """Name-keyed collection of instruments with idempotent constructors.
+
+    ``registry.counter("x")`` returns the existing counter if one is already
+    registered under that name (and raises if the name is taken by a different
+    kind or label set), so instrumentation sites never need to coordinate
+    creation order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def counter(
+        self, name: str, help: str = "", label_names: Iterable[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, tuple(label_names))
+
+    def gauge(self, name: str, help: str = "", label_names: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, tuple(label_names))
+
+    def summary(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Iterable[str] = (),
+        window: int = 1024,
+    ) -> Summary:
+        return self._get_or_create(
+            Summary, name, help, tuple(label_names), window=window
+        )
+
+    def _get_or_create(self, cls, name, help, label_names, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            instrument = cls(name, help, label_names, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def render_prometheus(self) -> str:
+        with self._lock:
+            instruments = [self._instruments[name] for name in sorted(self._instruments)]
+        lines: list[str] = []
+        for instrument in instruments:
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} {instrument.help}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            lines.extend(instrument.render_prometheus())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self) -> dict[str, Any]:
+        with self._lock:
+            instruments = [self._instruments[name] for name in sorted(self._instruments)]
+        return {
+            instrument.name: {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "values": instrument.render_json(),
+            }
+            for instrument in instruments
+        }

@@ -1,0 +1,187 @@
+"""Request spans: trace ids, a bounded ring buffer, sampling, JSONL export.
+
+Span model
+----------
+A :class:`Span` is a flat, JSON-friendly record: ``(trace_id, span_id, name,
+start_unix, duration_seconds, parent_id, attributes)``.  Timestamps are
+wall-clock epoch seconds — monotonic ``perf_counter`` values are meaningless
+once exported — but durations are always differences of ``perf_counter``
+readings taken on the same timeline, so latency math is unaffected by clock
+steps (see ``Job.wall_clock``).
+
+The service emits one trace per sampled request with four tiling spans
+(``admission`` / ``queue`` / ``sweep`` / ``cache``) whose durations sum to the
+request's measured latency, plus standalone ``engine_sweep`` spans shared by
+every request fused into the same kernel sweep (linked via the per-request
+sweep span's ``sweep_ref`` attribute).
+
+Cost discipline
+---------------
+Recording a span is a dataclass construction plus a locked ``deque.append``;
+the ring buffer (``deque(maxlen=...)``) silently evicts the oldest spans so an
+unattended service never grows without bound.  Sampling is systematic (an
+accumulator, not a PRNG): ``sample=0.25`` traces exactly every 4th request,
+which keeps tests deterministic and guarantees coverage at low rates.
+``REPRO_TRACE=0`` (mirroring ``REPRO_NATIVE``) disables span recording and
+per-iteration kernel logs entirely.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import os
+
+#: Environment variable that disables tracing when set to a falsy value.
+ENV_SWITCH = "REPRO_TRACE"
+
+_FALSY = ("0", "false", "off", "no")
+
+
+def tracing_enabled(default: bool = True) -> bool:
+    """True unless ``REPRO_TRACE`` is set to ``0``/``false``/``off``/``no``."""
+    raw = os.environ.get(ENV_SWITCH)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed stage of a request (or a shared engine sweep)."""
+
+    trace_id: str
+    span_id: str
+    name: str
+    start_unix: float
+    duration_seconds: float
+    parent_id: str | None = None
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "duration_seconds": self.duration_seconds,
+        }
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        return record
+
+    def to_jsonl(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+
+class Tracer:
+    """Thread-safe span sink with systematic sampling and a bounded buffer."""
+
+    def __init__(
+        self,
+        capacity: int = 8192,
+        sample: float = 1.0,
+        enabled: bool | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
+        self.capacity = int(capacity)
+        self.sample = float(sample)
+        # The explicit flag wins; otherwise consult the environment so a
+        # deployed service can be silenced without a code change.
+        self.enabled = tracing_enabled() if enabled is None else bool(enabled)
+        self._spans: deque[Span] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._accumulator = 0.0
+        self._sampled = 0
+        self._skipped = 0
+        self._emitted = 0
+        self._evicted = 0
+
+    def begin(self, kind: str = "req") -> str | None:
+        """Sampling decision for a new trace: an id to record, or ``None``.
+
+        Systematic sampling: an accumulator gains ``sample`` per call and a
+        trace is drawn each time it crosses 1, so a rate of ``1/k`` selects
+        exactly every ``k``-th request rather than a coin flip per request.
+        """
+        if not self.enabled or self.sample <= 0.0:
+            with self._lock:
+                self._skipped += 1
+            return None
+        with self._lock:
+            self._accumulator += self.sample
+            if self._accumulator >= 1.0 - 1e-12:
+                self._accumulator -= 1.0
+                self._sampled += 1
+                return f"{kind}-{next(self._trace_ids)}"
+            self._skipped += 1
+            return None
+
+    def next_span_id(self, prefix: str = "span") -> str:
+        return f"{prefix}-{next(self._span_ids)}"
+
+    def emit(self, span: Span) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._append_locked(span)
+
+    def emit_many(self, spans: Iterable[Span]) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            for span in spans:
+                self._append_locked(span)
+
+    def _append_locked(self, span: Span) -> None:
+        if len(self._spans) == self.capacity:
+            self._evicted += 1
+        self._spans.append(span)
+        self._emitted += 1
+
+    def drain(self) -> list[Span]:
+        """Return and clear every buffered span (oldest first)."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def describe(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "capacity": self.capacity,
+                "sample": self.sample,
+                "buffered": len(self._spans),
+                "sampled_traces": self._sampled,
+                "skipped_traces": self._skipped,
+                "emitted_spans": self._emitted,
+                "evicted_spans": self._evicted,
+            }
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write spans as one JSON object per line; returns the span count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(span.to_jsonl())
+            handle.write("\n")
+            count += 1
+    return count

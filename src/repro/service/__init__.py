@@ -28,6 +28,7 @@ the serving stacks built over specialized engines:
 
 from ..config import SCHEDULING_POLICIES, ServiceConfig, normalize_tenant_weights
 from ..errors import AdmissionError, DeadlineExceededError, InfeasibleDeadlineError
+from ..obs import MetricsRegistry, Span, Tracer, tracing_enabled
 from .cache import CacheStats, ResultCache
 from .costmodel import CostModel, CostModelStats
 from .jobs import Job, JobStatus
@@ -70,6 +71,7 @@ __all__ = [
     "JobStatus",
     "LargestBatchPolicy",
     "LatencyStats",
+    "MetricsRegistry",
     "RegistryStats",
     "RequestQueue",
     "ResultCache",
@@ -78,8 +80,10 @@ __all__ = [
     "Service",
     "ServiceConfig",
     "ServiceStats",
+    "Span",
     "TenantStats",
     "TraversalRequest",
+    "Tracer",
     "WeightedFairPolicy",
     "WorkerPool",
     "WorkloadReport",
@@ -92,4 +96,5 @@ __all__ = [
     "load_workload",
     "run_workload",
     "serve_workload_file",
+    "tracing_enabled",
 ]

@@ -116,24 +116,29 @@ class CostModel:
     # ------------------------------------------------------------------ #
     # Learning
     # ------------------------------------------------------------------ #
-    def observe(self, family: Hashable, jobs: int, seconds: float) -> None:
+    def observe(self, family: Hashable, jobs: int, seconds: float) -> float | None:
         """Fold one observed group execution into the family's EWMAs.
 
         ``jobs`` is the group's width and ``seconds`` the wall-clock engine
         time of draining it.  The estimate the model *would have given* for
         this group is scored against the observation first, so the accuracy
-        snapshot reflects predictions, not hindsight.
+        snapshot reflects predictions, not hindsight.  Returns that
+        observation's absolute estimate error in seconds (the quantity the
+        metrics registry exports as a per-observation series), or ``None``
+        when the sample was discarded.
         """
         if jobs <= 0 or seconds < 0 or not math.isfinite(seconds):
-            return  # defensive: never let a clock glitch poison the EWMAs
+            return None  # defensive: never let a clock glitch poison the EWMAs
         with self._lock:
             predicted = self._estimate_group_locked(family, jobs)
-            self._error_sum += abs(predicted - seconds)
+            error = abs(predicted - seconds)
+            self._error_sum += error
             self._error_samples += 1
             estimate = self._families.get(family)
             if estimate is None:
                 estimate = self._families[family] = _FamilyEstimate()
             estimate.update(jobs, seconds, self.alpha)
+            return error
 
     # ------------------------------------------------------------------ #
     # Estimation

@@ -42,8 +42,29 @@ class Job:
     request: TraversalRequest
     status: JobStatus = JobStatus.PENDING
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: Wall-clock epoch time of submission, captured once alongside
+    #: ``submitted_at``.  Latency math stays purely on the monotonic
+    #: ``perf_counter`` timeline; this anchor only exists so exported spans
+    #: can carry real timestamps (see :meth:`wall_clock`).
+    submitted_wall: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    #: When the job entered the pending queue (end of admission work);
+    #: equals ``submitted_at`` for cache hits and rejected submissions.
+    enqueued_at: float | None = None
+    #: When engine work (or the cache lookup) finished, before result-cache
+    #: fill and completion bookkeeping; ``None`` until terminal.
+    compute_finished_at: float | None = None
+    #: Trace id assigned at submission when this request was sampled for
+    #: span recording; ``None`` means no spans are emitted for this job.
+    trace_id: str | None = None
+    #: Span id of the shared engine sweep this job rode (fused/deduped jobs
+    #: point at the same sweep), plus its sibling/lane context.
+    sweep_ref: str | None = None
+    #: Number of other jobs executed in the same engine sweep.
+    sweep_siblings: int = 0
+    #: Lane count of the word/platform batch that executed this job.
+    sweep_lanes: int = 0
     #: Earliest waiter deadline (same clock as the other timestamps), derived
     #: from the request's relative ``deadline`` at enqueue and tightened when
     #: more urgent duplicates join; ``None`` if no waiter carries a deadline.
@@ -152,6 +173,15 @@ class Job:
         if self.finished_at is None:
             return None
         return self.finished_at - self.submitted_at
+
+    def wall_clock(self, monotonic: float) -> float:
+        """Map a ``perf_counter`` reading onto the wall-clock epoch timeline.
+
+        Uses the submission-time anchor, so every timestamp of one job shares
+        a single clock offset and span durations remain exact perf_counter
+        differences (a wall-clock step mid-job cannot skew them).
+        """
+        return self.submitted_wall + (monotonic - self.submitted_at)
 
     def expired(self, now: float | None = None) -> bool:
         """True once the job is useless to every waiter and still unfinished."""

@@ -15,6 +15,7 @@ graphs.  Clients interact with three calls::
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from collections import deque
@@ -31,6 +32,8 @@ from ..errors import (
     SimulationError,
 )
 from ..graph.csr import CSRGraph
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span, Tracer
 from ..traversal.api import run
 from ..traversal.arena import EngineArena
 from ..traversal.bfs import run_bfs
@@ -54,6 +57,11 @@ from .workers import WorkerPool
 #: resolved graph, produce a result.  Pluggable so tests can count executions
 #: or inject failures without touching the real engine.
 Engine = Callable[[TraversalRequest, CSRGraph], TraversalResult]
+
+#: Service-layer logger.  Silent unless the embedding application configures
+#: logging; carries one line per drained batch including the relax backend,
+#: so a silent fallback from the native kernel is visible in production logs.
+logger = logging.getLogger("repro.service")
 
 
 def default_engine(request: TraversalRequest, graph: CSRGraph) -> TraversalResult:
@@ -139,6 +147,16 @@ class Service:
         self._engine_seconds = 0.0
         self._wait_samples: deque[float] = deque(maxlen=self.config.latency_window)
         self._latency_samples: deque[float] = deque(maxlen=self.config.latency_window)
+        #: Span sink for request traces (see :mod:`repro.obs.trace`): bounded
+        #: ring buffer, systematic sampling, ``REPRO_TRACE`` kill switch.
+        self._tracer = Tracer(
+            capacity=self.config.trace_buffer,
+            sample=self.config.trace_sample,
+            enabled=self.config.trace_enabled,
+        )
+        self._sweep_ids = itertools.count(1)
+        self._metrics = MetricsRegistry()
+        self._init_metrics()
         self._started_at = time.perf_counter()
         self._closed = False
 
@@ -165,6 +183,290 @@ class Service:
         if graph is None:
             return None
         return graph.num_vertices, graph.num_edges
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def _init_metrics(self) -> None:
+        """Pre-register every always-on metric series (cheap counter bumps)."""
+        m = self._metrics
+        window = self.config.latency_window
+        self._m_submitted = m.counter(
+            "repro_requests_submitted_total", "Accepted submit() calls."
+        )
+        self._m_outcomes = m.counter(
+            "repro_requests_total",
+            "Requests by terminal outcome (completed / failed / expired).",
+            ("outcome",),
+        )
+        self._m_dedup = m.counter(
+            "repro_requests_deduplicated_total",
+            "Submissions coalesced onto an identical in-flight job.",
+        )
+        self._m_cache_served = m.counter(
+            "repro_requests_cache_served_total",
+            "Submissions answered from the result cache without execution.",
+        )
+        self._m_rejected = m.counter(
+            "repro_requests_rejected_total",
+            "Submissions refused by admission control, by reason.",
+            ("reason",),
+        )
+        self._m_latency = m.summary(
+            "repro_request_latency_seconds",
+            "End-to-end request latency (submission to completion).",
+            window=window,
+        )
+        self._m_wait = m.summary(
+            "repro_queue_wait_seconds",
+            "Queueing delay before execution started.",
+            window=window,
+        )
+        self._m_batches = m.counter(
+            "repro_batches_total", "Batch groups drained by workers."
+        )
+        self._m_executions = m.counter(
+            "repro_executions_total", "Engine invocations (jobs actually run)."
+        )
+        self._m_engine_seconds = m.counter(
+            "repro_engine_seconds_total", "Wall-clock seconds spent inside engines."
+        )
+        self._m_deadlines = m.counter(
+            "repro_deadlines_total",
+            "Deadline-carrying waiter outcomes (met / missed).",
+            ("result",),
+        )
+        self._m_cost_error = m.summary(
+            "repro_costmodel_abs_error_seconds",
+            "Cost model |predicted - actual| engine seconds per observation.",
+            window=window,
+        )
+        self._m_cost_observations = m.counter(
+            "repro_costmodel_observations_total",
+            "Group executions scored against the cost model.",
+        )
+        self._m_kernel_iterations = m.counter(
+            "repro_kernel_iterations_total",
+            "Traversal iterations (simulated kernel launches), per application.",
+            ("app",),
+        )
+        self._m_kernel_vertices = m.counter(
+            "repro_kernel_frontier_vertices_total",
+            "Frontier vertices expanded by engine sweeps, per application.",
+            ("app",),
+        )
+        self._m_kernel_edges = m.counter(
+            "repro_kernel_edges_total",
+            "Edges relaxed/scanned by engine sweeps, per application.",
+            ("app",),
+        )
+        self._m_kernel_candidates = m.counter(
+            "repro_kernel_relax_candidates_total",
+            "(lane, edge) candidates fed to the lane relax kernel, per application.",
+            ("app",),
+        )
+        self._m_kernel_backend = m.counter(
+            "repro_kernel_backend_total",
+            "Engine executions per chosen relax backend.",
+            ("app", "backend"),
+        )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The live metrics registry (always-on counters and summaries)."""
+        return self._metrics
+
+    def collect_metrics(self) -> MetricsRegistry:
+        """Refresh the point-in-time gauges from :meth:`stats` and return the registry."""
+        snapshot = self.stats()
+        m = self._metrics
+        m.gauge("repro_pending_jobs", "Jobs queued, not yet picked up.").set(
+            snapshot.pending
+        )
+        m.gauge("repro_active_workers", "Worker tasks queued or running.").set(
+            snapshot.active_workers
+        )
+        m.gauge("repro_uptime_seconds", "Seconds since service construction.").set(
+            snapshot.uptime_seconds
+        )
+        m.gauge("repro_cache_entries", "Results held by the result cache.").set(
+            snapshot.cache.entries
+        )
+        m.gauge("repro_cache_hit_rate", "Result cache hit rate in [0, 1].").set(
+            snapshot.cache.hit_rate
+        )
+        m.gauge(
+            "repro_costmodel_mean_abs_error_seconds",
+            "Lifetime mean absolute cost-model estimate error.",
+        ).set(snapshot.cost_model.mean_abs_error_seconds)
+        m.gauge(
+            "repro_trace_buffered_spans", "Spans waiting in the trace ring buffer."
+        ).set(len(self._tracer))
+        return m
+
+    def drain_traces(self) -> list[dict]:
+        """Return and clear the buffered spans as JSON-ready dicts (oldest first)."""
+        return [span.to_json() for span in self._tracer.drain()]
+
+    def _observe_cost(self, family, jobs: int, seconds: float) -> None:
+        """Feed the cost model and export the estimate error as a series."""
+        error = self._costmodel.observe(family, jobs, seconds)
+        if error is not None:
+            self._m_cost_error.observe(error)
+            self._m_cost_observations.inc()
+
+    def _record_kernel_counters(self, app: str, metrics_list) -> str | None:
+        """Aggregate engine-level counters into the registry; returns the backend."""
+        backend = None
+        for metrics in metrics_list:
+            counters = getattr(metrics, "counters", None)
+            if counters is None:
+                continue
+            if counters.iterations:
+                self._m_kernel_iterations.inc(counters.iterations, app=app)
+            if counters.frontier_vertices:
+                self._m_kernel_vertices.inc(counters.frontier_vertices, app=app)
+            if counters.edges_traversed:
+                self._m_kernel_edges.inc(counters.edges_traversed, app=app)
+            if counters.relax_candidates:
+                self._m_kernel_candidates.inc(counters.relax_candidates, app=app)
+            if counters.relax_backend:
+                backend = counters.relax_backend
+                self._m_kernel_backend.inc(app=app, backend=backend)
+        return backend
+
+    def _emit_sweep_span(
+        self,
+        jobs: list[Job],
+        started: float,
+        elapsed: float,
+        lanes: int,
+        kind: str,
+        schedule_seconds: float = 0.0,
+        fusion_seconds: float = 0.0,
+        metrics_list=(),
+        error: BaseException | None = None,
+    ) -> None:
+        """Emit one shared ``engine_sweep`` span and link every rider to it.
+
+        All jobs executed by one engine invocation (a multi-source word, a
+        fused streaming pass, or a solo run) share a single sweep span;
+        each job's own ``sweep`` lifecycle span will carry this span's id as
+        ``sweep_ref`` plus its sibling/lane context, which is how "my request
+        rode a 64-lane word with 31 siblings" stays answerable per trace.
+        """
+        sweep_id = None
+        if self._tracer.enabled and any(job.trace_id is not None for job in jobs):
+            sweep_id = f"sweep-{next(self._sweep_ids)}"
+            request = jobs[0].request
+            attrs = {
+                "kind": kind,
+                "graph": request.graph,
+                "application": request.application.value,
+                "jobs": len(jobs),
+                "lanes": lanes,
+                "schedule_seconds": schedule_seconds,
+                "fusion_seconds": fusion_seconds,
+            }
+            iterations = edges = candidates = 0
+            backend = None
+            for metrics in metrics_list:
+                counters = getattr(metrics, "counters", None)
+                if counters is None:
+                    continue
+                iterations += counters.iterations
+                edges += counters.edges_traversed
+                candidates += counters.relax_candidates
+                backend = counters.relax_backend or backend
+            if iterations:
+                attrs["kernel_iterations"] = iterations
+                attrs["kernel_edges"] = edges
+            if candidates:
+                attrs["relax_candidates"] = candidates
+            if backend:
+                attrs["relax_backend"] = backend
+            if error is not None:
+                attrs["error"] = type(error).__name__
+            self._tracer.emit(
+                Span(
+                    trace_id=sweep_id,
+                    span_id=sweep_id,
+                    name="engine_sweep",
+                    start_unix=jobs[0].wall_clock(started),
+                    duration_seconds=elapsed,
+                    attributes=attrs,
+                )
+            )
+        for job in jobs:
+            job.sweep_ref = sweep_id
+            job.sweep_siblings = len(jobs) - 1
+            job.sweep_lanes = lanes
+
+    def _build_job_spans(self, job: Job) -> list[Span]:
+        """Build the four tiling lifecycle spans of one finished, traced job.
+
+        The stage boundaries all come from the job's ``perf_counter``
+        timeline — admission ends at ``enqueued_at``, queueing at
+        ``started_at``, the sweep at ``compute_finished_at`` — so the four
+        durations sum *exactly* to the measured end-to-end latency; missing
+        boundaries (failures, cache hits) collapse their stage to zero
+        instead of breaking the tiling.
+        """
+        submitted = job.submitted_at
+        finished = job.finished_at if job.finished_at is not None else submitted
+
+        def clamp(value: float | None, lo: float) -> float:
+            if value is None:
+                return lo
+            return min(max(value, lo), finished)
+
+        enqueued = clamp(job.enqueued_at, submitted)
+        started = clamp(job.started_at, enqueued)
+        compute = clamp(job.compute_finished_at, started)
+        request = job.request
+        if job.status is JobStatus.DONE:
+            outcome = "completed"
+        elif isinstance(job.error, DeadlineExceededError):
+            outcome = "expired"
+        else:
+            outcome = "failed"
+        trace_id = job.trace_id
+        common = {"job_id": job.job_id}
+        admission_attrs = {
+            **common,
+            "application": request.application.value,
+            "graph": request.graph,
+            "source": request.source,
+            "tenant": request.tenant,
+            "outcome": outcome,
+            "from_cache": job.from_cache,
+            "latency_seconds": finished - submitted,
+        }
+        sweep_attrs = {
+            **common,
+            "siblings": job.sweep_siblings,
+            "lanes": job.sweep_lanes,
+            "from_cache": job.from_cache,
+        }
+        if job.sweep_ref is not None:
+            sweep_attrs["sweep_ref"] = job.sweep_ref
+        stages = (
+            ("admission", submitted, enqueued, admission_attrs),
+            ("queue", enqueued, started, {**common, "policy": self.config.policy}),
+            ("sweep", started, compute, sweep_attrs),
+            ("cache", compute, finished, {**common, "outcome": outcome}),
+        )
+        return [
+            Span(
+                trace_id=trace_id,
+                span_id=self._tracer.next_span_id(),
+                name=name,
+                start_unix=job.wall_clock(begin),
+                duration_seconds=end - begin,
+                attributes=attrs,
+            )
+            for name, begin, end, attrs in stages
+        ]
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -198,6 +500,7 @@ class Service:
             if self._closed:
                 raise ServiceError("service is closed")
             job = Job(job_id=f"job-{next(self._job_ids)}", request=request)
+            job.trace_id = self._tracer.begin()
             # The dedup-index lookup, cache lookup, admission checks and
             # enqueue are one atomic step (see RequestQueue.push_or_join),
             # so while the cache retains the entry an identical request is
@@ -217,20 +520,34 @@ class Service:
                     self._rejected += 1
                     if isinstance(exc, InfeasibleDeadlineError):
                         self._rejected_infeasible += 1
+                self._m_rejected.inc(
+                    reason="infeasible"
+                    if isinstance(exc, InfeasibleDeadlineError)
+                    else "admission"
+                )
                 raise
             with self._lock:
                 self._submitted += 1
+            self._m_submitted.inc()
             if outcome == "joined":
                 with self._lock:
                     self._deduplicated += 1
+                self._m_dedup.inc()
                 return payload
             if outcome == "cached":
+                # Stage boundaries for the trace: admission ends now, the
+                # sweep is zero-width (no engine ran), and the remainder is
+                # completion bookkeeping.
+                job.enqueued_at = time.perf_counter()
                 job.mark_done(payload, from_cache=True)
+                job.compute_finished_at = job.started_at
+                self._m_cache_served.inc()
                 with self._lock:
                     self._completed += 1
                     self._jobs[job.job_id] = job
                     self._note_finished_locked(job)  # also enforces retention
                 return job
+            job.enqueued_at = time.perf_counter()
             with self._lock:
                 self._jobs[job.job_id] = job
                 if job.done:
@@ -296,13 +613,16 @@ class Service:
         Deadlines are judged per *waiter*: a deduplicated job carrying both a
         tight and a patient budget can count one miss and one met.
         """
+        spans: list[Span] = []
         for job in jobs:
             wait = job.wait_seconds
             if wait is not None:
                 self._wait_samples.append(wait)
+                self._m_wait.observe(wait)
             total = job.total_seconds
             if total is not None:
                 self._latency_samples.append(total)
+                self._m_latency.observe(total)
             if job.job_id in self._jobs:
                 self._mark_prunable_locked(job)
             # Per-tenant breakdown, attributed to the job's owning tenant
@@ -314,6 +634,11 @@ class Service:
                 self._tenant_completed[tenant] = (
                     self._tenant_completed.get(tenant, 0) + 1
                 )
+                self._m_outcomes.inc(outcome="completed")
+            elif isinstance(job.error, DeadlineExceededError):
+                self._m_outcomes.inc(outcome="expired")
+            else:
+                self._m_outcomes.inc(outcome="failed")
             if job.met_deadline is False:
                 self._tenant_missed[tenant] = self._tenant_missed.get(tenant, 0) + 1
             finished_at = job.finished_at
@@ -324,8 +649,16 @@ class Service:
                     and finished_at <= deadline_at
                 ):
                     self._deadlines_met += 1
+                    self._m_deadlines.inc(result="met")
                 else:
                     self._deadlines_missed += 1
+                    self._m_deadlines.inc(result="missed")
+            # Terminal state is the one point every lifecycle funnels
+            # through, so sampled jobs emit their tiling spans here.
+            if job.trace_id is not None and self._tracer.enabled:
+                spans.extend(self._build_job_spans(job))
+        if spans:
+            self._tracer.emit_many(spans)
         # Enforce the retention bound at completion time, not merely at the
         # next submit, so an idle server does not hold extra finished jobs.
         self._prune_finished_jobs()
@@ -373,7 +706,11 @@ class Service:
     # Execution (runs on worker threads)
     # ------------------------------------------------------------------ #
     def _drain_one_batch(self) -> None:
+        pick_started = time.perf_counter()
         batch = self._queue.pop_batch()
+        # Schedule-pick cost: the policy's group-selection work, attributed
+        # to the drained batch's sweep span.
+        schedule_seconds = time.perf_counter() - pick_started
         if not batch:
             # Another worker already drained the group this wakeup was for.
             return
@@ -384,6 +721,7 @@ class Service:
             return
         with self._lock:
             self._batches += 1
+        self._m_batches.inc()
         try:
             graph = self.registry.get(batch[0].request.graph)
         except Exception as exc:  # noqa: BLE001 - propagate to every waiter
@@ -395,10 +733,15 @@ class Service:
                 self._note_finished_locked(*batch)
             return
         if self._engine is None:
-            self._execute_builtin(batch, graph)
+            self._execute_builtin(batch, graph, schedule_seconds)
             return
         for job in batch:
-            self._execute_one(job, graph, lambda job: self._engine(job.request, graph))
+            self._execute_one(
+                job,
+                graph,
+                lambda job: self._engine(job.request, graph),
+                schedule_seconds=schedule_seconds,
+            )
 
     def _fail_expired(self, batch: list[Job]) -> list[Job]:
         """Fail the jobs whose deadline lapsed in the queue; return the rest.
@@ -431,30 +774,60 @@ class Service:
             self._note_finished_locked(*expired)
         return live
 
-    def _execute_one(self, job: Job, graph: CSRGraph, runner: Callable) -> None:
+    def _execute_one(
+        self,
+        job: Job,
+        graph: CSRGraph,
+        runner: Callable,
+        schedule_seconds: float = 0.0,
+    ) -> None:
         """Run one job with full bookkeeping and job-level failure isolation."""
         job.mark_running()
         started = time.perf_counter()
         try:
             result = runner(job)
         except Exception as exc:  # noqa: BLE001 - job-level isolation
+            elapsed = time.perf_counter() - started
+            job.compute_finished_at = started + elapsed
+            self._emit_sweep_span(
+                [job], started, elapsed, lanes=1, kind="solo",
+                schedule_seconds=schedule_seconds, error=exc,
+            )
             # Counters first, completion signal second: a client that wakes
             # from result() must already see this job in the stats.
             with self._lock:
                 self._executions += 1
                 self._failed += 1
-                self._engine_seconds += time.perf_counter() - started
+                self._engine_seconds += elapsed
+            self._m_executions.inc()
+            self._m_engine_seconds.inc(elapsed)
             job.mark_failed(exc)
         else:
             elapsed = time.perf_counter() - started
+            job.compute_finished_at = started + elapsed
+            result_metrics = (getattr(result, "metrics", None),)
+            backend = self._record_kernel_counters(
+                job.request.application.value, result_metrics
+            )
+            self._emit_sweep_span(
+                [job], started, elapsed, lanes=1, kind="solo",
+                schedule_seconds=schedule_seconds, metrics_list=result_metrics,
+            )
+            if backend is not None:
+                logger.info(
+                    "executed %s on %s in %.3fs (relax backend: %s)",
+                    job.job_id, graph.name, elapsed, backend,
+                )
             with self._lock:
                 self._executions += 1
                 self._completed += 1
                 self._engine_seconds += elapsed
+            self._m_executions.inc()
+            self._m_engine_seconds.inc(elapsed)
             # Only successful runs feed the cost model: a failure can raise
             # long before any frontier sweep, and that near-zero timing says
             # nothing about what draining this family actually costs.
-            self._costmodel.observe(job.request.batch_key, 1, elapsed)
+            self._observe_cost(job.request.batch_key, 1, elapsed)
             self._cache.put(job.request.cache_key, result)
             job.mark_done(result)
         finally:
@@ -466,7 +839,9 @@ class Service:
             with self._lock:
                 self._note_finished_locked(job)
 
-    def _execute_builtin(self, batch: list[Job], graph: CSRGraph) -> None:
+    def _execute_builtin(
+        self, batch: list[Job], graph: CSRGraph, schedule_seconds: float = 0.0
+    ) -> None:
         """Drain one batch group on the built-in engine path.
 
         BFS/SSSP groups with several distinct sources execute as ONE batched
@@ -488,7 +863,10 @@ class Service:
             )
             if invalid:
                 self._execute_one(
-                    job, graph, lambda job: self._run_leased(job.request, graph)
+                    job,
+                    graph,
+                    lambda job: self._run_leased(job.request, graph),
+                    schedule_seconds=schedule_seconds,
                 )
             else:
                 runnable.append(job)
@@ -500,12 +878,15 @@ class Service:
             # Streaming fusion: this group plus every other pending CC group
             # on the same graph (different strategy/system) execute as lanes
             # of ONE shared algorithm pass.
-            self._execute_streaming(runnable, graph)
+            self._execute_streaming(runnable, graph, schedule_seconds)
             return
         if len(runnable) == 1:
             for job in runnable:
                 self._execute_one(
-                    job, graph, lambda job: self._run_leased(job.request, graph)
+                    job,
+                    graph,
+                    lambda job: self._run_leased(job.request, graph),
+                    schedule_seconds=schedule_seconds,
                 )
             return
 
@@ -523,10 +904,19 @@ class Service:
             )
         except Exception as exc:  # noqa: BLE001 - propagate to every waiter
             elapsed = time.perf_counter() - started
+            now = started + elapsed
+            for job in runnable:
+                job.compute_finished_at = now
+            self._emit_sweep_span(
+                runnable, started, elapsed, lanes=len(runnable), kind="multisource",
+                schedule_seconds=schedule_seconds, error=exc,
+            )
             with self._lock:
                 self._executions += len(runnable)
                 self._failed += len(runnable)
                 self._engine_seconds += elapsed
+            self._m_executions.inc(len(runnable))
+            self._m_engine_seconds.inc(elapsed)
             for job in runnable:
                 job.mark_failed(exc)
                 self._queue.release(job)
@@ -534,13 +924,32 @@ class Service:
                 self._note_finished_locked(*runnable)
             return
         elapsed = time.perf_counter() - started
+        now = started + elapsed
+        for job in runnable:
+            job.compute_finished_at = now
+        # One shared sweep span for the whole word: every rider's per-request
+        # sweep span will point at it via sweep_ref.
+        self._emit_sweep_span(
+            runnable, started, elapsed, lanes=len(runnable), kind="multisource",
+            schedule_seconds=schedule_seconds, metrics_list=outcome.batch_metrics,
+        )
+        backend = self._record_kernel_counters(
+            application.value, outcome.batch_metrics
+        )
+        logger.info(
+            "drained %d %s job(s) on %s in %.3fs (relax backend: %s)",
+            len(runnable), application.value, graph.name, elapsed,
+            backend or "n/a",
+        )
         with self._lock:
             self._executions += len(runnable)
             self._completed += len(runnable)
             self._engine_seconds += elapsed
+        self._m_executions.inc(len(runnable))
+        self._m_engine_seconds.inc(elapsed)
         # One observation per drained group: width + wall-clock seconds is
         # exactly the (per-sweep, per-job) sample the cost model EWMAs want.
-        self._costmodel.observe(request.batch_key, len(runnable), elapsed)
+        self._observe_cost(request.batch_key, len(runnable), elapsed)
         for job, result in zip(runnable, outcome.results):
             self._cache.put(job.request.cache_key, result)
             job.mark_done(result)
@@ -548,7 +957,9 @@ class Service:
         with self._lock:
             self._note_finished_locked(*runnable)
 
-    def _execute_streaming(self, primary: list[Job], graph: CSRGraph) -> None:
+    def _execute_streaming(
+        self, primary: list[Job], graph: CSRGraph, schedule_seconds: float = 0.0
+    ) -> None:
         """Drain a CC group fused with its same-graph sibling groups.
 
         The algorithm pass is engine-independent, so one
@@ -558,6 +969,7 @@ class Service:
         job receives its own lane's result (values shared, metrics per
         platform, both identical to a solo run's).
         """
+        fusion_started = time.perf_counter()
         groups: list[list[Job]] = [primary]
         for sibling in self._queue.pop_sibling_groups(
             primary[0].request.graph, Application.CC.value
@@ -569,6 +981,10 @@ class Service:
                     # Ridden-along groups still count as drained batches so
                     # amortization stays executions-per-sweep.
                     self._batches += 1
+                self._m_batches.inc()
+        # Fusion-grouping cost: sibling-group collection + expiry filtering,
+        # attributed to the fused sweep's span.
+        fusion_seconds = time.perf_counter() - fusion_started
         lanes = [(group[0].request.strategy, group[0].request.system) for group in groups]
         all_jobs = [job for group in groups for job in group]
         for job in all_jobs:
@@ -580,10 +996,20 @@ class Service:
             )
         except Exception as exc:  # noqa: BLE001 - propagate to every waiter
             elapsed = time.perf_counter() - started
+            now = started + elapsed
+            for job in all_jobs:
+                job.compute_finished_at = now
+            self._emit_sweep_span(
+                all_jobs, started, elapsed, lanes=len(groups), kind="streaming",
+                schedule_seconds=schedule_seconds, fusion_seconds=fusion_seconds,
+                error=exc,
+            )
             with self._lock:
                 self._executions += len(all_jobs)
                 self._failed += len(all_jobs)
                 self._engine_seconds += elapsed
+            self._m_executions.inc(len(all_jobs))
+            self._m_engine_seconds.inc(elapsed)
             for job in all_jobs:
                 job.mark_failed(exc)
                 self._queue.release(job)
@@ -591,16 +1017,32 @@ class Service:
                 self._note_finished_locked(*all_jobs)
             return
         elapsed = time.perf_counter() - started
+        now = started + elapsed
+        for job in all_jobs:
+            job.compute_finished_at = now
+        lane_metrics = [result.metrics for result in outcome.results]
+        self._emit_sweep_span(
+            all_jobs, started, elapsed, lanes=len(groups), kind="streaming",
+            schedule_seconds=schedule_seconds, fusion_seconds=fusion_seconds,
+            metrics_list=lane_metrics,
+        )
+        self._record_kernel_counters(Application.CC.value, lane_metrics)
+        logger.info(
+            "drained %d cc job(s) as %d fused lane(s) on %s in %.3fs",
+            len(all_jobs), len(groups), graph.name, elapsed,
+        )
         with self._lock:
             self._executions += len(all_jobs)
             self._completed += len(all_jobs)
             self._engine_seconds += elapsed
+        self._m_executions.inc(len(all_jobs))
+        self._m_engine_seconds.inc(elapsed)
         # Each fused group contributes one cost-model observation; the shared
         # wall-clock is split evenly across lanes (the engine sweeps dominate
         # and every lane sweeps the full stream).
         share = elapsed / len(groups)
         for group, result in zip(groups, outcome.results):
-            self._costmodel.observe(group[0].request.batch_key, len(group), share)
+            self._observe_cost(group[0].request.batch_key, len(group), share)
             for job in group:
                 self._cache.put(job.request.cache_key, result)
                 job.mark_done(result)

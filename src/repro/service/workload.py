@@ -78,6 +78,12 @@ class WorkloadReport:
     rejected: int = 0
     #: The subset of ``rejected`` refused for an unmeetable deadline.
     rejected_infeasible: int = 0
+    #: Spans drained from the service at the end of the run (JSON-ready
+    #: dicts, oldest first; empty when tracing is disabled or sampled out).
+    traces: tuple = ()
+    #: The service's metrics registry with gauges refreshed at run end
+    #: (``None`` only for reports built by legacy callers).
+    metrics: object | None = None
 
     @property
     def requests_per_second(self) -> float:
@@ -133,6 +139,7 @@ def config_from_spec(
     tenant_weights: dict | None = None,
     cost_alpha: float | None = None,
     reject_infeasible: bool | None = None,
+    trace_sample: float | None = None,
 ) -> ServiceConfig:
     """Service knobs from a workload spec, with optional (CLI) overrides."""
     if budget_mib is None:
@@ -151,6 +158,8 @@ def config_from_spec(
         cost_alpha = spec.get("cost_alpha")
     if reject_infeasible is None:
         reject_infeasible = spec.get("reject_infeasible")
+    if trace_sample is None:
+        trace_sample = spec.get("trace_sample")
     # Only forward the knobs that were actually given, so ServiceConfig's
     # own defaults stay the single source of truth.
     extra = {}
@@ -160,6 +169,8 @@ def config_from_spec(
         extra["cost_alpha"] = float(cost_alpha)
     if reject_infeasible is not None:
         extra["reject_infeasible"] = bool(reject_infeasible)
+    if trace_sample is not None:
+        extra["trace_sample"] = float(trace_sample)
     return ServiceConfig(
         max_workers=int(workers if workers is not None else spec.get("workers", 4)),
         registry_budget_bytes=(
@@ -301,6 +312,8 @@ def run_workload(
         stats=service.stats(),
         rejected=rejected,
         rejected_infeasible=rejected_infeasible,
+        traces=tuple(service.drain_traces()),
+        metrics=service.collect_metrics(),
     )
 
 

@@ -14,7 +14,7 @@ from .engine import TraversalEngine
 from .multisource import MultiSourceResult, run_batch, run_bfs_batch, run_sssp_batch
 from .pagerank import PageRankResult, run_pagerank
 from .streaming import StreamingBatchResult, StreamingLane, run_streaming_batch
-from .results import AggregateResult, TraversalMetrics, TraversalResult
+from .results import AggregateResult, KernelCounters, TraversalMetrics, TraversalResult
 from .toy import AccessPattern, ToyResult, run_array_copy, run_uvm_array_scan
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "EngineArena",
     "run_pagerank",
     "PageRankResult",
+    "KernelCounters",
     "TraversalEngine",
     "TraversalMetrics",
     "TraversalResult",

@@ -24,9 +24,10 @@ from ..memsim.metrics import TimingModel, TrafficRecord
 from ..memsim.monitor import PCIeTrafficMonitor
 from ..memsim.uvm import UVMSpace
 from ..memsim.zero_copy import ZeroCopyRegion
+from ..obs.trace import tracing_enabled
 from ..timing import TimeBreakdown
 from ..types import AccessStrategy, MemorySpace, VERTEX_DTYPE
-from .results import TraversalMetrics
+from .results import KernelCounters, TraversalMetrics
 from .strategies import spec_for
 
 #: Allocation names used by the engine.
@@ -63,6 +64,15 @@ class TraversalEngine:
         self.breakdown = TimeBreakdown()
         self.kernels = KernelStats()
         self.iterations = 0
+        #: Relax kernel backend used by this run, noted via ``note_relax``.
+        self.relax_backend: str | None = None
+        self.relax_candidates = 0
+        self._max_frontier = 0
+        # Per-iteration (frontier size, edges touched) log.  Kept only while
+        # tracing is enabled: the totals below are always-on and cheap, the
+        # per-iteration series is the part worth a kill switch.
+        self._detail_enabled = tracing_enabled()
+        self._frontier_log: list[tuple[int, int]] = []
         self._edge_misalign_bytes = edge_misalign_bytes
         self._setup_memory()
 
@@ -157,6 +167,8 @@ class TraversalEngine:
         iteration = TimeBreakdown()
         self.iterations += 1
         if frontier.size == 0:
+            if self._detail_enabled:
+                self._frontier_log.append((0, 0))
             return iteration
         if starts is None or ends is None:
             if frontier.min() < 0 or frontier.max() >= self.graph.num_vertices:
@@ -164,6 +176,10 @@ class TraversalEngine:
             starts = self.graph.offsets[frontier]
             ends = self.graph.offsets[frontier + 1]
         edges_touched = int((ends - starts).sum())
+        if frontier.size > self._max_frontier:
+            self._max_frontier = int(frontier.size)
+        if self._detail_enabled:
+            self._frontier_log.append((int(frontier.size), edges_touched))
 
         self.traffic.vertices_processed += int(frontier.size)
         self.traffic.edges_processed += edges_touched
@@ -259,6 +275,10 @@ class TraversalEngine:
         self.breakdown = TimeBreakdown()
         self.kernels = KernelStats()
         self.iterations = 0
+        self.relax_backend = None
+        self.relax_candidates = 0
+        self._max_frontier = 0
+        self._frontier_log.clear()
         self.monitor.reset()
         self.dram.reset()
         if self.edge_uvm is not None:
@@ -277,6 +297,25 @@ class TraversalEngine:
             total += self.graph.weight_list_bytes
         return total
 
+    def note_relax(self, backend: str, candidates: int) -> None:
+        """Record which relax kernel backend ran and how many candidates it saw."""
+        self.relax_backend = backend
+        self.relax_candidates += int(candidates)
+
+    def counters(self) -> KernelCounters:
+        """Kernel-level counters accumulated so far (see :class:`KernelCounters`)."""
+        log = tuple(self._frontier_log)
+        return KernelCounters(
+            iterations=self.iterations,
+            frontier_vertices=int(self.traffic.vertices_processed),
+            edges_traversed=int(self.traffic.edges_processed),
+            max_frontier=self._max_frontier,
+            frontier_sizes=tuple(size for size, _ in log),
+            edges_per_iteration=tuple(edges for _, edges in log),
+            relax_candidates=self.relax_candidates,
+            relax_backend=self.relax_backend,
+        )
+
     def finalize(self) -> TraversalMetrics:
         """Produce the run-level metrics after the traversal has converged."""
         return TraversalMetrics(
@@ -287,4 +326,5 @@ class TraversalEngine:
             dataset_bytes=self.dataset_bytes,
             strategy=self.strategy,
             system_name=self.system.name,
+            counters=self.counters(),
         )

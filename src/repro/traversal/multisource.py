@@ -61,7 +61,7 @@ from .bfs import UNREACHED, _check_source
 from .engine import TraversalEngine
 from .frontier import frontier_offsets, gather_frontier_destinations
 from .relax import active_lane_mask, make_snapshot, relax_lanes
-from .results import TraversalMetrics, TraversalResult
+from .results import KernelCounters, TraversalMetrics, TraversalResult
 from .sssp import UNREACHABLE
 
 #: Sources packed into one visited word (one bit per source lane).
@@ -205,8 +205,27 @@ def run_batch(
             )
             batch_metrics = engine.finalize()
             outcome.batch_metrics.append(batch_metrics)
+            batch_counters = batch_metrics.counters
             for lane, source in enumerate(word):
                 breakdown = lane_breakdowns[lane]
+                # Per-source kernel counters carry the lane's own iteration
+                # count and its attributed share of the shared sweep's work;
+                # max_frontier is the union frontier's (a batch-level fact),
+                # and the relax backend is shared by construction.
+                lane_counters = KernelCounters(
+                    iterations=int(lane_iterations[lane]),
+                    frontier_vertices=int(
+                        round(batch_counters.frontier_vertices * lane_fractions[lane])
+                    ),
+                    edges_traversed=int(
+                        round(batch_counters.edges_traversed * lane_fractions[lane])
+                    ),
+                    max_frontier=batch_counters.max_frontier,
+                    relax_candidates=int(
+                        round(batch_counters.relax_candidates * lane_fractions[lane])
+                    ),
+                    relax_backend=batch_counters.relax_backend,
+                )
                 metrics = TraversalMetrics(
                     seconds=breakdown.total(),
                     breakdown=breakdown,
@@ -215,6 +234,7 @@ def run_batch(
                     dataset_bytes=engine.dataset_bytes,
                     strategy=strategy,
                     system_name=engine.system.name,
+                    counters=lane_counters,
                 )
                 outcome.results.append(
                     TraversalResult(
@@ -320,6 +340,7 @@ def _sssp_word(
             distances, graph.edges, frontier, starts, ends, active_bits,
             weights=weights, method=relax_method, snapshot=snapshot,
         )
+        engine.note_relax(outcome.method, outcome.candidates)
         attribution.record(
             iteration,
             active_bits,

@@ -86,17 +86,25 @@ class RelaxOutcome:
     that vertex strictly improved (the next frontier, in MS-BFS encoding);
     ``lane_edges`` counts the edges each lane relaxed this sweep (its share of
     the union stream, used for cost attribution); ``active_lanes`` flags the
-    lanes that had at least one frontier vertex.
+    lanes that had at least one frontier vertex; ``method`` names the backend
+    that actually executed the sweep (observability: a silent fallback from
+    the native backend shows up here).
     """
 
     next_bits: np.ndarray
     lane_edges: np.ndarray
     active_lanes: np.ndarray
+    method: str = ""
 
     @property
     def touched(self) -> np.ndarray:
         """Vertices improved by at least one lane (sorted, unique)."""
         return np.flatnonzero(self.next_bits)
+
+    @property
+    def candidates(self) -> int:
+        """Candidate-stream length of this sweep (total (lane, edge) pairs)."""
+        return int(self.lane_edges.sum())
 
 
 def active_lane_mask(active_bits: np.ndarray, lanes: int) -> np.ndarray:
@@ -198,7 +206,7 @@ def relax_lanes(
                 next_bits,
                 lane_edges,
             )
-        return RelaxOutcome(next_bits, lane_edges, active_lanes)
+        return RelaxOutcome(next_bits, lane_edges, active_lanes, method)
 
     flat = values.reshape(-1)
     pair_lane, pair_position = expand_lane_pairs(active_bits, lanes)
@@ -211,7 +219,7 @@ def relax_lanes(
     pair_position = pair_position[populated]
     pair_lengths = pair_lengths[populated]
     if pair_lane.size == 0:
-        return RelaxOutcome(next_bits, lane_edges, active_lanes)
+        return RelaxOutcome(next_bits, lane_edges, active_lanes, method)
 
     # Pre-gather every pair's source value ONCE, before any store: block N's
     # candidates must not observe improvements block N-1 already scattered.
@@ -273,4 +281,4 @@ def relax_lanes(
                 winner_keys // lanes,
                 _ONE << (winner_keys % lanes).astype(np.uint64),
             )
-    return RelaxOutcome(next_bits, lane_edges, active_lanes)
+    return RelaxOutcome(next_bits, lane_edges, active_lanes, method)

@@ -1,0 +1,402 @@
+"""Tests for the observability subsystem: spans, metrics, trace validation.
+
+Covers the pure building blocks (:mod:`repro.obs.trace`,
+:mod:`repro.obs.metrics`, :mod:`repro.obs.check`) and the end-to-end contract
+the serving layer guarantees: every traced request gets four tiling lifecycle
+spans whose durations sum to its measured latency, fused requests point at a
+shared engine sweep span, and kernel counters surface both on results and in
+the Prometheus exposition.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.obs import MetricsRegistry, Span, Tracer, tracing_enabled
+from repro.obs.check import LIFECYCLE_STAGES, check_trace_lines
+from repro.obs.trace import ENV_SWITCH
+from repro.service import GraphRegistry, Job, Service, TraversalRequest
+from repro.service.stats import LatencyStats
+from repro.traversal.api import run
+from repro.traversal.multisource import run_batch
+from repro.types import Application
+
+
+@pytest.fixture
+def registry(random_graph):
+    registry = GraphRegistry()
+    registry.register_graph(random_graph)
+    return registry
+
+
+def make_service(registry, **config_overrides) -> Service:
+    config = ServiceConfig(**{"max_workers": 2, **config_overrides})
+    return Service(registry=registry, config=config)
+
+
+# ---------------------------------------------------------------------- #
+# Kill switch
+# ---------------------------------------------------------------------- #
+class TestTracingEnabled:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv(ENV_SWITCH, raising=False)
+        assert tracing_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "no", " OFF "])
+    def test_falsy_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_SWITCH, value)
+        assert tracing_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", ""])
+    def test_other_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_SWITCH, value)
+        assert tracing_enabled() is True
+
+    def test_explicit_flag_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_SWITCH, "0")
+        assert Tracer(enabled=True).enabled is True
+        monkeypatch.delenv(ENV_SWITCH)
+        assert Tracer(enabled=False).enabled is False
+
+    def test_disabled_tracer_records_nothing(self, monkeypatch):
+        monkeypatch.setenv(ENV_SWITCH, "0")
+        tracer = Tracer()
+        assert tracer.begin() is None
+        tracer.emit(Span("t-1", "s-1", "x", 0.0, 0.0))
+        assert len(tracer) == 0
+
+
+# ---------------------------------------------------------------------- #
+# Tracer: sampling and ring buffer
+# ---------------------------------------------------------------------- #
+class TestTracer:
+    def test_full_sampling_traces_everything(self):
+        tracer = Tracer(sample=1.0, enabled=True)
+        ids = [tracer.begin() for _ in range(5)]
+        assert all(ids)
+        assert len(set(ids)) == 5
+
+    def test_systematic_sampling_is_exact(self):
+        # sample=0.25 must select exactly every 4th request, not a coin flip.
+        tracer = Tracer(sample=0.25, enabled=True)
+        picks = [tracer.begin() is not None for _ in range(40)]
+        assert sum(picks) == 10
+        assert picks == [(i % 4) == 3 for i in range(40)]
+
+    def test_zero_sampling_traces_nothing(self):
+        tracer = Tracer(sample=0.0, enabled=True)
+        assert all(tracer.begin() is None for _ in range(10))
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(capacity=4, enabled=True)
+        spans = [Span("t", f"s{i}", "x", 0.0, 0.0) for i in range(6)]
+        tracer.emit_many(spans)
+        drained = tracer.drain()
+        assert [s.span_id for s in drained] == ["s2", "s3", "s4", "s5"]
+        assert len(tracer) == 0  # drain clears
+        described = tracer.describe()
+        assert described["emitted_spans"] == 6
+        assert described["evicted_spans"] == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(sample=1.5)
+
+    def test_span_jsonl_round_trip(self):
+        span = Span(
+            "req-1", "span-1", "queue", 1.5, 0.25,
+            parent_id="span-0", attributes={"policy": "edf"},
+        )
+        record = json.loads(span.to_jsonl())
+        assert record["trace_id"] == "req-1"
+        assert record["parent_id"] == "span-0"
+        assert record["attributes"] == {"policy": "edf"}
+        bare = Span("req-1", "span-2", "queue", 1.5, 0.25).to_json()
+        assert "parent_id" not in bare and "attributes" not in bare
+
+
+# ---------------------------------------------------------------------- #
+# Metrics registry
+# ---------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labeled_counter_children(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("outcomes", label_names=("outcome",))
+        counter.inc(outcome="completed")
+        counter.inc(outcome="completed")
+        counter.inc(outcome="failed")
+        assert counter.value(outcome="completed") == 2
+        with pytest.raises(ValueError):
+            counter.inc(wrong_label="x")
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("pending")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2
+
+    def test_summary_quantiles_match_latency_stats(self):
+        summary = MetricsRegistry().summary("latency", window=8)
+        samples = [0.1, 0.2, 0.3, 0.4]
+        for sample in samples:
+            summary.observe(sample)
+        stats = summary.snapshot()
+        reference = LatencyStats.from_samples(samples)
+        assert stats.p50_seconds == reference.p50_seconds
+        assert stats.p95_seconds == reference.p95_seconds
+
+    def test_summary_window_bounds_quantiles_but_not_totals(self):
+        summary = MetricsRegistry().summary("latency", window=2)
+        for sample in (1.0, 2.0, 3.0):
+            summary.observe(sample)
+        stats = summary.snapshot()
+        assert stats.count == 2 and stats.max_seconds == 3.0
+        rendered = "\n".join(summary.render_prometheus())
+        assert "latency_sum 6" in rendered
+        assert "latency_count 3" in rendered
+
+    def test_registration_is_idempotent_but_typed(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x", help="a counter")
+        assert registry.counter("x") is first
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.counter("x", label_names=("app",))
+
+    def test_prometheus_rendering_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", help="Requests.", label_names=("app",)).inc(app="bfs")
+        registry.gauge("depth", help="Queue depth.").set(3)
+        registry.summary("wait").observe(0.5)
+        text = registry.render_prometheus()
+        assert "# HELP reqs Requests.\n# TYPE reqs counter" in text
+        assert 'reqs{app="bfs"} 1' in text
+        assert "# TYPE depth gauge\ndepth 3" in text
+        assert 'wait{quantile="0.5"} 0.5' in text
+        assert "wait_count 1" in text
+        assert text.endswith("\n")
+
+    def test_json_rendering_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", label_names=("app",)).inc(app="bfs")
+        registry.gauge("depth").set(3)
+        document = registry.render_json()
+        assert document["reqs"]["kind"] == "counter"
+        assert document["reqs"]["values"] == [
+            {"labels": {"app": "bfs"}, "value": 1.0}
+        ]
+        assert document["depth"]["values"] == 3.0
+
+
+# ---------------------------------------------------------------------- #
+# Kernel counters on results
+# ---------------------------------------------------------------------- #
+class TestKernelCounters:
+    def test_solo_run_reports_counters(self, random_graph):
+        result = run(Application.BFS, random_graph, source=0)
+        counters = result.metrics.counters
+        assert counters is not None
+        assert counters.iterations > 0
+        assert counters.edges_traversed > 0
+        assert counters.max_frontier >= 1
+        assert len(counters.frontier_sizes) == counters.iterations
+        assert sum(counters.edges_per_iteration) == counters.edges_traversed
+
+    def test_kill_switch_drops_per_iteration_detail(self, monkeypatch, random_graph):
+        monkeypatch.setenv(ENV_SWITCH, "0")
+        result = run(Application.BFS, random_graph, source=0)
+        counters = result.metrics.counters
+        # Totals are always-on; only the per-iteration log is gated.
+        assert counters.iterations > 0 and counters.edges_traversed > 0
+        assert counters.frontier_sizes == ()
+
+    def test_batched_sssp_reports_relax_backend(self, random_graph):
+        outcome = run_batch(Application.SSSP, random_graph, sources=(0, 1, 2))
+        for metrics in outcome.batch_metrics:
+            counters = metrics.counters
+            assert counters is not None
+            assert counters.relax_backend in ("native", "scatter", "reduceat")
+            assert counters.relax_candidates > 0
+
+    def test_counters_json_round_trip(self, random_graph):
+        counters = run(Application.CC, random_graph).metrics.counters
+        record = counters.to_json()
+        assert record["iterations"] == counters.iterations
+        assert record["edges_traversed"] == counters.edges_traversed
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end service tracing
+# ---------------------------------------------------------------------- #
+class TestServiceTracing:
+    def test_lifecycle_spans_tile_to_latency(self, registry, random_graph):
+        with make_service(registry) as service:
+            jobs = [
+                service.submit(TraversalRequest("bfs", random_graph.name, source=s))
+                for s in range(4)
+            ]
+            assert service.wait_all(timeout=30)
+            spans = service.drain_traces()
+        by_trace: dict = {}
+        for span in spans:
+            by_trace.setdefault(span["trace_id"], []).append(span)
+        for job in jobs:
+            trace = by_trace[job.trace_id]
+            names = {span["name"] for span in trace}
+            assert names == set(LIFECYCLE_STAGES)
+            total = sum(span["duration_seconds"] for span in trace)
+            assert total == pytest.approx(job.total_seconds, abs=1e-3)
+
+    def test_exported_trace_passes_checker(self, registry, random_graph):
+        with make_service(registry) as service:
+            for source in range(3):
+                service.submit(
+                    TraversalRequest("sssp", random_graph.name, source=source)
+                )
+            service.submit(TraversalRequest("cc", random_graph.name))
+            assert service.wait_all(timeout=30)
+            spans = service.drain_traces()
+        lines = [json.dumps(span) for span in spans]
+        checked, errors = check_trace_lines(lines)
+        assert errors == []
+        assert checked == 4
+
+    def test_checker_flags_broken_traces(self, registry, random_graph):
+        with make_service(registry) as service:
+            service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+            assert service.wait_all(timeout=30)
+            spans = service.drain_traces()
+        # Drop the cache span: the trace no longer tiles its latency.
+        truncated = [s for s in spans if s["name"] != "cache"]
+        _, errors = check_trace_lines([json.dumps(s) for s in truncated])
+        assert any("cache" in error for error in errors)
+        _, errors = check_trace_lines(["{not json"])
+        assert errors
+
+    def test_fused_jobs_share_one_sweep_span(self, registry, random_graph):
+        with make_service(registry) as service:
+            jobs = [
+                Job(job_id=f"fused-{i}", request=request)
+                for i, request in enumerate(
+                    TraversalRequest("bfs", random_graph.name, source=s)
+                    for s in range(3)
+                )
+            ]
+            for job in jobs:
+                job.trace_id = service._tracer.begin()
+                job.enqueued_at = job.submitted_at
+            service._execute_builtin(jobs, random_graph)
+            spans = service.drain_traces()
+        refs = {job.sweep_ref for job in jobs}
+        assert len(refs) == 1 and None not in refs
+        assert all(job.sweep_siblings == 2 for job in jobs)
+        sweeps = [s for s in spans if s["name"] == "engine_sweep"]
+        assert len(sweeps) == 1
+        assert sweeps[0]["span_id"] == jobs[0].sweep_ref
+        assert sweeps[0]["attributes"]["jobs"] == 3
+        per_request = [s for s in spans if s["name"] == "sweep"]
+        assert all(
+            s["attributes"]["sweep_ref"] == jobs[0].sweep_ref for s in per_request
+        )
+
+    def test_trace_sample_zero_emits_no_spans(self, registry, random_graph):
+        with make_service(registry, trace_sample=0.0) as service:
+            service.submit(TraversalRequest("bfs", random_graph.name, source=0))
+            assert service.wait_all(timeout=30)
+            assert service.drain_traces() == []
+
+    def test_env_kill_switch_silences_service(self, monkeypatch, random_graph):
+        monkeypatch.setenv(ENV_SWITCH, "0")
+        registry = GraphRegistry()
+        registry.register_graph(random_graph)
+        with make_service(registry) as service:
+            job = service.submit(
+                TraversalRequest("bfs", random_graph.name, source=0)
+            )
+            assert service.wait_all(timeout=30)
+            assert job.trace_id is None
+            assert service.drain_traces() == []
+
+    def test_wall_clock_anchor(self):
+        job = Job(job_id="j", request=TraversalRequest("cc", "g"))
+        assert job.wall_clock(job.submitted_at) == job.submitted_wall
+        assert job.wall_clock(job.submitted_at + 5.0) == pytest.approx(
+            job.submitted_wall + 5.0
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Service metrics exposition
+# ---------------------------------------------------------------------- #
+class TestServiceMetrics:
+    def test_request_and_kernel_series(self, registry, random_graph):
+        with make_service(registry) as service:
+            for source in range(3):
+                service.submit(
+                    TraversalRequest("bfs", random_graph.name, source=source)
+                )
+            assert service.wait_all(timeout=30)
+            metrics = service.collect_metrics()
+        assert metrics.get("repro_requests_submitted_total").value() == 3
+        assert metrics.get("repro_requests_total").value(outcome="completed") == 3
+        assert metrics.get("repro_kernel_iterations_total").value(app="bfs") > 0
+        assert metrics.get("repro_kernel_edges_total").value(app="bfs") > 0
+        assert metrics.get("repro_costmodel_observations_total").value() > 0
+        text = metrics.render_prometheus()
+        assert "repro_request_latency_seconds_count 3" in text
+        assert "repro_costmodel_abs_error_seconds_count" in text
+
+    def test_backend_counter_from_batched_sssp(self, registry, random_graph):
+        with make_service(registry) as service:
+            jobs = [
+                Job(
+                    job_id=f"sssp-{i}",
+                    request=TraversalRequest("sssp", random_graph.name, source=i),
+                )
+                for i in range(3)
+            ]
+            service._execute_builtin(jobs, random_graph)
+            metrics = service.collect_metrics()
+        backend = jobs[0].result.metrics.counters.relax_backend
+        assert backend in ("native", "scatter", "reduceat")
+        counter = metrics.get("repro_kernel_backend_total")
+        assert counter.value(app="sssp", backend=backend) == 1
+
+    def test_deduplicated_and_outcome_counters(self, registry, random_graph):
+        from repro.service import default_engine
+
+        gate = threading.Event()
+
+        def gated_engine(request, graph):
+            gate.wait(30)  # hold the first job until the duplicate joined
+            return default_engine(request, graph)
+
+        with Service(
+            registry=registry,
+            config=ServiceConfig(max_workers=1),
+            engine=gated_engine,
+        ) as service:
+            request = TraversalRequest("cc", random_graph.name)
+            first = service.submit(request)
+            second = service.submit(request)
+            gate.set()
+            assert service.wait_all(timeout=30)
+            metrics = service.collect_metrics()
+        assert second is first
+        assert metrics.get("repro_requests_submitted_total").value() == 2
+        assert metrics.get("repro_requests_deduplicated_total").value() == 1
+        assert metrics.get("repro_requests_total").value(outcome="completed") == 1
