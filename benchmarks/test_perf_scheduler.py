@@ -50,7 +50,9 @@ def test_edf_meets_deadlines_fifo_misses(results_dir):
     # The artifact this run just wrote must round-trip as valid JSON.
     parsed = json.loads(BENCH_PATH.read_text())
     assert parsed["benchmark"] == "service-scheduling"
-    assert {"workload", "policies", "admission", "summary"} <= set(parsed)
+    assert {"workload", "policies", "admission", "summary", "resilience"} <= set(
+        parsed
+    )
 
     by_policy = {run["policy"]: run for run in report["policies"]}
     assert set(by_policy) == {"fifo", "largest", "edf", "wfq"}
@@ -102,3 +104,11 @@ def test_edf_meets_deadlines_fifo_misses(results_dir):
     assert mt_summary["probe_expired_under_fifo"] is True
     assert mt_by_policy["fifo"]["rejected_infeasible"] == 0
     assert mt_by_policy["fifo"]["expired"] >= 1
+
+    # Resilience substrate: an armed-but-idle fault plan never fired and its
+    # hot-path cost stays recorded in the archived trend.  The 5% gate itself
+    # lives in benchmarks/test_resilience_overhead.py; here the section just
+    # has to be present and internally consistent.
+    resilience = report["resilience"]
+    assert resilience["faults_fired"] == 0
+    assert resilience["armed_idle_ms"] > 0 and resilience["off_ms"] > 0

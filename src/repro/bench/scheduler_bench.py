@@ -14,6 +14,12 @@ urgent group itself), far too short for FIFO to drain the bulk work first.
 A second mini-benchmark fills a bounded queue to show admission control
 shedding load instead of growing the backlog without bound.
 
+The **resilience section** records the cost of the fault-injection substrate
+when it is armed but idle: a plan whose trigger can never fire, timed against
+no plan at all on one bulk batch group, interleaved min-of-N.  The serving
+contract is that chaos drills run against production-shaped configs without
+distorting what they measure, so the armed arm must stay within 5%.
+
 The **multi-tenant scenario** contrasts FIFO with cost-model-driven
 weighted-fair queueing: an aggressive tenant floods the queue with bulk batch
 groups, then a polite tenant submits a handful of small groups.  Under FIFO
@@ -39,7 +45,10 @@ from ..config import SCHEDULING_POLICIES, ServiceConfig
 from ..errors import AdmissionError, InfeasibleDeadlineError
 from ..graph.csr import CSRGraph
 from ..graph.generators import random_weights, rmat_graph
+from ..service import faults
+from ..service.faults import FaultPlan
 from ..service.registry import GraphRegistry
+from ..service.resilience import Cancellation, cancellation_scope
 from ..service.requests import TraversalRequest
 from ..service.service import Service
 from ..service.stats import LatencyStats
@@ -360,6 +369,62 @@ def bench_admission(graph: CSRGraph, queue_limit: int = 4, burst: int = 32) -> d
     }
 
 
+#: Armed-but-idle plan: the nth-call trigger sits far beyond any checkpoint
+#: count the bench reaches, so every probe walks the spec list and declines.
+IDLE_FAULT_SPEC = "seed=1;engine.sweep:transient:n=1000000000"
+#: Armed-but-idle must stay within 5% of faults-off (plus 2ms slack).
+RESILIENCE_OVERHEAD_LIMIT = 0.05
+RESILIENCE_SLACK_SECONDS = 0.002
+
+
+def bench_resilience(
+    graph: CSRGraph, group_sources: int = 8, repetitions: int = 3
+) -> dict:
+    """Armed-but-idle fault-plan overhead on one bulk batch group.
+
+    Interleaved min-of-N with a cancellation token in scope, so the timed
+    path is exactly what a sweep under an armed (but quiet) chaos plan pays:
+    one plan probe plus one token check per frontier iteration.
+    """
+    plan = FaultPlan.from_spec(IDLE_FAULT_SPEC)
+    sources = list(range(group_sources))
+
+    def timed(armed: bool) -> float:
+        token = Cancellation(budget_seconds=3600.0)
+        if armed:
+            faults.activate(plan)
+        try:
+            started = time.perf_counter()
+            with cancellation_scope(token):
+                run_batch(
+                    Application.BFS, graph, sources,
+                    strategy=AccessStrategy.MERGED_ALIGNED,
+                )
+            return time.perf_counter() - started
+        finally:
+            faults.deactivate(plan)
+
+    # Warm both arms once so first-touch allocations bias neither.
+    timed(True)
+    timed(False)
+    armed_times, off_times = [], []
+    for _ in range(repetitions):
+        armed_times.append(timed(True))
+        off_times.append(timed(False))
+    best_on, best_off = min(armed_times), min(off_times)
+    return {
+        "spec": IDLE_FAULT_SPEC,
+        "repetitions": repetitions,
+        "group_sources": group_sources,
+        "armed_idle_ms": 1e3 * best_on,
+        "off_ms": 1e3 * best_off,
+        "overhead_pct": 100.0 * (best_on / best_off - 1.0),
+        "within_limit": best_on
+        <= best_off * (1.0 + RESILIENCE_OVERHEAD_LIMIT) + RESILIENCE_SLACK_SECONDS,
+        "faults_fired": plan.total_fired(),
+    }
+
+
 def bench_scheduler(
     graphs=None,
     policies=SCHEDULING_POLICIES,
@@ -408,6 +473,7 @@ def bench_scheduler(
         "policies": runs,
         "admission": bench_admission(graphs[2]),
         "multi_tenant": multi_tenant,
+        "resilience": bench_resilience(graphs[0]),
         "summary": {
             "fifo_urgent_met": fifo_met,
             "edf_urgent_met": edf_met,
@@ -504,5 +570,15 @@ def format_report(report: dict) -> str:
             f"{'yes' if mt_summary['probe_rejected_under_wfq'] else 'NO'}; "
             f"fifo expired in queue: "
             f"{'yes' if mt_summary['probe_expired_under_fifo'] else 'NO'}"
+        )
+    resilience = report.get("resilience")
+    if resilience is not None:
+        lines.append(
+            "resilience: armed-but-idle faults "
+            f"{resilience['armed_idle_ms']:.1f} ms vs off "
+            f"{resilience['off_ms']:.1f} ms "
+            f"({resilience['overhead_pct']:+.1f}%, "
+            f"{'within' if resilience['within_limit'] else 'OVER'} "
+            f"{100 * RESILIENCE_OVERHEAD_LIMIT:.0f}% limit)"
         )
     return "\n".join(lines)

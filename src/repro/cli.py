@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli serve-batch examples/workload.json --policy edf
     python -m repro.cli trace examples/workload.json --output trace.jsonl
     python -m repro.cli stats examples/workload.json --format prom
+    python -m repro.cli health examples/workload.json --faults 'seed=7;registry.load:transient:n=2:limit=1'
     python -m repro.cli bench-traversal --output BENCH_traversal.json
     python -m repro.cli bench-scheduler --output BENCH_scheduler.json
 """
@@ -137,6 +138,14 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the run's spans as JSONL to PATH ('-' for stdout)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan in REPRO_FAULTS format, e.g. "
+        "'seed=7;registry.load:transient:n=2:limit=2' "
+        "(overrides the workload file and the environment)",
+    )
     return parser
 
 
@@ -208,6 +217,34 @@ def _build_stats_parser() -> argparse.ArgumentParser:
         choices=("prom", "json"),
         default="prom",
         help="exposition format (default: prom)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="abort if the workload does not finish within this many seconds",
+    )
+    return parser
+
+
+def _build_health_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro health",
+        description=(
+            "Run a JSON workload through the traversal service and print a "
+            "resilience-focused health summary: terminal outcomes, retries, "
+            "sweep timeouts, fault isolation, and circuit-breaker state.  "
+            "Exits 1 when the run ended degraded (breaker not closed) or "
+            "with unexpected failures."
+        ),
+    )
+    parser.add_argument("workload", help="path to a workload JSON file")
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan in REPRO_FAULTS format "
+        "(overrides the workload file and the environment)",
     )
     parser.add_argument(
         "--timeout",
@@ -410,6 +447,7 @@ def _serve_batch(argv: list[str]) -> int:
             cost_alpha=args.cost_alpha,
             reject_infeasible=args.reject_infeasible,
             trace_sample=args.trace_sample,
+            fault_plan=args.faults,
         )
     except (OSError, ValueError, ReproError) as exc:
         print(f"serve-batch failed: {exc}", file=sys.stderr)
@@ -421,6 +459,15 @@ def _serve_batch(argv: list[str]) -> int:
         except OSError as exc:
             print(f"serve-batch trace export failed: {exc}", file=sys.stderr)
             return 2
+    # Jobs that reached a terminal FAILED state (permanent faults, retry
+    # budgets exhausted) make the batch itself a failure: chaos drills in CI
+    # rely on this to distinguish "rode out the faults" from "lost requests".
+    if report.stats.failed > 0:
+        print(
+            f"serve-batch: {report.stats.failed} request(s) failed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -459,6 +506,46 @@ def _stats(argv: list[str]) -> int:
     return 0
 
 
+def _health(argv: list[str]) -> int:
+    from .service.workload import serve_workload_file
+
+    args = _build_health_parser().parse_args(argv)
+    try:
+        report = serve_workload_file(
+            args.workload, timeout=args.timeout, fault_plan=args.faults
+        )
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"health failed: {exc}", file=sys.stderr)
+        return 2
+    stats = report.stats
+    terminal = stats.completed + stats.failed
+    healthy = stats.breaker_state == "closed" and stats.failed == 0
+    lines = [
+        "Service health summary",
+        "=" * 55,
+        f"requests            : {report.total_requests} submitted, "
+        f"{stats.deduplicated} coalesced onto in-flight jobs, "
+        f"{terminal} terminal ({stats.completed} completed, "
+        f"{stats.failed} failed, {stats.expired} of those expired in queue)",
+        f"retries             : {stats.retries} "
+        f"(transient loader/sweep failures retried with backoff)",
+        f"sweep timeouts      : {stats.sweep_timeouts} "
+        f"(cancelled at an iteration boundary)",
+        f"fault isolation     : {stats.isolations} fused group(s) "
+        f"re-executed member-by-member",
+        f"native breaker      : {stats.breaker_state} "
+        f"({stats.degraded} sweep(s) served degraded on the numpy backend)",
+        f"faults injected     : {stats.faults_injected}",
+        f"cache errors        : {stats.cache_errors} absorbed "
+        f"(reads degraded to misses, writes dropped)",
+        f"rejected after close: {stats.rejected_after_close}",
+        "-" * 55,
+        f"health: {'ok' if healthy else 'degraded'}",
+    ]
+    print("\n".join(lines))
+    return 0 if healthy else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve-batch":
@@ -467,6 +554,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(argv[1:])
     if argv and argv[0] == "stats":
         return _stats(argv[1:])
+    if argv and argv[0] == "health":
+        return _health(argv[1:])
     if argv and argv[0] == "bench-traversal":
         return _bench_traversal(argv[1:])
     if argv and argv[0] == "bench-scheduler":
@@ -478,6 +567,7 @@ def main(argv: list[str] | None = None) -> int:
         print("serve-batch")
         print("trace")
         print("stats")
+        print("health")
         print("bench-traversal")
         print("bench-scheduler")
         return 0

@@ -351,6 +351,34 @@ class ServiceConfig:
     #: environment variable (enabled unless set to a falsy value), ``False``
     #: disables span recording outright, ``True`` forces it on.
     trace_enabled: bool | None = None
+    #: Fault-injection plan: a :class:`repro.service.faults.FaultPlan`, a
+    #: spec string in the ``REPRO_FAULTS`` format, or ``None`` (in which case
+    #: the service consults the ``REPRO_FAULTS`` environment variable).
+    fault_plan: object | None = None
+    #: Maximum retries (beyond the first attempt) of a graph load or engine
+    #: sweep that failed with a transient
+    #: :class:`~repro.errors.RetryableError`.  ``0`` disables retries.
+    retry_limit: int = 2
+    #: Base of the exponential retry backoff in seconds (doubled per attempt,
+    #: plus up to ``retry_jitter`` relative jitter, clipped to the group's
+    #: nearest request deadline).
+    retry_backoff: float = 0.02
+    #: Relative jitter applied to each backoff delay, in [0, 1].
+    retry_jitter: float = 0.25
+    #: Absolute per-sweep watchdog budget in seconds; a sweep past it raises
+    #: :class:`~repro.errors.SweepTimeoutError` at the next iteration
+    #: boundary.  ``None`` defers to ``sweep_timeout_multiplier``.
+    sweep_timeout: float | None = None
+    #: Cost-model-driven watchdog: budget = multiplier x the model's
+    #: estimated engine seconds for the group (used when ``sweep_timeout`` is
+    #: ``None``; ``None`` disables the watchdog entirely).
+    sweep_timeout_multiplier: float | None = None
+    #: Consecutive native-kernel failures that trip the circuit breaker from
+    #: closed to open (degrading sweeps to the bit-identical numpy backend).
+    breaker_threshold: int = 3
+    #: Seconds the breaker stays open before a half-open probe sweep may try
+    #: the native backend again.
+    breaker_cooldown: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -389,6 +417,37 @@ class ServiceConfig:
             )
         if self.trace_buffer <= 0:
             raise ConfigurationError("trace_buffer must be positive")
+        if self.fault_plan is not None and not (
+            isinstance(self.fault_plan, str)
+            or callable(getattr(self.fault_plan, "check", None))
+        ):
+            # Duck-typed (a FaultPlan exposes .check) so this module never
+            # imports repro.service, which itself imports this module.
+            raise ConfigurationError(
+                "fault_plan must be a FaultPlan, a REPRO_FAULTS spec string, "
+                f"or None, got {self.fault_plan!r}"
+            )
+        if self.retry_limit < 0:
+            raise ConfigurationError("retry_limit cannot be negative")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff cannot be negative")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ConfigurationError(
+                f"retry_jitter must be in [0, 1], got {self.retry_jitter!r}"
+            )
+        if self.sweep_timeout is not None and self.sweep_timeout <= 0:
+            raise ConfigurationError("sweep_timeout must be positive or None")
+        if (
+            self.sweep_timeout_multiplier is not None
+            and self.sweep_timeout_multiplier <= 0
+        ):
+            raise ConfigurationError(
+                "sweep_timeout_multiplier must be positive or None"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 0:
+            raise ConfigurationError("breaker_cooldown cannot be negative")
 
 
 #: PCIe 3.0 x16 as measured in the paper (cudaMemcpy peak ≈ 12.3 GB/s).

@@ -88,3 +88,61 @@ class JobFailedError(ServiceError):
     def __init__(self, message: str, job_id: str | None = None) -> None:
         super().__init__(message)
         self.job_id = job_id
+
+
+class ServiceClosedError(ServiceError):
+    """Work was submitted to (or was still queued in) a closed service.
+
+    Raised by :meth:`repro.service.Service.submit` and
+    :meth:`repro.service.workers.WorkerPool.submit` after shutdown, and set
+    as the terminal result of jobs still queued when
+    ``Service.close(cancel_pending=True)`` drops them — so callers blocked in
+    ``Service.result()`` wake with a definite outcome instead of timing out.
+    """
+
+
+class RetryableError(ServiceError):
+    """A transient serving failure that is safe to retry.
+
+    The drain path retries these with exponential backoff + jitter (see
+    :mod:`repro.service.resilience`), bounded by ``ServiceConfig.retry_limit``
+    and clipped to the request's deadline.  Raise a plain ``ServiceError`` for
+    failures where a retry cannot help.
+    """
+
+
+class FaultInjectedError(ServiceError):
+    """Base of errors raised by the fault-injection substrate.
+
+    Carries the armed :attr:`site` (e.g. ``"registry.load"``) so tests and
+    the chaos harness can assert exactly which injection fired.
+    """
+
+    def __init__(self, message: str, site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class TransientFaultError(FaultInjectedError, RetryableError):
+    """An injected fault that models a recoverable glitch (retryable)."""
+
+
+class PermanentFaultError(FaultInjectedError):
+    """An injected fault that models a hard failure (never retried)."""
+
+
+class SweepTimeoutError(ServiceError):
+    """A traversal sweep overran its budget and was cooperatively cancelled.
+
+    Engines poll a :class:`repro.service.resilience.Cancellation` token at
+    iteration boundaries; when the watchdog budget (absolute or cost-model
+    derived) lapses, the sweep raises this instead of running unbounded.
+    """
+
+
+class NativeBackendError(ReproError):
+    """The runtime-compiled native kernel failed to build, load, or run.
+
+    The serving tier's circuit breaker counts these; after enough consecutive
+    failures it degrades to the bit-identical numpy relaxation backend.
+    """

@@ -27,6 +27,11 @@ from typing import Any
 #: Span names every completed request trace must contain.
 LIFECYCLE_STAGES = ("admission", "queue", "sweep", "cache")
 
+#: Optional span names that may appear any number of times per trace:
+#: ``engine_sweep`` (shared engine invocations) and ``retry`` (one per
+#: backoff wait on the resilience path).
+AUXILIARY_SPANS = ("engine_sweep", "retry")
+
 #: Maximum allowed |sum(stage durations) - measured latency|, in seconds.
 TILE_TOLERANCE_SECONDS = 1e-3
 
@@ -38,6 +43,7 @@ def check_trace_lines(lines: list[str]) -> tuple[int, list[str]]:
     errors: list[str] = []
     traces: dict[str, dict[str, dict[str, Any]]] = defaultdict(dict)
     sweep_span_ids: set[str] = set()
+    retry_refs: list[tuple[int, str, str]] = []
 
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
@@ -58,6 +64,13 @@ def check_trace_lines(lines: list[str]) -> tuple[int, list[str]]:
             )
         if span["name"] == "engine_sweep":
             sweep_span_ids.add(span["span_id"])
+        elif span["name"] == "retry":
+            # Retry spans record backoff waits; they ride a request trace but
+            # are not lifecycle stages (a trace may carry zero or many).  A
+            # sweep_ref, when present, must resolve like any other.
+            ref = span.get("attributes", {}).get("sweep_ref")
+            if ref is not None:
+                retry_refs.append((lineno, span["trace_id"], ref))
         elif span["name"] in LIFECYCLE_STAGES:
             stages = traces[span["trace_id"]]
             if span["name"] in stages:
@@ -92,6 +105,13 @@ def check_trace_lines(lines: list[str]) -> tuple[int, list[str]]:
             errors.append(
                 f"trace {trace_id}: sweep_ref {sweep_ref!r} does not match any "
                 f"engine_sweep span in the file"
+            )
+
+    for lineno, trace_id, ref in retry_refs:
+        if ref not in sweep_span_ids:
+            errors.append(
+                f"line {lineno}: retry span of trace {trace_id} references "
+                f"sweep_ref {ref!r} with no matching engine_sweep span"
             )
 
     return len(traces), errors

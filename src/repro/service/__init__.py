@@ -20,6 +20,12 @@ the serving stacks built over specialized engines:
   (:mod:`repro.service.workers`);
 * :class:`ResultCache` — LRU result reuse with hit/miss accounting
   (:mod:`repro.service.cache`);
+* :class:`FaultPlan` — deterministic fault injection at named sites, armed
+  via ``ServiceConfig(fault_plan=...)`` or ``REPRO_FAULTS``
+  (:mod:`repro.service.faults`);
+* :class:`RetryPolicy` / :class:`Cancellation` / :class:`CircuitBreaker` —
+  backoff retries, cooperative sweep timeouts, and native-backend breaking
+  with bit-identical numpy degradation (:mod:`repro.service.resilience`);
 * :class:`Service` — the front door: ``submit() / result() / stats()``
   (:mod:`repro.service.service`);
 * :func:`serve_workload_file` — declarative JSON workloads, also behind
@@ -27,14 +33,34 @@ the serving stacks built over specialized engines:
 """
 
 from ..config import SCHEDULING_POLICIES, ServiceConfig, normalize_tenant_weights
-from ..errors import AdmissionError, DeadlineExceededError, InfeasibleDeadlineError
+from ..errors import (
+    AdmissionError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    InfeasibleDeadlineError,
+    NativeBackendError,
+    PermanentFaultError,
+    RetryableError,
+    ServiceClosedError,
+    SweepTimeoutError,
+    TransientFaultError,
+)
 from ..obs import MetricsRegistry, Span, Tracer, tracing_enabled
 from .cache import CacheStats, ResultCache
 from .costmodel import CostModel, CostModelStats
+from .faults import FaultPlan, FaultSpec
 from .jobs import Job, JobStatus
 from .queue import RequestQueue
 from .registry import GraphRegistry, RegistryStats
 from .requests import TraversalRequest
+from .resilience import (
+    BREAKER_STATE_CODES,
+    Cancellation,
+    CircuitBreaker,
+    RetryPolicy,
+    cancellation_scope,
+    current_cancellation,
+)
 from .scheduler import (
     EdfPolicy,
     FifoPolicy,
@@ -58,11 +84,24 @@ from .workload import (
 
 __all__ = [
     "AdmissionError",
+    "BREAKER_STATE_CODES",
     "CacheStats",
+    "Cancellation",
+    "CircuitBreaker",
     "CostModel",
     "CostModelStats",
     "DeadlineExceededError",
     "EdfPolicy",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultSpec",
+    "NativeBackendError",
+    "PermanentFaultError",
+    "RetryPolicy",
+    "RetryableError",
+    "ServiceClosedError",
+    "SweepTimeoutError",
+    "TransientFaultError",
     "Engine",
     "FifoPolicy",
     "GraphRegistry",
@@ -90,6 +129,8 @@ __all__ = [
     "make_policy",
     "normalize_tenant_weights",
     "build_service",
+    "cancellation_scope",
+    "current_cancellation",
     "config_from_spec",
     "default_engine",
     "expand_requests",

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..traversal.results import TraversalResult
+from . import faults
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,7 @@ class ResultCache:
         self._evictions = 0
 
     def get(self, key: tuple) -> TraversalResult | None:
+        faults.check("cache.get")
         with self._lock:
             result = self._entries.get(key)
             if result is None:
@@ -61,6 +63,7 @@ class ResultCache:
             return result
 
     def put(self, key: tuple, result: TraversalResult) -> None:
+        faults.check("cache.put")
         if self.max_entries == 0:
             return
         with self._lock:

@@ -19,6 +19,7 @@ from typing import Callable
 from ..errors import ConfigurationError, ServiceError, UnknownGraphError
 from ..graph.csr import CSRGraph
 from ..graph.datasets import load_dataset
+from . import faults
 
 
 @dataclass(frozen=True)
@@ -145,6 +146,10 @@ class GraphRegistry:
             # load failed, the next iteration elects this thread as loader).
             pending.wait()
         try:
+            # Injected loader faults fire exactly where a real loader failure
+            # would: after this thread won the load election, outside the
+            # lock, with the standard failure cleanup (re-election) below.
+            faults.check("registry.load", graph=name)
             graph = loader()
             if not isinstance(graph, CSRGraph):
                 raise ServiceError(

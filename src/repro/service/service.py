@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import random
 import threading
 import time
 from collections import deque
@@ -28,12 +29,17 @@ from ..errors import (
     InfeasibleDeadlineError,
     JobFailedError,
     JobNotFoundError,
+    NativeBackendError,
+    RetryableError,
+    ServiceClosedError,
     ServiceError,
     SimulationError,
+    SweepTimeoutError,
 )
 from ..graph.csr import CSRGraph
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Span, Tracer
+from ..traversal import _native
 from ..traversal.api import run
 from ..traversal.arena import EngineArena
 from ..traversal.bfs import run_bfs
@@ -43,12 +49,21 @@ from ..traversal.results import TraversalResult
 from ..traversal.streaming import run_streaming_batch
 from ..traversal.sssp import run_sssp
 from ..types import Application
+from . import faults
 from .cache import ResultCache
 from .costmodel import CostModel
+from .faults import FaultPlan
 from .jobs import Job, JobStatus
 from .queue import RequestQueue
 from .registry import GraphRegistry
 from .requests import TraversalRequest
+from .resilience import (
+    BREAKER_STATE_CODES,
+    Cancellation,
+    CircuitBreaker,
+    RetryPolicy,
+    cancellation_scope,
+)
 from .scheduler import make_policy
 from .stats import LatencyStats, ServiceStats, TenantStats
 from .workers import WorkerPool
@@ -157,6 +172,38 @@ class Service:
         self._sweep_ids = itertools.count(1)
         self._metrics = MetricsRegistry()
         self._init_metrics()
+        # Resilience substrate: fault plan (explicit, spec string, or the
+        # REPRO_FAULTS environment fallback), retry policy, and the native
+        # circuit breaker.  The plan is activated globally so the hook sites
+        # outside the service (registry, cache, engines, native backend) see
+        # it; close() deactivates it again.
+        plan = self.config.fault_plan
+        if isinstance(plan, str):
+            plan = FaultPlan.from_spec(plan)
+        elif plan is None:
+            plan = FaultPlan.from_env()
+        self._faults = plan
+        if plan is not None:
+            plan.add_listener(self._note_fault)
+            faults.activate(plan)
+        self._retry_policy = RetryPolicy(
+            limit=self.config.retry_limit,
+            backoff_seconds=self.config.retry_backoff,
+            jitter=self.config.retry_jitter,
+        )
+        #: Jitter RNG for retry backoff; seeded so chaos runs replay exactly.
+        self._retry_rng = random.Random(0x5EED)
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_seconds=self.config.breaker_cooldown,
+            on_transition=self._note_breaker_transition,
+        )
+        self._retries = 0
+        self._sweep_timeouts = 0
+        self._isolations = 0
+        self._degraded = 0
+        self._cache_errors = 0
+        self._rejected_closed = 0
         self._started_at = time.perf_counter()
         self._closed = False
 
@@ -270,6 +317,50 @@ class Service:
             "Engine executions per chosen relax backend.",
             ("app", "backend"),
         )
+        self._m_retries = m.counter(
+            "repro_retries_total",
+            "Backoff retries of transient graph-load / sweep failures, by site.",
+            ("site",),
+        )
+        self._m_sweep_timeouts = m.counter(
+            "repro_sweep_timeouts_total",
+            "Sweeps cancelled by the cooperative iteration-boundary watchdog.",
+        )
+        self._m_isolations = m.counter(
+            "repro_fused_isolations_total",
+            "Fused groups re-executed member-by-member after a group failure.",
+        )
+        self._m_degraded = m.counter(
+            "repro_native_degraded_total",
+            "Sweeps served by the numpy relax backend under an open/tripping breaker.",
+        )
+        self._m_breaker_transitions = m.counter(
+            "repro_native_breaker_transitions_total",
+            "Native-backend circuit breaker transitions, by new state.",
+            ("state",),
+        )
+        self._m_faults = m.counter(
+            "repro_faults_injected_total",
+            "Faults fired by the active injection plan, by site.",
+            ("site",),
+        )
+        self._m_cache_errors = m.counter(
+            "repro_cache_errors_total",
+            "Result-cache failures absorbed by the service, by operation.",
+            ("op",),
+        )
+        self._m_rejected_closed = m.counter(
+            "repro_rejected_after_close_total",
+            "Submissions refused because the service was already closed.",
+        )
+
+    def _note_fault(self, site: str) -> None:
+        """Fault-plan listener: export every injected fault as a counter bump."""
+        self._m_faults.inc(site=site)
+
+    def _note_breaker_transition(self, state: str) -> None:
+        self._m_breaker_transitions.inc(state=state)
+        logger.warning("native relax backend circuit breaker -> %s", state)
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -302,6 +393,10 @@ class Service:
         m.gauge(
             "repro_trace_buffered_spans", "Spans waiting in the trace ring buffer."
         ).set(len(self._tracer))
+        m.gauge(
+            "repro_native_breaker_state",
+            "Native relax breaker state (0=closed, 1=half_open, 2=open).",
+        ).set(BREAKER_STATE_CODES[snapshot.breaker_state])
         return m
 
     def drain_traces(self) -> list[dict]:
@@ -346,7 +441,7 @@ class Service:
         fusion_seconds: float = 0.0,
         metrics_list=(),
         error: BaseException | None = None,
-    ) -> None:
+    ) -> str | None:
         """Emit one shared ``engine_sweep`` span and link every rider to it.
 
         All jobs executed by one engine invocation (a multi-source word, a
@@ -401,6 +496,7 @@ class Service:
             job.sweep_ref = sweep_id
             job.sweep_siblings = len(jobs) - 1
             job.sweep_lanes = lanes
+        return sweep_id
 
     def _build_job_spans(self, job: Job) -> list[Span]:
         """Build the four tiling lifecycle spans of one finished, traced job.
@@ -469,6 +565,223 @@ class Service:
         ]
 
     # ------------------------------------------------------------------ #
+    # Resilience helpers
+    # ------------------------------------------------------------------ #
+    def _cache_get_safe(self, key: tuple) -> TraversalResult | None:
+        """Result-cache read that degrades to a miss instead of failing.
+
+        The cache is an accelerator, never a correctness dependency: a
+        request must not fail because its *shortcut* is broken.
+        """
+        try:
+            return self._cache.get(key)
+        except Exception:  # noqa: BLE001 - cache faults degrade to a miss
+            with self._lock:
+                self._cache_errors += 1
+            self._m_cache_errors.inc(op="get")
+            logger.warning("result cache get failed; treating as miss", exc_info=True)
+            return None
+
+    def _cache_put_safe(self, key: tuple, result: TraversalResult) -> None:
+        """Result-cache fill that drops the entry instead of failing the job."""
+        try:
+            self._cache.put(key, result)
+        except Exception:  # noqa: BLE001 - cache faults drop the entry
+            with self._lock:
+                self._cache_errors += 1
+            self._m_cache_errors.inc(op="put")
+            logger.warning("result cache put failed; result not cached", exc_info=True)
+
+    def _check_job_fault(self, job: Job) -> None:
+        """Arm the per-job ``worker.task`` injection site with match context."""
+        faults.check(
+            "worker.task",
+            job=job.job_id,
+            graph=job.request.graph,
+            app=job.request.application.value,
+            source=job.request.source,
+            tenant=job.request.tenant,
+        )
+
+    @staticmethod
+    def _group_deadline(jobs: list[Job]) -> float | None:
+        """Earliest instant past which some member is useless to every waiter."""
+        deadlines = [job.expire_at for job in jobs if job.expire_at is not None]
+        return min(deadlines) if deadlines else None
+
+    def _maybe_retry(
+        self,
+        site: str,
+        jobs: list[Job],
+        attempt: int,
+        exc: BaseException,
+        sweep_ref: str | None = None,
+    ) -> bool:
+        """Decide — and perform — one backoff sleep; True means re-run.
+
+        Only :class:`~repro.errors.RetryableError` qualifies, the attempt
+        budget is ``config.retry_limit`` per drained group, and the backoff
+        is clipped to the group's nearest expiry: a retry that cannot even
+        *start* before every waiter's budget lapses is not attempted.
+        """
+        if not isinstance(exc, RetryableError) or attempt >= self._retry_policy.limit:
+            return False
+        delay = self._retry_policy.delay(attempt, self._retry_rng)
+        deadline = self._group_deadline(jobs)
+        if deadline is not None and time.perf_counter() + delay >= deadline:
+            return False
+        with self._lock:
+            self._retries += 1
+        self._m_retries.inc(site=site)
+        self._emit_retry_span(site, jobs, attempt, delay, exc, sweep_ref)
+        logger.warning(
+            "retrying %s for %d job(s) after %s (attempt %d, backoff %.3fs)",
+            site, len(jobs), type(exc).__name__, attempt + 1, delay,
+        )
+        time.sleep(delay)
+        return True
+
+    def _emit_retry_span(
+        self,
+        site: str,
+        jobs: list[Job],
+        attempt: int,
+        delay: float,
+        exc: BaseException,
+        sweep_ref: str | None,
+    ) -> None:
+        """Record one ``retry`` span (the backoff wait) on a traced waiter."""
+        if not self._tracer.enabled:
+            return
+        traced = next((job for job in jobs if job.trace_id is not None), None)
+        if traced is None:
+            return
+        attrs = {
+            "site": site,
+            "attempt": attempt + 1,
+            "jobs": len(jobs),
+            "error": type(exc).__name__,
+            "backoff_seconds": delay,
+        }
+        if sweep_ref is not None:
+            attrs["sweep_ref"] = sweep_ref
+        self._tracer.emit(
+            Span(
+                trace_id=traced.trace_id,
+                span_id=self._tracer.next_span_id(),
+                name="retry",
+                start_unix=traced.wall_clock(time.perf_counter()),
+                duration_seconds=delay,
+                attributes=attrs,
+            )
+        )
+
+    def _sweep_token(self, family, width: int, label: str) -> Cancellation | None:
+        """Watchdog token for one engine invocation, or None for no budget.
+
+        An absolute ``config.sweep_timeout`` wins; otherwise the budget is
+        ``sweep_timeout_multiplier`` x the cost model's group estimate — so
+        the watchdog tightens as the model learns, and stays off for families
+        the model has never seen (estimate 0 from an unsized graph).
+        """
+        budget = self.config.sweep_timeout
+        if budget is None:
+            multiplier = self.config.sweep_timeout_multiplier
+            if multiplier is None:
+                return None
+            estimate = self._costmodel.estimate_group(family, width)
+            if estimate <= 0:
+                return None
+            budget = multiplier * estimate
+        return Cancellation(budget, label=label)
+
+    def _relax_method(self) -> str | None:
+        """Relaxation backend for this drain, as arbitrated by the breaker.
+
+        ``None`` (engine default) when the native kernel never compiled —
+        the breaker only arbitrates a backend that nominally works.  While
+        closed (or probing half-open) the native kernel is used; while open,
+        the bit-identical "scatter" numpy path serves degraded traffic.
+        """
+        if not _native.available():
+            return None
+        if self._breaker.allow():
+            return "native"
+        return "scatter"
+
+    def _note_degraded(self) -> None:
+        with self._lock:
+            self._degraded += 1
+        self._m_degraded.inc()
+
+    def _classify_failure(self, exc: BaseException) -> None:
+        """Bump failure-class counters for one terminal group/job failure."""
+        if isinstance(exc, SweepTimeoutError):
+            with self._lock:
+                self._sweep_timeouts += 1
+            self._m_sweep_timeouts.inc()
+
+    def _job_runner(self, call: Callable) -> Callable:
+        """Wrap a per-job engine call with the solo resilience ladder.
+
+        Each attempt arms the ``worker.task`` fault site and runs under its
+        own watchdog token; transient failures back off and re-run within
+        the retry budget, everything else propagates to
+        :meth:`_execute_one`'s job-level isolation.
+        """
+
+        def runner(job: Job) -> TraversalResult:
+            attempt = 0
+            while True:
+                self._check_job_fault(job)
+                token = self._sweep_token(job.request.batch_key, 1, "solo sweep")
+                try:
+                    with cancellation_scope(token):
+                        return call(job)
+                except Exception as exc:  # noqa: BLE001 - retry ladder
+                    if self._maybe_retry("sweep", [job], attempt, exc):
+                        attempt += 1
+                        continue
+                    raise
+
+        return runner
+
+    def _fail_group(self, jobs: list[Job], exc: BaseException, now: float) -> None:
+        """Terminally fail every member of a fused group with ``exc``."""
+        for job in jobs:
+            job.compute_finished_at = now
+        self._classify_failure(exc)
+        with self._lock:
+            self._executions += len(jobs)
+            self._failed += len(jobs)
+        self._m_executions.inc(len(jobs))
+        for job in jobs:
+            job.mark_failed(exc)
+            self._queue.release(job)
+        with self._lock:
+            self._note_finished_locked(*jobs)
+
+    def _isolate_group(
+        self, jobs: list[Job], graph: CSRGraph, exc: BaseException, schedule_seconds: float
+    ) -> None:
+        """Fused-group fault isolation: re-execute members one by one, solo.
+
+        A poisoned lane then fails alone — with the *member's* error, not the
+        group's — while its siblings complete with results bit-identical to
+        what the fused pass would have produced.
+        """
+        with self._lock:
+            self._isolations += 1
+        self._m_isolations.inc()
+        logger.warning(
+            "fused %d-job group on %s failed (%s: %s); re-executing members solo",
+            len(jobs), graph.name, type(exc).__name__, exc,
+        )
+        runner = self._job_runner(lambda job: self._run_leased(job.request, graph))
+        for job in jobs:
+            self._execute_one(job, graph, runner, schedule_seconds=schedule_seconds)
+
+    # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
     def submit(self, request: TraversalRequest) -> Job:
@@ -498,7 +811,10 @@ class Service:
         # job can slip into the queue or the pool behind it.
         with self._admission_lock:
             if self._closed:
-                raise ServiceError("service is closed")
+                with self._lock:
+                    self._rejected_closed += 1
+                self._m_rejected_closed.inc()
+                raise ServiceClosedError("service is closed")
             job = Job(job_id=f"job-{next(self._job_ids)}", request=request)
             job.trace_id = self._tracer.begin()
             # The dedup-index lookup, cache lookup, admission checks and
@@ -509,7 +825,7 @@ class Service:
             try:
                 outcome, payload = self._queue.push_or_join(
                     job,
-                    cache_lookup=self._cache.get,
+                    cache_lookup=self._cache_get_safe,
                     queue_limit=self.config.queue_limit,
                     tenant_quota=self.config.tenant_quota,
                     reject_infeasible=self.config.reject_infeasible,
@@ -706,14 +1022,40 @@ class Service:
     # Execution (runs on worker threads)
     # ------------------------------------------------------------------ #
     def _drain_one_batch(self) -> None:
+        """One worker wakeup: pick a group, drain it, never strand a job.
+
+        The catch-all exists because the future this runs in is never
+        awaited — an exception escaping a drain would strand every popped
+        job (each waiter blocking until its timeout) while the worker moved
+        on.  Jobs the inner path already finished keep their outcome; the
+        rest fail with the escaped error.
+        """
         pick_started = time.perf_counter()
-        batch = self._queue.pop_batch()
+        try:
+            batch = self._queue.pop_batch()
+        except Exception:  # noqa: BLE001 - keep the drain loop alive
+            logger.exception("scheduler failed to pick a batch group")
+            return
         # Schedule-pick cost: the policy's group-selection work, attributed
         # to the drained batch's sweep span.
         schedule_seconds = time.perf_counter() - pick_started
         if not batch:
             # Another worker already drained the group this wakeup was for.
             return
+        try:
+            self._drain_batch(batch, schedule_seconds)
+        except Exception as exc:  # noqa: BLE001 - never strand popped jobs
+            logger.exception("batch drain failed outside job-level isolation")
+            stranded = [job for job in batch if not job.done]
+            for job in stranded:
+                job.mark_failed(exc)
+                self._queue.release(job)
+            if stranded:
+                with self._lock:
+                    self._failed += len(stranded)
+                    self._note_finished_locked(*stranded)
+
+    def _drain_batch(self, batch: list[Job], schedule_seconds: float) -> None:
         batch = self._fail_expired(batch)
         if not batch:
             # Fully expired groups never reach an engine sweep, so they do
@@ -722,26 +1064,29 @@ class Service:
         with self._lock:
             self._batches += 1
         self._m_batches.inc()
-        try:
-            graph = self.registry.get(batch[0].request.graph)
-        except Exception as exc:  # noqa: BLE001 - propagate to every waiter
-            for job in batch:
-                job.mark_failed(exc)
-                self._queue.release(job)
-            with self._lock:
-                self._failed += len(batch)
-                self._note_finished_locked(*batch)
-            return
+        graph_name = batch[0].request.graph
+        attempt = 0
+        while True:
+            try:
+                graph = self.registry.get(graph_name)
+            except Exception as exc:  # noqa: BLE001 - retry, then every waiter
+                if self._maybe_retry("registry", batch, attempt, exc):
+                    attempt += 1
+                    continue
+                for job in batch:
+                    job.mark_failed(exc)
+                    self._queue.release(job)
+                with self._lock:
+                    self._failed += len(batch)
+                    self._note_finished_locked(*batch)
+                return
+            break
         if self._engine is None:
             self._execute_builtin(batch, graph, schedule_seconds)
             return
+        runner = self._job_runner(lambda job: self._engine(job.request, graph))
         for job in batch:
-            self._execute_one(
-                job,
-                graph,
-                lambda job: self._engine(job.request, graph),
-                schedule_seconds=schedule_seconds,
-            )
+            self._execute_one(job, graph, runner, schedule_seconds=schedule_seconds)
 
     def _fail_expired(self, batch: list[Job]) -> list[Job]:
         """Fail the jobs whose deadline lapsed in the queue; return the rest.
@@ -793,6 +1138,7 @@ class Service:
                 [job], started, elapsed, lanes=1, kind="solo",
                 schedule_seconds=schedule_seconds, error=exc,
             )
+            self._classify_failure(exc)
             # Counters first, completion signal second: a client that wakes
             # from result() must already see this job in the stats.
             with self._lock:
@@ -828,7 +1174,7 @@ class Service:
             # long before any frontier sweep, and that near-zero timing says
             # nothing about what draining this family actually costs.
             self._observe_cost(job.request.batch_key, 1, elapsed)
-            self._cache.put(job.request.cache_key, result)
+            self._cache_put_safe(job.request.cache_key, result)
             job.mark_done(result)
         finally:
             # Release only after the cache holds the result, so identical
@@ -865,7 +1211,7 @@ class Service:
                 self._execute_one(
                     job,
                     graph,
-                    lambda job: self._run_leased(job.request, graph),
+                    self._job_runner(lambda job: self._run_leased(job.request, graph)),
                     schedule_seconds=schedule_seconds,
                 )
             else:
@@ -885,44 +1231,70 @@ class Service:
                 self._execute_one(
                     job,
                     graph,
-                    lambda job: self._run_leased(job.request, graph),
+                    self._job_runner(lambda job: self._run_leased(job.request, graph)),
                     schedule_seconds=schedule_seconds,
                 )
             return
 
         for job in runnable:
             job.mark_running()
-        started = time.perf_counter()
-        try:
-            outcome = run_batch(
-                application,
-                graph,
-                [job.request.source for job in runnable],
-                strategy=request.strategy,
-                system=request.system,
-                arena=self._arena,
+        relax_method = self._relax_method()
+        if relax_method == "scatter":
+            # Breaker already open: the whole drain is served degraded.
+            self._note_degraded()
+        attempt = 0
+        while True:
+            started = time.perf_counter()
+            token = self._sweep_token(
+                request.batch_key, len(runnable), "multisource sweep"
             )
-        except Exception as exc:  # noqa: BLE001 - propagate to every waiter
-            elapsed = time.perf_counter() - started
-            now = started + elapsed
-            for job in runnable:
-                job.compute_finished_at = now
-            self._emit_sweep_span(
-                runnable, started, elapsed, lanes=len(runnable), kind="multisource",
-                schedule_seconds=schedule_seconds, error=exc,
-            )
-            with self._lock:
-                self._executions += len(runnable)
-                self._failed += len(runnable)
-                self._engine_seconds += elapsed
-            self._m_executions.inc(len(runnable))
-            self._m_engine_seconds.inc(elapsed)
-            for job in runnable:
-                job.mark_failed(exc)
-                self._queue.release(job)
-            with self._lock:
-                self._note_finished_locked(*runnable)
-            return
+            try:
+                for job in runnable:
+                    self._check_job_fault(job)
+                with cancellation_scope(token):
+                    outcome = run_batch(
+                        application,
+                        graph,
+                        [job.request.source for job in runnable],
+                        strategy=request.strategy,
+                        system=request.system,
+                        arena=self._arena,
+                        relax_method=relax_method,
+                    )
+            except Exception as exc:  # noqa: BLE001 - resilience ladder below
+                elapsed = time.perf_counter() - started
+                with self._lock:
+                    self._engine_seconds += elapsed
+                self._m_engine_seconds.inc(elapsed)
+                sweep_ref = self._emit_sweep_span(
+                    runnable, started, elapsed, lanes=len(runnable),
+                    kind="multisource", schedule_seconds=schedule_seconds,
+                    error=exc,
+                )
+                if isinstance(exc, NativeBackendError) and relax_method == "native":
+                    # Breaker ladder: count the failure (opening the breaker
+                    # at the threshold) and immediately re-run this drain on
+                    # the bit-identical numpy backend — the clients see the
+                    # same values, just a slower sweep.
+                    self._breaker.record_failure()
+                    relax_method = "scatter"
+                    self._note_degraded()
+                    logger.warning(
+                        "native relax kernel failed (%s); re-running drain "
+                        "on the scatter backend", exc,
+                    )
+                    continue
+                if self._maybe_retry("sweep", runnable, attempt, exc, sweep_ref):
+                    attempt += 1
+                    continue
+                if len(runnable) > 1:
+                    self._isolate_group(runnable, graph, exc, schedule_seconds)
+                    return
+                self._fail_group(runnable, exc, started + elapsed)
+                return
+            break
+        if relax_method == "native":
+            self._breaker.record_success()
         elapsed = time.perf_counter() - started
         now = started + elapsed
         for job in runnable:
@@ -951,7 +1323,7 @@ class Service:
         # exactly the (per-sweep, per-job) sample the cost model EWMAs want.
         self._observe_cost(request.batch_key, len(runnable), elapsed)
         for job, result in zip(runnable, outcome.results):
-            self._cache.put(job.request.cache_key, result)
+            self._cache_put_safe(job.request.cache_key, result)
             job.mark_done(result)
             self._queue.release(job)
         with self._lock:
@@ -989,33 +1361,38 @@ class Service:
         all_jobs = [job for group in groups for job in group]
         for job in all_jobs:
             job.mark_running()
-        started = time.perf_counter()
-        try:
-            outcome = run_streaming_batch(
-                Application.CC, graph, lanes, arena=self._arena
+        attempt = 0
+        while True:
+            started = time.perf_counter()
+            token = self._sweep_token(
+                primary[0].request.batch_key, len(all_jobs), "streaming sweep"
             )
-        except Exception as exc:  # noqa: BLE001 - propagate to every waiter
-            elapsed = time.perf_counter() - started
-            now = started + elapsed
-            for job in all_jobs:
-                job.compute_finished_at = now
-            self._emit_sweep_span(
-                all_jobs, started, elapsed, lanes=len(groups), kind="streaming",
-                schedule_seconds=schedule_seconds, fusion_seconds=fusion_seconds,
-                error=exc,
-            )
-            with self._lock:
-                self._executions += len(all_jobs)
-                self._failed += len(all_jobs)
-                self._engine_seconds += elapsed
-            self._m_executions.inc(len(all_jobs))
-            self._m_engine_seconds.inc(elapsed)
-            for job in all_jobs:
-                job.mark_failed(exc)
-                self._queue.release(job)
-            with self._lock:
-                self._note_finished_locked(*all_jobs)
-            return
+            try:
+                for job in all_jobs:
+                    self._check_job_fault(job)
+                with cancellation_scope(token):
+                    outcome = run_streaming_batch(
+                        Application.CC, graph, lanes, arena=self._arena
+                    )
+            except Exception as exc:  # noqa: BLE001 - resilience ladder below
+                elapsed = time.perf_counter() - started
+                with self._lock:
+                    self._engine_seconds += elapsed
+                self._m_engine_seconds.inc(elapsed)
+                sweep_ref = self._emit_sweep_span(
+                    all_jobs, started, elapsed, lanes=len(groups), kind="streaming",
+                    schedule_seconds=schedule_seconds, fusion_seconds=fusion_seconds,
+                    error=exc,
+                )
+                if self._maybe_retry("sweep", all_jobs, attempt, exc, sweep_ref):
+                    attempt += 1
+                    continue
+                if len(all_jobs) > 1:
+                    self._isolate_group(all_jobs, graph, exc, schedule_seconds)
+                    return
+                self._fail_group(all_jobs, exc, started + elapsed)
+                return
+            break
         elapsed = time.perf_counter() - started
         now = started + elapsed
         for job in all_jobs:
@@ -1044,7 +1421,7 @@ class Service:
         for group, result in zip(groups, outcome.results):
             self._observe_cost(group[0].request.batch_key, len(group), share)
             for job in group:
-                self._cache.put(job.request.cache_key, result)
+                self._cache_put_safe(job.request.cache_key, result)
                 job.mark_done(result)
                 self._queue.release(job)
         with self._lock:
@@ -1126,6 +1503,18 @@ class Service:
                         key=lambda t: (t is None, t),
                     )
                 },
+                retries=self._retries,
+                sweep_timeouts=self._sweep_timeouts,
+                isolations=self._isolations,
+                degraded=self._degraded,
+                breaker_state=self._breaker.snapshot()["state"],
+                rejected_after_close=(
+                    self._rejected_closed + self._pool.rejected_after_close
+                ),
+                faults_injected=(
+                    self._faults.total_fired() if self._faults is not None else 0
+                ),
+                cache_errors=self._cache_errors,
             )
 
     def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
@@ -1144,13 +1533,20 @@ class Service:
         with self._admission_lock:
             self._closed = True
         self._pool.shutdown(wait=wait, cancel_pending=cancel_pending)
+        # Deactivate the fault plan only after the pool drained, so in-flight
+        # batches keep seeing injected faults; idempotent if another service
+        # (or a test) already swapped the active plan.
+        if self._faults is not None:
+            faults.deactivate(self._faults)
         if not cancel_pending:
             return
         while True:
             batch = self._queue.pop_batch()
             if not batch:
                 return
-            exc = ServiceError("service closed before the job was executed")
+            # Terminal, typed failure: waiters blocked in result() observe
+            # ServiceClosedError instead of hanging until their timeout.
+            exc = ServiceClosedError("service closed before the job was executed")
             for job in batch:
                 job.mark_failed(exc)
                 self._queue.release(job)

@@ -126,6 +126,25 @@ class ServiceStats:
     cost_model: CostModelStats = field(default_factory=CostModelStats)
     #: Per-tenant completed/missed breakdown (``None`` = anonymous traffic).
     tenants: Mapping[str | None, TenantStats] = field(default_factory=dict)
+    #: Backoff retries of transient graph-load / sweep failures.
+    retries: int = 0
+    #: Sweeps cancelled by the cooperative watchdog (SweepTimeoutError).
+    sweep_timeouts: int = 0
+    #: Fused multisource/streaming groups whose members were re-executed solo
+    #: after a group failure (fault isolation).
+    isolations: int = 0
+    #: Sweeps served by the numpy relaxation backend because the native
+    #: circuit breaker was open or tripping (values stay bit-identical).
+    degraded: int = 0
+    #: Native-backend circuit breaker state: closed / half_open / open.
+    breaker_state: str = "closed"
+    #: Submissions refused because the service or its pool was already closed.
+    rejected_after_close: int = 0
+    #: Faults fired by the active fault-injection plan (0 without a plan).
+    faults_injected: int = 0
+    #: Result-cache get/put failures absorbed by the service (a failing read
+    #: is a miss, a failing write is dropped; requests never fail on these).
+    cache_errors: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -178,6 +197,12 @@ class ServiceStats:
             f"{self.registry.resident_graphs} resident "
             f"({self.registry.resident_bytes} simulated bytes, "
             f"{self.registry.pinned_bytes} pinned by loader closures)",
+            f"resilience: {self.retries} retries, {self.sweep_timeouts} sweep "
+            f"timeouts, {self.isolations} fused groups isolated, "
+            f"{self.degraded} degraded sweeps, breaker {self.breaker_state}, "
+            f"{self.rejected_after_close} rejected after close, "
+            f"{self.faults_injected} faults injected, "
+            f"{self.cache_errors} cache errors absorbed",
         ]
         if self.tenants:
             lines.append(

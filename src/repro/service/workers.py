@@ -13,7 +13,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable
 
-from ..errors import ConfigurationError, ServiceError
+from ..errors import ConfigurationError, ServiceClosedError
 
 
 class WorkerPool:
@@ -29,20 +29,28 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._active = 0
         self._dispatched = 0
+        self._rejected = 0
         self._closed = False
 
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
-        """Schedule ``fn(*args, **kwargs)`` on the pool."""
+        """Schedule ``fn(*args, **kwargs)`` on the pool.
+
+        After :meth:`shutdown` this raises :class:`ServiceClosedError` (a
+        ``ServiceError``) rather than the executor's bare ``RuntimeError``,
+        and the refusal is counted for the stats snapshot.
+        """
         # The closed check and the executor submit happen under one lock so a
         # concurrent shutdown() cannot slip between them; any residual
-        # executor-level refusal surfaces as the same ServiceError.
+        # executor-level refusal surfaces as the same ServiceClosedError.
         with self._lock:
             if self._closed:
-                raise ServiceError("worker pool is shut down")
+                self._rejected += 1
+                raise ServiceClosedError("worker pool is shut down")
             try:
                 future = self._executor.submit(fn, *args, **kwargs)
             except RuntimeError as exc:
-                raise ServiceError("worker pool is shut down") from exc
+                self._rejected += 1
+                raise ServiceClosedError("worker pool is shut down") from exc
             self._active += 1
             self._dispatched += 1
         # The decrement lives in a done-callback, not a wrapper around ``fn``:
@@ -70,6 +78,12 @@ class WorkerPool:
         """Total tasks ever submitted to the pool."""
         with self._lock:
             return self._dispatched
+
+    @property
+    def rejected_after_close(self) -> int:
+        """Submissions refused because the pool was already shut down."""
+        with self._lock:
+            return self._rejected
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop the pool; ``cancel_pending`` drops tasks not yet started."""

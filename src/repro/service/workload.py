@@ -31,6 +31,11 @@ unmeetable at arrival) configure the service, and per-request ``deadline``
 (seconds) / ``tenant`` mark entries for deadline-aware ordering and
 per-tenant accounting.  Submissions shed by admission control are reported,
 not fatal.
+
+Resilience knobs ride the same way: top-level ``fault_plan`` (a
+``REPRO_FAULTS``-format spec string, see :mod:`repro.service.faults`),
+``retry_limit``, ``sweep_timeout`` / ``sweep_timeout_multiplier``, and
+``breaker_threshold`` / ``breaker_cooldown``.
 """
 
 from __future__ import annotations
@@ -41,7 +46,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..config import ServiceConfig
-from ..errors import AdmissionError, InfeasibleDeadlineError, ServiceError
+from ..errors import (
+    AdmissionError,
+    InfeasibleDeadlineError,
+    RetryableError,
+    ServiceError,
+)
 from ..graph.datasets import get_spec, pick_sources
 from ..graph.generators import (
     powerlaw_graph,
@@ -140,6 +150,12 @@ def config_from_spec(
     cost_alpha: float | None = None,
     reject_infeasible: bool | None = None,
     trace_sample: float | None = None,
+    fault_plan: str | None = None,
+    retry_limit: int | None = None,
+    sweep_timeout: float | None = None,
+    sweep_timeout_multiplier: float | None = None,
+    breaker_threshold: int | None = None,
+    breaker_cooldown: float | None = None,
 ) -> ServiceConfig:
     """Service knobs from a workload spec, with optional (CLI) overrides."""
     if budget_mib is None:
@@ -160,6 +176,18 @@ def config_from_spec(
         reject_infeasible = spec.get("reject_infeasible")
     if trace_sample is None:
         trace_sample = spec.get("trace_sample")
+    if fault_plan is None:
+        fault_plan = spec.get("fault_plan")
+    if retry_limit is None:
+        retry_limit = spec.get("retry_limit")
+    if sweep_timeout is None:
+        sweep_timeout = spec.get("sweep_timeout")
+    if sweep_timeout_multiplier is None:
+        sweep_timeout_multiplier = spec.get("sweep_timeout_multiplier")
+    if breaker_threshold is None:
+        breaker_threshold = spec.get("breaker_threshold")
+    if breaker_cooldown is None:
+        breaker_cooldown = spec.get("breaker_cooldown")
     # Only forward the knobs that were actually given, so ServiceConfig's
     # own defaults stay the single source of truth.
     extra = {}
@@ -171,6 +199,18 @@ def config_from_spec(
         extra["reject_infeasible"] = bool(reject_infeasible)
     if trace_sample is not None:
         extra["trace_sample"] = float(trace_sample)
+    if fault_plan is not None:
+        extra["fault_plan"] = str(fault_plan)
+    if retry_limit is not None:
+        extra["retry_limit"] = int(retry_limit)
+    if sweep_timeout is not None:
+        extra["sweep_timeout"] = float(sweep_timeout)
+    if sweep_timeout_multiplier is not None:
+        extra["sweep_timeout_multiplier"] = float(sweep_timeout_multiplier)
+    if breaker_threshold is not None:
+        extra["breaker_threshold"] = int(breaker_threshold)
+    if breaker_cooldown is not None:
+        extra["breaker_cooldown"] = float(breaker_cooldown)
     return ServiceConfig(
         max_workers=int(workers if workers is not None else spec.get("workers", 4)),
         registry_budget_bytes=(
@@ -233,6 +273,30 @@ def _register_graph(service: Service, entry: dict) -> None:
     raise ServiceError(f"graph entry needs 'dataset' or 'generator': {entry!r}")
 
 
+def _get_graph_for_sampling(service: Service, graph: str):
+    """Resolve a graph for source sampling, riding out transient loads.
+
+    Source sampling runs at workload-setup time, before any request enters
+    the drain loop's retry machinery — so a transient registry fault (a
+    chaos drill, a storage hiccup) gets the same bounded retry treatment
+    here instead of aborting the whole run.
+    """
+    attempt = 0
+    while True:
+        try:
+            return service.registry.get(graph)
+        except RetryableError:
+            attempt += 1
+            if attempt > _SAMPLING_RETRY_LIMIT:
+                raise
+            time.sleep(_SAMPLING_RETRY_BACKOFF * attempt)
+
+
+#: Bounded retries for setup-time graph resolution (see above).
+_SAMPLING_RETRY_LIMIT = 3
+_SAMPLING_RETRY_BACKOFF = 0.02
+
+
 def expand_requests(service: Service, spec: dict) -> list[TraversalRequest]:
     """Expand the workload's request entries into concrete requests."""
     requests: list[TraversalRequest] = []
@@ -249,7 +313,7 @@ def expand_requests(service: Service, spec: dict) -> list[TraversalRequest]:
             sources = [int(s) for s in entry["sources"]]
         elif "random_sources" in entry:
             picked = pick_sources(
-                service.registry.get(graph),
+                _get_graph_for_sampling(service, graph),
                 int(entry["random_sources"]),
                 seed=int(entry.get("seed", 42)),
             )

@@ -34,6 +34,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..errors import NativeBackendError
+
 #: Environment switch: set REPRO_NATIVE=0 to force the numpy kernel.
 _ENV_SWITCH = "REPRO_NATIVE"
 
@@ -115,6 +117,37 @@ _lock = threading.Lock()
 _library: ctypes.CDLL | None = None
 _status: str | None = None  # None = not yet probed
 
+_fault_check = None
+
+
+def _check_fault(site: str) -> None:
+    """Fire any armed ``native.compile`` / ``native.invoke`` fault.
+
+    Lazily bound like the engine's iteration checkpoint: importing
+    ``repro.service`` at module scope would be circular (the service package
+    imports the traversal API, which imports this module via the relax
+    kernel).
+    """
+    global _fault_check
+    if _fault_check is None:
+        from ..service.faults import check
+
+        _fault_check = check
+    _fault_check(site)
+
+
+def reset_probe() -> None:
+    """Forget the cached build/load outcome so the next call re-probes.
+
+    Used by the circuit breaker's tests and chaos harness: after an injected
+    compile failure poisons the cached status, this restores the healthy
+    backend without restarting the process.
+    """
+    global _library, _status
+    with _lock:
+        _library = None
+        _status = None
+
 
 def _cache_dir() -> Path:
     override = os.environ.get(_ENV_CACHE_DIR)
@@ -135,6 +168,10 @@ def _build() -> tuple[ctypes.CDLL | None, str]:
     """Compile (or reuse) the shared object; returns (library, status)."""
     if os.environ.get(_ENV_SWITCH, "1").strip().lower() in ("0", "false", "off", "no"):
         return None, "disabled via REPRO_NATIVE"
+    try:
+        _check_fault("native.compile")
+    except Exception as exc:
+        return None, f"compile failed: {exc}"
     compiler = _compiler()
     if compiler is None:
         return None, "no C compiler on PATH"
@@ -222,23 +259,34 @@ def relax_word(
     guarantees contiguity and dtypes (this is the kernel's private fast path,
     fronted by :func:`repro.traversal.relax.relax_lanes`).
     """
+    try:
+        _check_fault("native.invoke")
+    except Exception as exc:
+        # Injected invoke faults surface as the same error class as real
+        # kernel failures so the circuit breaker cannot tell them apart.
+        raise NativeBackendError(f"native relaxation kernel failed: {exc}") from exc
     library = _ensure_loaded()
-    if library is None:  # pragma: no cover - callers check available() first
-        raise RuntimeError(f"native relaxation kernel unavailable: {status()}")
-    lanes = values.shape[1]
-    return int(
-        library.repro_relax_word(
-            frontier,
-            active_bits,
-            starts,
-            ends,
-            frontier.size,
-            edges,
-            weights.ctypes.data if weights is not None else None,
-            values.reshape(-1),
-            snapshot.reshape(-1),
-            next_bits,
-            lane_edges,
-            lanes,
+    if library is None:
+        raise NativeBackendError(
+            f"native relaxation kernel unavailable: {status()}"
         )
-    )
+    lanes = values.shape[1]
+    try:
+        return int(
+            library.repro_relax_word(
+                frontier,
+                active_bits,
+                starts,
+                ends,
+                frontier.size,
+                edges,
+                weights.ctypes.data if weights is not None else None,
+                values.reshape(-1),
+                snapshot.reshape(-1),
+                next_bits,
+                lane_edges,
+                lanes,
+            )
+        )
+    except (ctypes.ArgumentError, OSError) as exc:
+        raise NativeBackendError(f"native relaxation kernel failed: {exc}") from exc

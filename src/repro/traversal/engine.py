@@ -30,6 +30,27 @@ from ..types import AccessStrategy, MemorySpace, VERTEX_DTYPE
 from .results import KernelCounters, TraversalMetrics
 from .strategies import spec_for
 
+_checkpoint = None
+
+
+def _iteration_checkpoint() -> None:
+    """Cooperative cancellation + fault hook, one call per engine iteration.
+
+    The real hook lives in :func:`repro.service.resilience.iteration_checkpoint`
+    (engine.sweep fault site + the thread's Cancellation token).  It is bound
+    lazily because importing ``repro.service`` at module scope would be
+    circular — the service package imports the traversal API, which imports
+    this module.  After the first call this is one global read plus the hook
+    itself (two reads when idle).
+    """
+    global _checkpoint
+    if _checkpoint is None:
+        from ..service.resilience import iteration_checkpoint
+
+        _checkpoint = iteration_checkpoint
+    _checkpoint()
+
+
 #: Allocation names used by the engine.
 EDGE_LIST = "edge_list"
 WEIGHT_LIST = "edge_weights"
@@ -163,6 +184,7 @@ class TraversalEngine:
         algorithms that also gather the frontier's edges only index
         ``graph.offsets`` once per iteration.
         """
+        _iteration_checkpoint()
         frontier = np.asarray(frontier, dtype=VERTEX_DTYPE).ravel()
         iteration = TimeBreakdown()
         self.iterations += 1

@@ -1,0 +1,479 @@
+"""Tests for the resilience substrate: faults, retries, timeouts, breaker."""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.errors import (
+    ConfigurationError,
+    JobFailedError,
+    ServiceClosedError,
+    SweepTimeoutError,
+)
+from repro.service import (
+    Cancellation,
+    CircuitBreaker,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    Service,
+    TraversalRequest,
+    WorkerPool,
+    cancellation_scope,
+    current_cancellation,
+)
+from repro.service import faults
+from repro.service.resilience import BREAKER_STATE_CODES, iteration_checkpoint
+from repro.errors import PermanentFaultError, TransientFaultError
+from repro.graph.generators import uniform_random_graph
+from repro.types import Application
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with no globally armed fault plan."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def make_graph(name="resil", vertices=300, edges=1500, seed=3):
+    return uniform_random_graph(vertices, edges, seed=seed, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# FaultSpec / FaultPlan
+# --------------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="nope.site", mode="transient")
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="cache.get", mode="weird")
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="cache.get", mode="transient", probability=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="cache.get", mode="transient", nth=0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="cache.get", mode="latency", delay_seconds=-1)
+
+    def test_from_spec_parses_seed_modes_and_matchers(self):
+        plan = FaultPlan.from_spec(
+            "seed=9; registry.load:transient:n=2:limit=3 ;"
+            "worker.task:permanent:source=13;cache.put:latency:delay=0.001"
+        )
+        assert plan.seed == 9
+        sites = [spec.site for spec in plan.specs]
+        assert sites == ["registry.load", "worker.task", "cache.put"]
+        registry_spec = plan.specs[0]
+        assert registry_spec.nth == 2 and registry_spec.limit == 3
+        assert plan.specs[1].match == (("source", "13"),)
+        assert plan.specs[2].delay_seconds == pytest.approx(0.001)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "seed=7",  # arms nothing
+            "registry.load",  # missing mode
+            "registry.load:transient:p=abc",
+            "registry.load:transient:novalue",
+            "seed=x;registry.load:transient",
+        ],
+    )
+    def test_from_spec_rejects_malformed(self, bad):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec(bad)
+
+    def test_nth_and_limit_fire_deterministically(self):
+        plan = FaultPlan.from_spec("registry.load:transient:n=2:limit=2")
+        fires = []
+        for call in range(1, 9):
+            try:
+                plan.check("registry.load")
+            except TransientFaultError:
+                fires.append(call)
+        assert fires == [2, 4]  # every 2nd call, capped at 2 fires
+        assert plan.total_fired() == 2
+        assert plan.counts() == {"registry.load": 2}
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed):
+            plan = FaultPlan.from_spec(f"seed={seed};cache.get:transient:p=0.5")
+            fired = []
+            for _ in range(32):
+                try:
+                    plan.check("cache.get")
+                    fired.append(False)
+                except TransientFaultError:
+                    fired.append(True)
+            return fired
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)  # overwhelmingly likely for 32 draws
+
+    def test_matchers_compare_context_as_strings(self):
+        plan = FaultPlan.from_spec("worker.task:permanent:source=13:tenant=bulk")
+        plan.check("worker.task", source=12, tenant="bulk")  # no match, no raise
+        plan.check("worker.task", source=13, tenant="interactive")
+        with pytest.raises(PermanentFaultError) as excinfo:
+            plan.check("worker.task", source=13, tenant="bulk")
+        assert excinfo.value.site == "worker.task"
+
+    def test_latency_mode_sleeps_instead_of_raising(self):
+        plan = FaultPlan.from_spec("cache.get:latency:delay=0.01:limit=1")
+        started = time.perf_counter()
+        plan.check("cache.get")
+        assert time.perf_counter() - started >= 0.009
+        plan.check("cache.get")  # limit reached: no further delay
+
+    def test_listeners_observe_fires(self):
+        plan = FaultPlan.from_spec("cache.get:transient:limit=1")
+        seen = []
+        plan.add_listener(seen.append)
+        with pytest.raises(TransientFaultError):
+            plan.check("cache.get")
+        plan.check("cache.get")
+        assert seen == ["cache.get"]
+
+    def test_global_activation_and_idempotent_deactivate(self):
+        assert faults.active_plan() is None
+        faults.check("cache.get")  # no plan armed: free no-op
+        plan_a = FaultPlan.from_spec("cache.get:transient")
+        plan_b = FaultPlan.from_spec("cache.put:transient")
+        faults.activate(plan_a)
+        faults.activate(plan_b)
+        faults.deactivate(plan_a)  # stale deactivation must not disarm b
+        assert faults.active_plan() is plan_b
+        faults.deactivate(plan_b)
+        assert faults.active_plan() is None
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(faults.ENV_SPEC, "  ")
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(faults.ENV_SPEC, "seed=3;registry.load:transient")
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.seed == 3
+
+    def test_describe_mentions_sites_and_fires(self):
+        plan = FaultPlan.from_spec("seed=5;worker.task:permanent:source=2")
+        text = plan.describe()
+        assert "seed=5" in text and "worker.task:permanent" in text
+        assert "fired 0" in text
+
+
+# --------------------------------------------------------------------------- #
+# Cancellation
+# --------------------------------------------------------------------------- #
+class TestCancellation:
+    def test_no_budget_never_trips(self):
+        token = Cancellation()
+        token.check()
+        assert token.remaining() is None and not token.cancelled
+
+    def test_budget_expiry_raises_at_checkpoint(self):
+        token = Cancellation(budget_seconds=0.0, label="test sweep")
+        with pytest.raises(SweepTimeoutError, match="test sweep"):
+            token.check()
+
+    def test_explicit_cancel(self):
+        token = Cancellation(budget_seconds=60.0)
+        token.cancel("operator abort")
+        with pytest.raises(SweepTimeoutError, match="operator abort"):
+            token.check()
+
+    def test_scope_installs_and_restores_thread_local(self):
+        outer = Cancellation(budget_seconds=60.0, label="outer")
+        inner = Cancellation(budget_seconds=60.0, label="inner")
+        assert current_cancellation() is None
+        with cancellation_scope(outer):
+            assert current_cancellation() is outer
+            with cancellation_scope(inner):
+                assert current_cancellation() is inner
+            assert current_cancellation() is outer
+        assert current_cancellation() is None
+
+    def test_scope_none_is_noop(self):
+        with cancellation_scope(None):
+            assert current_cancellation() is None
+
+    def test_iteration_checkpoint_polls_current_token(self):
+        iteration_checkpoint()  # no token, no plan: no-op
+        with cancellation_scope(Cancellation(budget_seconds=0.0)):
+            with pytest.raises(SweepTimeoutError):
+                iteration_checkpoint()
+
+    def test_scope_is_thread_local(self):
+        token = Cancellation(budget_seconds=0.0)
+        seen = []
+
+        def other_thread():
+            seen.append(current_cancellation())
+
+        with cancellation_scope(token):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen == [None]
+
+
+# --------------------------------------------------------------------------- #
+# RetryPolicy
+# --------------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(backoff_seconds=0.01, multiplier=2.0, jitter=0.0)
+        import random
+
+        rng = random.Random(0)
+        assert policy.delay(0, rng) == pytest.approx(0.01)
+        assert policy.delay(1, rng) == pytest.approx(0.02)
+        assert policy.delay(2, rng) == pytest.approx(0.04)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_seconds=0.01, multiplier=2.0, jitter=0.25)
+        import random
+
+        rng = random.Random(42)
+        for attempt in range(4):
+            base = 0.01 * 2**attempt
+            delay = policy.delay(attempt, rng)
+            assert base <= delay <= base * 1.25
+
+
+# --------------------------------------------------------------------------- #
+# CircuitBreaker
+# --------------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        transitions = []
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown_seconds=60.0,
+            on_transition=transitions.append,
+        )
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert transitions == ["open"]
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=60.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_grants_one_probe(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=10.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock[0] = 10.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # everyone else stays degraded
+
+    def test_probe_success_closes(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 5.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_probe_failure_rearms_cooldown(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 5.0
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open" and not breaker.allow()
+        clock[0] = 9.0  # cooldown re-armed at t=5: still open
+        assert breaker.state == "open"
+        clock[0] = 10.0
+        assert breaker.state == "half_open"
+
+    def test_snapshot_and_state_codes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=60.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed" and snap["consecutive_failures"] == 0
+        breaker.record_failure()
+        assert breaker.snapshot()["transitions"] == 1
+        assert BREAKER_STATE_CODES == {"closed": 0, "half_open": 1, "open": 2}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1)
+
+
+# --------------------------------------------------------------------------- #
+# Service-level retries and timeouts
+# --------------------------------------------------------------------------- #
+class TestServiceRetries:
+    def test_transient_loader_fault_is_retried(self):
+        plan = FaultPlan.from_spec("registry.load:transient:n=1:limit=1")
+        config = ServiceConfig(fault_plan=plan, trace_enabled=True, trace_sample=1.0)
+        with Service(config=config) as service:
+            service.registry.register_graph(make_graph())
+            job = service.submit(
+                TraversalRequest(graph="resil", application=Application.BFS, source=0)
+            )
+            result = service.result(job, timeout=30)
+            assert result.values is not None
+            stats = service.stats()
+            assert stats.retries == 1
+            assert stats.faults_injected == 1
+            assert stats.completed == 1 and stats.failed == 0
+            spans = service.drain_traces()
+            retry_spans = [s for s in spans if s["name"] == "retry"]
+            assert len(retry_spans) == 1
+            assert retry_spans[0]["attributes"]["site"] == "registry"
+
+    def test_retry_budget_exhaustion_fails_the_job(self):
+        plan = FaultPlan.from_spec("registry.load:transient")  # fires every time
+        config = ServiceConfig(fault_plan=plan, retry_limit=2)
+        with Service(config=config) as service:
+            service.registry.register_graph(make_graph())
+            job = service.submit(
+                TraversalRequest(graph="resil", application=Application.BFS, source=0)
+            )
+            with pytest.raises(JobFailedError):
+                service.result(job, timeout=30)
+            stats = service.stats()
+            assert stats.retries == 2  # limit respected
+            assert stats.failed == 1
+
+    def test_permanent_fault_is_not_retried(self):
+        plan = FaultPlan.from_spec("registry.load:permanent:limit=1")
+        config = ServiceConfig(fault_plan=plan)
+        with Service(config=config) as service:
+            service.registry.register_graph(make_graph())
+            job = service.submit(
+                TraversalRequest(graph="resil", application=Application.BFS, source=0)
+            )
+            with pytest.raises(JobFailedError):
+                service.result(job, timeout=30)
+            assert service.stats().retries == 0
+
+    def test_fault_plan_spec_string_in_config(self):
+        config = ServiceConfig(fault_plan="registry.load:transient:limit=1")
+        with Service(config=config) as service:
+            service.registry.register_graph(make_graph())
+            job = service.submit(
+                TraversalRequest(graph="resil", application=Application.BFS, source=0)
+            )
+            service.result(job, timeout=30)
+            assert service.stats().retries == 1
+
+    def test_sweep_timeout_cancels_at_iteration_boundary(self):
+        # A zero-ish absolute budget trips the very first checkpoint; the
+        # engine observes its own overrun and raises SweepTimeoutError.
+        config = ServiceConfig(sweep_timeout=1e-9)
+        with Service(config=config) as service:
+            service.registry.register_graph(make_graph())
+            job = service.submit(
+                TraversalRequest(graph="resil", application=Application.BFS, source=0)
+            )
+            with pytest.raises(JobFailedError) as excinfo:
+                service.result(job, timeout=30)
+            assert isinstance(excinfo.value.__cause__, SweepTimeoutError)
+            stats = service.stats()
+            assert stats.sweep_timeouts == 1
+            assert stats.breaker_state == "closed"
+
+    def test_multiplier_watchdog_waits_for_cost_samples(self):
+        # With only a multiplier configured, an unsampled family has no
+        # estimate, so the watchdog stays off and the sweep completes.
+        config = ServiceConfig(sweep_timeout_multiplier=5.0)
+        with Service(config=config) as service:
+            service.registry.register_graph(make_graph())
+            job = service.submit(
+                TraversalRequest(graph="resil", application=Application.BFS, source=0)
+            )
+            assert service.result(job, timeout=30).values is not None
+            assert service.stats().sweep_timeouts == 0
+
+    def test_close_deactivates_the_plan(self):
+        plan = FaultPlan.from_spec("registry.load:transient")
+        config = ServiceConfig(fault_plan=plan)
+        service = Service(config=config)
+        assert faults.active_plan() is plan
+        service.close()
+        assert faults.active_plan() is None
+
+
+# --------------------------------------------------------------------------- #
+# ServiceClosedError satellites
+# --------------------------------------------------------------------------- #
+class TestServiceClosed:
+    def test_worker_pool_rejects_after_shutdown(self):
+        pool = WorkerPool(max_workers=1)
+        pool.shutdown()
+        with pytest.raises(ServiceClosedError):
+            pool.submit(lambda: None)
+        with pytest.raises(ServiceClosedError):
+            pool.submit(lambda: None)
+        assert pool.rejected_after_close == 2
+
+    def test_service_submit_after_close_raises_typed_error(self):
+        service = Service()
+        service.registry.register_graph(make_graph())
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(
+                TraversalRequest(graph="resil", application=Application.BFS, source=0)
+            )
+        assert service.stats().rejected_after_close >= 1
+
+    def test_close_cancel_pending_fails_queued_jobs_with_typed_error(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def gated_engine(request, graph):
+            entered.set()
+            release.wait(10)
+            from repro.traversal.api import run
+
+            return run(
+                request.application, graph, source=request.source,
+                strategy=request.strategy, system=request.system,
+            )
+
+        config = ServiceConfig(max_workers=1)
+        service = Service(config=config, engine=gated_engine)
+        service.registry.register_graph(make_graph())
+        running = service.submit(
+            TraversalRequest(graph="resil", application=Application.BFS, source=0)
+        )
+        assert entered.wait(10)
+        queued = [
+            service.submit(
+                TraversalRequest(
+                    graph="resil", application=Application.BFS, source=s
+                )
+            )
+            for s in (1, 2, 3)
+        ]
+        service.close(wait=False, cancel_pending=True)
+        release.set()
+        for job in queued:
+            assert job.wait(10)
+            assert isinstance(job.error, ServiceClosedError)
+        assert running.wait(10)

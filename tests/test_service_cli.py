@@ -77,6 +77,49 @@ class TestServeBatch:
         assert main(["serve-batch", str(path)]) == 2
         assert "serve-batch failed" in capsys.readouterr().err
 
+    def test_transient_faults_ride_retries_to_exit_zero(self, capsys):
+        assert main([
+            "serve-batch", str(WORKLOAD),
+            "--faults", "seed=9;registry.load:transient:n=1:limit=1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "resilience:" in output
+        assert "faults injected" in output
+
+    def test_permanent_faults_fail_the_batch(self, capsys):
+        assert main([
+            "serve-batch", str(WORKLOAD),
+            "--faults", "worker.task:permanent:tenant=interactive",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "request(s) failed" in captured.err
+        assert "Serving workload report" in captured.out  # report still prints
+
+    def test_malformed_fault_spec_is_a_usage_error(self, capsys):
+        assert main([
+            "serve-batch", str(WORKLOAD), "--faults", "not-a-site:transient",
+        ]) == 2
+        assert "serve-batch failed" in capsys.readouterr().err
+
+    def test_health_summary(self, capsys):
+        assert main([
+            "health", str(WORKLOAD),
+            "--faults", "seed=7;registry.load:transient:n=2:limit=1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Service health summary" in output
+        assert "native breaker" in output
+        assert "health: ok" in output
+
+    def test_health_degraded_exit_code(self, capsys):
+        assert main([
+            "health", str(WORKLOAD),
+            "--faults", "worker.task:permanent:tenant=interactive",
+        ]) == 1
+        assert "health: degraded" in capsys.readouterr().out
+
     def test_listed_alongside_figures(self, capsys):
         assert main(["list"]) == 0
-        assert "serve-batch" in capsys.readouterr().out
+        output = capsys.readouterr().out
+        assert "serve-batch" in output
+        assert "health" in output
