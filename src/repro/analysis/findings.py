@@ -1,0 +1,78 @@
+"""Structured lint findings: rule id, location, severity, message, fix hint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Finding severities, most severe first.  Both gate the lint exit code; the
+#: split exists so reports can rank correctness invariants above perf ones.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    severity: str
+    message: str
+    #: How to fix it — or how to suppress it when the violation is deliberate.
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def format(self) -> str:
+        text = f"{self.location}: {self.severity} {self.rule}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """Every finding of one engine run plus the files it covered."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Findings silenced by ``# repro: noqa[RULE]`` comments.
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            + (f", {self.suppressed} suppressed" if self.suppressed else "")
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "findings": [finding.to_json() for finding in self.findings],
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+        }

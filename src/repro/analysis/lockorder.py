@@ -1,0 +1,318 @@
+"""Dynamic lock-order race detection: ``TrackedLock`` and the ordering graph.
+
+The serving tier holds 15+ ``threading.Lock`` / ``RLock`` instances spread
+across ``service``, ``obs`` and ``traversal`` with no ordering discipline
+beyond convention.  This module makes the discipline checkable: every lock in
+those modules is now created through :func:`tracked_lock` /
+:func:`tracked_rlock`, which return a **plain stdlib lock** unless lock
+checking is armed (``REPRO_LOCKCHECK=1`` or :func:`install`), so the
+production path pays nothing — identity with ``threading.Lock`` semantics,
+asserted by the regression tests and the armed-but-idle overhead gates.
+
+When armed, each acquisition records an edge ``held → acquired`` into a
+process-global ordering graph, keyed by the lock's *name* (a class-level
+label like ``"service.Service._lock"``), together with the Python stacks of
+both acquisitions.  Two code paths that take the same pair of locks in
+opposite orders form a cycle in that graph — a potential deadlock even if the
+schedules observed so far never interleaved fatally.  Cycles are reported via
+:func:`cycles` / :func:`format_report`, by ``repro.cli lint --locks``, and at
+process exit (a non-fatal stderr report), so chaos runs in CI surface
+inversions without having to actually deadlock.
+
+Reentrant acquisitions of the *same* ``TrackedLock`` instance never record an
+edge (RLock semantics would otherwise self-cycle); nested acquisitions of two
+*different* instances sharing a name do record a self-edge, because two
+threads nesting two instances in opposite order is a real deadlock.
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any
+
+from ..envflags import env_flag
+
+#: Environment switch arming the detector (default off: zero-cost locks).
+ENV_SWITCH = "REPRO_LOCKCHECK"
+
+#: Stack frames captured per acquisition (innermost frames, the useful ones).
+_STACK_DEPTH = 12
+
+_override: bool | None = None
+
+
+def install(enabled: bool | None) -> None:
+    """Force lock checking on/off for this process; ``None`` defers to env.
+
+    Used by tests and ``repro.cli lint --locks``; only locks created *after*
+    the call are affected (existing plain locks stay plain).
+    """
+    global _override
+    _override = enabled
+
+
+def enabled() -> bool:
+    """True when locks created now should be tracked."""
+    if _override is not None:
+        return _override
+    return env_flag(ENV_SWITCH, default=False)
+
+
+@dataclass
+class _Edge:
+    """First-seen evidence that ``holder`` was held while taking ``acquired``."""
+
+    holder: str
+    acquired: str
+    #: Stack where the already-held lock was acquired.
+    holder_stack: str
+    #: Stack of the acquisition that created the edge.
+    acquire_stack: str
+    count: int = 1
+
+
+class LockOrderGraph:
+    """Thread-safe ordering graph over lock names, with cycle detection."""
+
+    def __init__(self) -> None:
+        # A plain, untracked lock: held only for dict bookkeeping, never
+        # while a user lock is being acquired, so it cannot deadlock with
+        # the locks it observes.
+        self._lock = threading.Lock()
+        self._edges: dict[tuple[str, str], _Edge] = {}
+        self._held = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # Recording (called by TrackedLock with the user lock already held)
+    # ------------------------------------------------------------------ #
+    def _held_stack(self) -> list[dict[str, Any]]:
+        stack = getattr(self._held, "entries", None)
+        if stack is None:
+            stack = self._held.entries = []
+        return stack
+
+    def note_acquired(self, lock: "TrackedLock") -> None:
+        held = self._held_stack()
+        for entry in reversed(held):
+            if entry["lock"] is lock:
+                entry["count"] += 1
+                return
+        if held:
+            stack = _format_stack()
+            with self._lock:
+                for entry in held:
+                    key = (entry["name"], lock.name)
+                    edge = self._edges.get(key)
+                    if edge is None:
+                        self._edges[key] = _Edge(
+                            holder=entry["name"],
+                            acquired=lock.name,
+                            holder_stack=entry["stack"],
+                            acquire_stack=stack,
+                        )
+                    else:
+                        edge.count += 1
+        else:
+            stack = _format_stack()
+        held.append({"lock": lock, "name": lock.name, "stack": stack, "count": 1})
+
+    def note_released(self, lock: "TrackedLock") -> None:
+        held = self._held_stack()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index]["lock"] is lock:
+                held[index]["count"] -= 1
+                if held[index]["count"] == 0:
+                    del held[index]
+                return
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def edges(self) -> list[_Edge]:
+        with self._lock:
+            return [
+                _Edge(e.holder, e.acquired, e.holder_stack, e.acquire_stack, e.count)
+                for e in self._edges.values()
+            ]
+
+    def cycles(self) -> list[dict[str, Any]]:
+        """Every elementary ordering cycle, with both stacks per edge.
+
+        A cycle ``A → B → A`` means some thread acquired B while holding A
+        and some thread acquired A while holding B — the classic inverted
+        acquisition.  Self-edges (``A → A`` across two instances sharing a
+        name) are reported as single-node cycles.
+        """
+        with self._lock:
+            adjacency: dict[str, list[str]] = {}
+            for holder, acquired in self._edges:
+                adjacency.setdefault(holder, []).append(acquired)
+            edges = dict(self._edges)
+
+        found: list[list[str]] = []
+        seen_cycles: set[frozenset[str]] = set()
+
+        def depth_first(origin: str, node: str, path: list[str], on_path: set) -> None:
+            for successor in adjacency.get(node, ()):
+                if successor == origin:
+                    signature = frozenset(path)
+                    if signature not in seen_cycles:
+                        seen_cycles.add(signature)
+                        found.append(list(path))
+                elif successor not in on_path and successor > origin:
+                    # Visit only names ordered after the origin: every
+                    # elementary cycle is found exactly once, rooted at its
+                    # lexicographically smallest node.
+                    path.append(successor)
+                    on_path.add(successor)
+                    depth_first(origin, successor, path, on_path)
+                    on_path.remove(successor)
+                    path.pop()
+
+        for origin in sorted(adjacency):
+            depth_first(origin, origin, [origin], {origin})
+
+        reports = []
+        for path in found:
+            cycle_edges = []
+            for position, holder in enumerate(path):
+                acquired = path[(position + 1) % len(path)]
+                edge = edges[(holder, acquired)]
+                cycle_edges.append(
+                    {
+                        "holder": edge.holder,
+                        "acquired": edge.acquired,
+                        "count": edge.count,
+                        "holder_stack": edge.holder_stack,
+                        "acquire_stack": edge.acquire_stack,
+                    }
+                )
+            reports.append({"nodes": list(path), "edges": cycle_edges})
+        return reports
+
+    def reset(self) -> None:
+        with self._lock:
+            self._edges.clear()
+
+
+def _format_stack() -> str:
+    frames = traceback.extract_stack()
+    # Drop this module's own frames from the tail; keep the innermost
+    # _STACK_DEPTH caller frames.
+    while frames and frames[-1].filename == __file__:
+        frames.pop()
+    return "".join(traceback.format_list(frames[-_STACK_DEPTH:]))
+
+
+#: The process-global ordering graph every TrackedLock reports into.
+GRAPH = LockOrderGraph()
+
+
+class TrackedLock:
+    """A named lock recording its acquisition order into :data:`GRAPH`.
+
+    Wraps ``threading.Lock`` or ``threading.RLock`` (``reentrant=True``) and
+    mirrors their full interface — context manager, ``acquire(blocking,
+    timeout)``, ``release()``, ``locked()`` — so it can stand in anywhere a
+    plain lock does.
+    """
+
+    __slots__ = ("name", "reentrant", "_inner")
+
+    def __init__(self, name: str, reentrant: bool = False) -> None:
+        self.name = str(name)
+        self.reentrant = bool(reentrant)
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            GRAPH.note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        GRAPH.note_released(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "TrackedRLock" if self.reentrant else "TrackedLock"
+        return f"<{kind} {self.name!r}>"
+
+
+_atexit_registered = False
+
+
+def _ensure_atexit() -> None:
+    global _atexit_registered
+    if not _atexit_registered:
+        _atexit_registered = True
+        atexit.register(_report_at_exit)
+
+
+def tracked_lock(name: str):
+    """A lock participating in order tracking when armed, else a plain Lock.
+
+    The disabled path returns an actual ``threading.Lock`` — not a wrapper —
+    so arming the detector is the only thing that ever costs anything.
+    """
+    if not enabled():
+        return threading.Lock()
+    _ensure_atexit()
+    return TrackedLock(name)
+
+
+def tracked_rlock(name: str):
+    """Reentrant variant of :func:`tracked_lock`."""
+    if not enabled():
+        return threading.RLock()
+    _ensure_atexit()
+    return TrackedLock(name, reentrant=True)
+
+
+def cycles() -> list[dict[str, Any]]:
+    """Ordering cycles observed so far (see :meth:`LockOrderGraph.cycles`)."""
+    return GRAPH.cycles()
+
+
+def reset() -> None:
+    """Clear the recorded ordering graph (tests and repeated smokes)."""
+    GRAPH.reset()
+
+
+def format_report(found: list[dict[str, Any]] | None = None) -> str:
+    """Human-readable cycle report with both acquisition stacks per edge."""
+    found = cycles() if found is None else found
+    if not found:
+        return "lock-order: no ordering cycles observed"
+    lines = [f"lock-order: {len(found)} potential deadlock cycle(s) detected"]
+    for index, cycle in enumerate(found, 1):
+        lines.append(f"cycle {index}: {' -> '.join(cycle['nodes'] + [cycle['nodes'][0]])}")
+        for edge in cycle["edges"]:
+            lines.append(
+                f"  {edge['holder']} held while acquiring {edge['acquired']} "
+                f"(seen {edge['count']}x)"
+            )
+            lines.append("    holder acquired at:")
+            lines.extend("      " + l for l in edge["holder_stack"].rstrip().splitlines())
+            lines.append("    inner acquired at:")
+            lines.extend("      " + l for l in edge["acquire_stack"].rstrip().splitlines())
+    return "\n".join(lines)
+
+
+def _report_at_exit() -> None:
+    found = cycles()
+    if found:
+        print(format_report(found), file=sys.stderr)

@@ -1,0 +1,86 @@
+"""REPRO102 — locks are scoped with ``with``; bare acquire/release is banned.
+
+A bare ``lock.acquire()`` separated from its ``release()`` is how exception
+paths leak held locks — the failure class the serving tier cannot afford with
+15+ locks and worker threads sharing them.  The rule tracks which names are
+actually locks (assignments of ``threading.Lock()`` / ``threading.RLock()``
+/ ``tracked_lock(...)`` / ``tracked_rlock(...)``, both module-level names
+and ``self.<attr>`` attributes) and flags any explicit ``.acquire(`` /
+``.release(`` call on them.  ``with lock:`` never produces such a call node,
+so the ``with`` idiom passes untouched; unrelated ``acquire`` methods (an
+arena leasing engines, a semaphore API) are not flagged because their
+receivers were never bound to a lock constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from . import dotted_name
+
+#: Constructor call names (last dotted component) that produce a lock.
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "tracked_lock", "tracked_rlock", "TrackedLock"}
+)
+
+
+class BareAcquireRule:
+    rule_id = "REPRO102"
+    severity = "error"
+    hint = "scope the critical section with 'with <lock>:' instead"
+
+    def check(self, tree: ast.Module, path: str, config) -> list[Finding]:
+        lock_names: set[str] = set()
+        lock_attrs: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            constructor = dotted_name(value.func)
+            if constructor is None:
+                continue
+            if constructor.split(".")[-1] not in _LOCK_CONSTRUCTORS:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    lock_names.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    lock_attrs.add(target.attr)
+
+        if not lock_names and not lock_attrs:
+            return []
+
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in (
+                "acquire",
+                "release",
+            ):
+                continue
+            receiver = func.value
+            is_lock = (
+                isinstance(receiver, ast.Name) and receiver.id in lock_names
+            ) or (isinstance(receiver, ast.Attribute) and receiver.attr in lock_attrs)
+            if is_lock:
+                receiver_name = dotted_name(receiver) or "<lock>"
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=path,
+                        line=node.lineno,
+                        severity=self.severity,
+                        message=(
+                            f"bare {receiver_name}.{func.attr}() on a lock; "
+                            "locks must be scoped with a 'with' statement"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return findings

@@ -1,0 +1,114 @@
+"""REPRO101 — no allocations inside hot-kernel functions.
+
+The lane-parallel kernels earn their speedups by never materializing numpy
+temporaries per iteration (PR 5's ~5x native SSSP erodes silently the moment
+``np.zeros`` / ``np.unique`` / ``np.concatenate`` creep back into a sweep).
+A function is *hot* when it is decorated ``@hot_path`` or when
+``(module basename, function name)`` appears in the engine config's
+allowlist (``relax.py`` / ``multisource.py`` / ``streaming.py`` /
+``frontier.py`` kernels by default).  Inside a hot function the rule flags:
+
+* calls to the allocation functions in ``LintConfig.allocation_calls``
+  (``np.zeros``, ``np.empty``, ``np.unique``, ``np.concatenate``, …), and
+* list-building loops: list/set/dict comprehensions and ``.append(...)``
+  calls inside a ``for`` / ``while`` body.
+
+Bounded, deliberate allocations (a once-per-word init, an O(#blocks) bounds
+array) carry ``# repro: noqa[REPRO101] — <stated bound>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+
+from ..findings import Finding
+from . import dotted_name
+
+
+class HotPathAllocRule:
+    rule_id = "REPRO101"
+    severity = "warning"
+    hint = (
+        "reuse arena/scratch buffers or hoist the allocation out of the sweep; "
+        "if the allocation is deliberately bounded, suppress with "
+        "'# repro: noqa[REPRO101] — <bound>'"
+    )
+
+    def check(self, tree: ast.Module, path: str, config) -> list[Finding]:
+        findings: list[Finding] = []
+        basename = posixpath.basename(path.replace("\\", "/"))
+        allowlisted = config.hot_functions.get(basename, ())
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if self._is_hot(node, config) or node.name in allowlisted:
+                findings.extend(self._check_function(node, path, config))
+        return findings
+
+    def _is_hot(self, node: ast.AST, config) -> bool:
+        for decorator in node.decorator_list:
+            name = dotted_name(decorator)
+            if name and name.split(".")[-1] == config.hot_path_decorator:
+                return True
+        return False
+
+    def _check_function(self, function, path: str, config) -> list[Finding]:
+        findings: list[Finding] = []
+        function_name = function.name
+
+        def visit(node: ast.AST, loop_depth: int) -> None:
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None:
+                    head, _, tail = name.rpartition(".")
+                    if tail in config.allocation_calls and head in ("np", "numpy"):
+                        findings.append(
+                            Finding(
+                                rule=self.rule_id,
+                                path=path,
+                                line=node.lineno,
+                                severity=self.severity,
+                                message=(
+                                    f"allocation call {name}() inside hot-path "
+                                    f"function {function_name}()"
+                                ),
+                                hint=self.hint,
+                            )
+                        )
+                    elif tail == "append" and head and loop_depth > 0:
+                        findings.append(
+                            Finding(
+                                rule=self.rule_id,
+                                path=path,
+                                line=node.lineno,
+                                severity=self.severity,
+                                message=(
+                                    f"list-building loop ({name}(...)) inside "
+                                    f"hot-path function {function_name}()"
+                                ),
+                                hint=self.hint,
+                            )
+                        )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                kind = type(node).__name__
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=path,
+                        line=node.lineno,
+                        severity=self.severity,
+                        message=(
+                            f"{kind} builds a container inside hot-path "
+                            f"function {function_name}()"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+            next_depth = loop_depth + (1 if isinstance(node, (ast.For, ast.While)) else 0)
+            for child in ast.iter_child_nodes(node):
+                visit(child, next_depth)
+
+        for statement in function.body:
+            visit(statement, 0)
+        return findings

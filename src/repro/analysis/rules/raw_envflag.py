@@ -1,0 +1,57 @@
+"""REPRO104 — every ``REPRO_*`` environment read goes through ``envflags``.
+
+Before unification, ``_native.py`` accepted ``0/false/off/no`` while other
+modules parsed the environment their own way; a switch honored in one module
+and ignored in another is an operational trap.  The rule flags any
+``os.environ.get(...)`` / ``os.environ[...]`` / ``os.getenv(...)`` call (or
+bare ``environ`` imported from ``os``) whose name literal starts with
+``REPRO_``, anywhere outside ``repro/envflags.py`` — non-``REPRO_``
+variables (``XDG_CACHE_HOME``, sanitizer options) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+
+from ..findings import Finding
+from . import dotted_name, literal_str
+
+_READ_CALLS = frozenset({"os.environ.get", "environ.get", "os.getenv", "getenv"})
+_ENVIRON_NAMES = frozenset({"os.environ", "environ"})
+
+
+class RawEnvFlagRule:
+    rule_id = "REPRO104"
+    severity = "error"
+    hint = "use repro.envflags.env_flag / env_str / env_choice instead"
+
+    def check(self, tree: ast.Module, path: str, config) -> list[Finding]:
+        normalized = path.replace("\\", "/")
+        if posixpath.basename(normalized) == config.envflag_module:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            name: str | None = None
+            if isinstance(node, ast.Call):
+                if dotted_name(node.func) in _READ_CALLS and node.args:
+                    name = literal_str(node.args[0])
+            elif isinstance(node, ast.Subscript):
+                if dotted_name(node.value) in _ENVIRON_NAMES:
+                    name = literal_str(node.slice)
+            if name is not None and name.startswith(config.envflag_prefix):
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=path,
+                        line=node.lineno,
+                        severity=self.severity,
+                        message=(
+                            f"raw environment read of {name!r}; all "
+                            f"{config.envflag_prefix}* switches must go "
+                            "through repro.envflags"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return findings

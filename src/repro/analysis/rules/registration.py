@@ -1,0 +1,106 @@
+"""REPRO105 / REPRO106 — cross-cutting registries stay consistent.
+
+Fault sites and metric names are stringly-typed registries spread across the
+tree: a typo'd site never fires its fault, and a typo'd metric silently
+exports nothing.  These rules close the loop statically.
+
+REPRO105
+    Every string literal passed as the first argument of a fault-site check —
+    ``faults.check("...")``, a ``check("...")`` imported from the faults
+    module, or ``_check_fault("...")`` — must exist in
+    :data:`repro.service.faults.SITES`.
+
+REPRO106
+    Every string literal starting with ``repro_`` passed as the first
+    argument of a ``.counter(`` / ``.gauge(`` / ``.summary(`` call must be
+    pre-registered in :data:`repro.obs.metrics.METRIC_NAMES`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from . import dotted_name, literal_str
+
+
+class FaultSiteRule:
+    rule_id = "REPRO105"
+    severity = "error"
+    hint = (
+        "add the site to repro.service.faults.SITES (and document it in the "
+        "module docstring) or fix the typo"
+    )
+
+    def check(self, tree: ast.Module, path: str, config) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            qualified = "." in name
+            is_check = (qualified and tail == "check" and name.endswith("faults.check")) or (
+                not qualified and tail in config.fault_check_names
+            )
+            if not is_check:
+                continue
+            site = literal_str(node.args[0])
+            if site is not None and site not in config.fault_sites:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=path,
+                        line=node.lineno,
+                        severity=self.severity,
+                        message=(
+                            f"fault site {site!r} is not registered in "
+                            "repro.service.faults.SITES — this check can "
+                            "never be armed"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return findings
+
+
+class MetricNameRule:
+    rule_id = "REPRO106"
+    severity = "error"
+    hint = (
+        "register the series in repro.obs.metrics.METRIC_NAMES or fix the "
+        "typo — unregistered names silently never export"
+    )
+
+    _methods = ("counter", "gauge", "summary")
+
+    def check(self, tree: ast.Module, path: str, config) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in self._methods:
+                continue
+            name = literal_str(node.args[0])
+            if (
+                name is not None
+                and name.startswith(config.metric_prefix)
+                and name not in config.metric_names
+            ):
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=path,
+                        line=node.lineno,
+                        severity=self.severity,
+                        message=(
+                            f"metric name {name!r} is not pre-registered in "
+                            "repro.obs.metrics.METRIC_NAMES"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return findings

@@ -1,0 +1,69 @@
+"""REPRO103 — one timeline per function: never mix wall clock and monotonic.
+
+Latency math is only meaningful over differences taken on the same timeline.
+``time.time()`` steps with NTP; ``time.perf_counter()`` has an arbitrary
+epoch.  A function reading both is one subtraction away from a latency that
+jumps backwards, so the rule flags any function body containing calls to
+both — everywhere except ``timing.py`` (the module whose whole job is
+explicit time bookkeeping) and the paths in
+``LintConfig.timing_exempt_files``.  Cross-timeline conversion has one
+sanctioned door: ``Job.wall_clock`` anchors a perf-counter reading to the
+wall clock once, and everything downstream subtracts perf-counter values
+only.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+
+from ..findings import Finding
+from . import dotted_name
+
+_WALL = ("time.time",)
+_MONOTONIC = ("time.perf_counter", "time.monotonic")
+
+
+class TimingMixRule:
+    rule_id = "REPRO103"
+    severity = "error"
+    hint = (
+        "pick one timeline per function; convert once via Job.wall_clock "
+        "when a wall-clock anchor is genuinely needed"
+    )
+
+    def check(self, tree: ast.Module, path: str, config) -> list[Finding]:
+        basename = posixpath.basename(path.replace("\\", "/"))
+        if basename in config.timing_exempt_files:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            wall_lines: list[int] = []
+            monotonic_lines: list[int] = []
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                name = dotted_name(call.func)
+                if name in _WALL:
+                    wall_lines.append(call.lineno)
+                elif name in _MONOTONIC:
+                    monotonic_lines.append(call.lineno)
+            if wall_lines and monotonic_lines:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=path,
+                        line=wall_lines[0],
+                        severity=self.severity,
+                        message=(
+                            f"function {node.name}() mixes time.time() "
+                            f"(line {wall_lines[0]}) with a monotonic clock "
+                            f"(line {monotonic_lines[0]}) — latency math "
+                            "across timelines is meaningless"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return findings

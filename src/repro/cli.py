@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli health examples/workload.json --faults 'seed=7;registry.load:transient:n=2:limit=1'
     python -m repro.cli bench-traversal --output BENCH_traversal.json
     python -m repro.cli bench-scheduler --output BENCH_scheduler.json
+    python -m repro.cli lint --format json --output lint.json
+    python -m repro.cli lint --locks
 """
 
 from __future__ import annotations
@@ -335,6 +337,113 @@ def _build_bench_scheduler_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Run the repo-invariant lint rules (REPRO101..REPRO106) over the "
+            "repro package (or explicit paths) and, with --locks, drive an "
+            "in-process service smoke under the lock-order detector.  Exits "
+            "non-zero when findings or ordering cycles are reported."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--locks",
+        action="store_true",
+        help="run a small in-process serving smoke with lock-order tracking "
+        "armed and report any acquisition-order cycles",
+    )
+    return parser
+
+
+def _lock_smoke() -> int:
+    """Exercise the serving tier's locks in-process and report cycles.
+
+    Lock tracking is armed for every lock created after this point; the
+    module-level locks constructed at import time stay plain (arm
+    ``REPRO_LOCKCHECK=1`` in the environment before starting Python to cover
+    those too, as the CI chaos step does).
+    """
+    from .analysis import lockorder
+    from .config import ServiceConfig
+    from .graph.generators import uniform_random_graph
+    from .service.registry import GraphRegistry
+    from .service.requests import TraversalRequest
+    from .service.service import Service
+
+    lockorder.install(True)
+    lockorder.reset()
+    try:
+        graph = uniform_random_graph(400, 4000, seed=11, name="lint-locks")
+        registry = GraphRegistry()
+        registry.register_graph(graph)
+        with Service(
+            registry=registry, config=ServiceConfig(max_workers=2)
+        ) as service:
+            jobs = [
+                service.submit(TraversalRequest("bfs", graph.name, source=s))
+                for s in range(4)
+            ]
+            jobs.append(service.submit(TraversalRequest("sssp", graph.name, source=0)))
+            jobs.append(service.submit(TraversalRequest("cc", graph.name)))
+            for job in jobs:
+                service.result(job, timeout=60)
+            service.collect_metrics().render_prometheus()
+            service.drain_traces()
+    finally:
+        lockorder.install(None)
+    found = lockorder.cycles()
+    print(lockorder.format_report(found))
+    return 1 if found else 0
+
+
+def _lint(argv: list[str]) -> int:
+    from .analysis import LintEngine, default_config
+
+    args = _build_lint_parser().parse_args(argv)
+    engine = LintEngine(default_config())
+    if args.paths:
+        report = engine.lint_paths(args.paths)
+    else:
+        from .analysis import lint_tree
+
+        report = lint_tree()
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    if args.output is not None:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"lint report export failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"(JSON report written to {args.output})")
+    status = 0 if report.clean else 1
+    if args.locks:
+        lock_status = _lock_smoke()
+        status = status or lock_status
+    return status
+
+
 def _bench_scheduler(argv: list[str]) -> int:
     from .bench.scheduler_bench import (
         DEFAULT_EDGES,
@@ -560,6 +669,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_traversal(argv[1:])
     if argv and argv[0] == "bench-scheduler":
         return _bench_scheduler(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint(argv[1:])
 
     args = _build_parser().parse_args(argv)
     if args.target == "list":
@@ -570,6 +681,7 @@ def main(argv: list[str] | None = None) -> int:
         print("health")
         print("bench-traversal")
         print("bench-scheduler")
+        print("lint")
         return 0
 
     targets = list(ALL_FIGURES) if args.target == "all" else [args.target]

@@ -1,0 +1,81 @@
+"""One truthy/falsy contract for every ``REPRO_*`` environment switch.
+
+Before this module existed every kill switch parsed the environment its own
+way: :mod:`repro.traversal._native` accepted ``0/false/off/no`` as falsy (and
+anything else as truthy), :mod:`repro.obs.trace` kept its own copy of the same
+tuple, and new switches were one typo away from a third dialect.  All
+``REPRO_*`` reads now route through the helpers here, and the
+``raw-envflag`` lint rule (``REPRO104``, see :mod:`repro.analysis`) rejects
+any direct ``os.environ`` / ``os.getenv`` access to a ``REPRO_*`` name
+anywhere else in the tree.
+
+Contract
+--------
+* Truthy values: ``1 / true / on / yes`` (case-insensitive, surrounding
+  whitespace ignored).
+* Falsy values: ``0 / false / off / no``.
+* Unset or empty ⇒ the caller's default.
+* Anything else ⇒ the caller's default as well.  Switches are operational
+  kill levers: a garbled value must never flip a production service into an
+  unintended mode, so unknown spellings degrade to the documented default
+  rather than guessing.  (Value-carrying variables use :func:`env_str` /
+  :func:`env_choice`, where :func:`env_choice` *does* reject unknown values
+  loudly — a typo'd ``REPRO_NATIVE_SANITIZE=asna`` should fail the build
+  that asked for a sanitizer, not silently skip it.)
+"""
+
+from __future__ import annotations
+
+import os
+
+from .errors import ConfigurationError
+
+#: Spellings accepted as "on".
+TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+#: Spellings accepted as "off".
+FALSY = frozenset({"0", "false", "off", "no"})
+
+
+def env_flag(name: str, default: bool = True) -> bool:
+    """Boolean switch from the environment under the shared contract."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if not value:
+        return default
+    if value in TRUTHY:
+        return True
+    if value in FALSY:
+        return False
+    return default
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """Free-form string value; unset or whitespace-only ⇒ ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip()
+
+
+def env_choice(
+    name: str, choices: tuple[str, ...], default: str | None = None
+) -> str | None:
+    """One of ``choices`` (case-insensitive), ``default`` when unset.
+
+    Unlike :func:`env_flag`, an unknown value raises
+    :class:`~repro.errors.ConfigurationError`: enumerated modes are always
+    explicit opt-ins (build modes, backend selectors), where silently
+    ignoring a typo would un-ask for exactly what the operator asked for.
+    """
+    raw = env_str(name)
+    if raw is None:
+        return default
+    value = raw.lower()
+    if value not in choices:
+        raise ConfigurationError(
+            f"{name} must be one of {', '.join(choices)}; got {raw!r}"
+        )
+    return value

@@ -1,0 +1,25 @@
+"""Marker for allocation-discipline-checked hot-kernel functions.
+
+Functions decorated with :func:`hot_path` are the per-iteration kernels whose
+speedups erode silently when numpy temporaries creep back in (the
+lane-parallel relaxation sweep, the MS-BFS word runners, the frontier
+gathers).  The decorator does nothing at runtime — it only tags the function
+so the ``hot-path-alloc`` lint rule (``REPRO101``, see :mod:`repro.analysis`)
+rejects allocation calls (``np.zeros`` / ``np.empty`` / ``np.concatenate`` /
+``np.unique`` …) and list-building loops inside it.
+
+Bounded, deliberate allocations are suppressed per line with a justified
+``# repro: noqa[REPRO101] — <why the allocation is bounded>`` comment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def hot_path(function: _F) -> _F:
+    """Tag ``function`` as a hot kernel for the allocation lint rule."""
+    function.__repro_hot_path__ = True
+    return function

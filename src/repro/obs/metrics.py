@@ -17,16 +17,64 @@ series plus ``_sum``/``_count``) or a nested JSON document, behind
 
 Everything is guarded by one registry-wide lock; instruments never call back
 into the service, so there is no lock-ordering hazard with the service's own
-lock.
+lock.  (Both locks are created through
+:func:`repro.analysis.lockorder.tracked_lock`, so ``REPRO_LOCKCHECK=1``
+verifies that claim dynamically instead of trusting the comment.)
+
+Every ``repro_*`` series the codebase emits must be pre-registered in
+:data:`METRIC_NAMES` below — the ``REPRO106`` lint rule cross-references
+instrumentation sites against this catalog, so a typo'd name that would
+silently never export fails ``repro.cli lint`` instead.
 """
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Any, Iterable, Mapping
 
+from ..analysis.lockorder import tracked_lock
+
 _LabelKey = tuple[tuple[str, str], ...]
+
+#: Catalog of every ``repro_*`` series this codebase emits: name -> help.
+#: Instrumentation sites using a ``repro_*`` literal not present here are
+#: rejected by the ``REPRO106`` lint rule (see :mod:`repro.analysis`).
+METRIC_NAMES: dict[str, str] = {
+    "repro_requests_submitted_total": "Requests accepted by submit().",
+    "repro_requests_total": "Requests reaching a terminal state, by outcome.",
+    "repro_requests_deduplicated_total": "Requests coalesced onto in-flight jobs.",
+    "repro_requests_cache_served_total": "Requests answered from the result cache.",
+    "repro_requests_rejected_total": "Submissions refused at admission, by reason.",
+    "repro_request_latency_seconds": "End-to-end request latency.",
+    "repro_queue_wait_seconds": "Time between enqueue and drain.",
+    "repro_batches_total": "Batch groups drained.",
+    "repro_executions_total": "Jobs executed (cache misses).",
+    "repro_engine_seconds_total": "Wall-clock seconds spent in engine sweeps.",
+    "repro_deadlines_total": "Deadline-carrying requests, by outcome.",
+    "repro_costmodel_abs_error_seconds": "Absolute cost-model estimate error.",
+    "repro_costmodel_observations_total": "Cost-model observations folded in.",
+    "repro_kernel_iterations_total": "Traversal iterations executed, by app.",
+    "repro_kernel_frontier_vertices_total": "Frontier vertices expanded, by app.",
+    "repro_kernel_edges_total": "Edges traversed, by app.",
+    "repro_kernel_relax_candidates_total": "Relaxation candidates streamed, by app.",
+    "repro_kernel_backend_total": "Sweeps executed, by app and relax backend.",
+    "repro_retries_total": "Transient-failure retries, by site.",
+    "repro_sweep_timeouts_total": "Sweeps cancelled by the watchdog.",
+    "repro_fused_isolations_total": "Fused groups re-run member-by-member.",
+    "repro_native_degraded_total": "Sweeps degraded to the numpy backend.",
+    "repro_native_breaker_transitions_total": "Circuit-breaker transitions, by state.",
+    "repro_faults_injected_total": "Injected faults fired, by site.",
+    "repro_cache_errors_total": "Result-cache errors absorbed, by operation.",
+    "repro_rejected_after_close_total": "Submissions refused after close().",
+    "repro_pending_jobs": "Jobs queued, not yet picked up.",
+    "repro_active_workers": "Worker tasks queued or running.",
+    "repro_uptime_seconds": "Seconds since service construction.",
+    "repro_cache_entries": "Results held by the result cache.",
+    "repro_cache_hit_rate": "Result cache hit rate in [0, 1].",
+    "repro_costmodel_mean_abs_error_seconds": "Mean absolute cost-model error.",
+    "repro_trace_buffered_spans": "Spans buffered in the tracer ring.",
+    "repro_native_breaker_state": "Circuit-breaker state code (0/1/2).",
+}
 
 #: Quantiles rendered for summaries, matching LatencyStats' fields.
 SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
@@ -69,7 +117,7 @@ class _Instrument:
         self.name = name
         self.help = help
         self.label_names = tuple(label_names)
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("obs.Instrument._lock")
 
     def render_prometheus(self) -> list[str]:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -274,7 +322,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("obs.MetricsRegistry._lock")
         self._instruments: dict[str, _Instrument] = {}
 
     def counter(

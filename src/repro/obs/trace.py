@@ -30,25 +30,20 @@ from __future__ import annotations
 
 import itertools
 import json
-import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-import os
+from ..analysis.lockorder import tracked_lock
+from ..envflags import env_flag
 
 #: Environment variable that disables tracing when set to a falsy value.
 ENV_SWITCH = "REPRO_TRACE"
 
-_FALSY = ("0", "false", "off", "no")
-
 
 def tracing_enabled(default: bool = True) -> bool:
-    """True unless ``REPRO_TRACE`` is set to ``0``/``false``/``off``/``no``."""
-    raw = os.environ.get(ENV_SWITCH)
-    if raw is None:
-        return default
-    return raw.strip().lower() not in _FALSY
+    """True unless ``REPRO_TRACE`` is set falsy (shared envflags contract)."""
+    return env_flag(ENV_SWITCH, default)
 
 
 @dataclass(frozen=True)
@@ -100,7 +95,7 @@ class Tracer:
         # deployed service can be silenced without a code change.
         self.enabled = tracing_enabled() if enabled is None else bool(enabled)
         self._spans: deque[Span] = deque(maxlen=self.capacity)
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("obs.Tracer._lock")
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._accumulator = 0.0

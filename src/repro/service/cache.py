@@ -9,10 +9,10 @@ identical to re-running it, minus the simulated run time.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..analysis.lockorder import tracked_lock
 from ..errors import ConfigurationError
 from ..traversal.results import TraversalResult
 from . import faults
@@ -45,7 +45,7 @@ class ResultCache:
         if max_entries < 0:
             raise ConfigurationError("max_entries cannot be negative")
         self.max_entries = max_entries
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.ResultCache._lock")
         self._entries: OrderedDict[tuple, TraversalResult] = OrderedDict()
         self._hits = 0
         self._misses = 0

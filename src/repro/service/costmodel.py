@@ -32,10 +32,10 @@ order of magnitude — one observation later, the EWMA takes over.
 from __future__ import annotations
 
 import math
-import threading
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
+from ..analysis.lockorder import tracked_lock
 from ..errors import ConfigurationError
 
 #: Bootstrap engine-seconds per edge / per vertex of the target graph, used
@@ -108,7 +108,7 @@ class CostModel:
             raise ConfigurationError(f"cost model alpha must be in (0, 1], got {alpha!r}")
         self.alpha = alpha
         self._graph_size_lookup = graph_size_lookup
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.CostModel._lock")
         self._families: dict[Hashable, _FamilyEstimate] = {}
         self._error_sum = 0.0
         self._error_samples = 0

@@ -48,13 +48,13 @@ and ``n`` fires on every matching check.
 
 from __future__ import annotations
 
-import os
 import random
-import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
+from ..analysis.lockorder import tracked_lock
+from ..envflags import env_str
 from ..errors import ConfigurationError, PermanentFaultError, TransientFaultError
 
 #: Environment variable holding a fault-plan spec (see module docstring).
@@ -134,7 +134,7 @@ class FaultPlan:
         self.seed = int(seed)
         self._states = [_SpecState(spec) for spec in specs]
         self._rng = random.Random(self.seed)
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.FaultPlan._lock")
         self._listeners: list[Callable[[str], None]] = []
 
     @property
@@ -277,8 +277,8 @@ class FaultPlan:
     @classmethod
     def from_env(cls) -> "FaultPlan | None":
         """Plan from ``REPRO_FAULTS``, or ``None`` when unset/empty."""
-        raw = os.environ.get(ENV_SPEC)
-        if raw is None or not raw.strip():
+        raw = env_str(ENV_SPEC)
+        if raw is None:
             return None
         return cls.from_spec(raw)
 
@@ -291,7 +291,7 @@ class FaultPlan:
 # tests may also use activate()/deactivate() directly.
 
 _active_plan: FaultPlan | None = None
-_activation_lock = threading.Lock()
+_activation_lock = tracked_lock("service.faults._activation_lock")
 
 
 def activate(plan: FaultPlan) -> None:

@@ -21,10 +21,10 @@ Three serving concerns meet here:
 from __future__ import annotations
 
 import math
-import threading
 from collections import OrderedDict
 from typing import Callable
 
+from ..analysis.lockorder import tracked_lock
 from ..errors import AdmissionError, InfeasibleDeadlineError
 from .costmodel import CostModel
 from .jobs import Job
@@ -45,7 +45,7 @@ class RequestQueue:
         policy: SchedulingPolicy | str | None = None,
         cost_model: CostModel | None = None,
     ) -> None:
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.RequestQueue._lock")
         self._policy = make_policy(policy, cost_model=cost_model)
         self._cost_model = cost_model
         self._groups: OrderedDict[tuple, list[Job]] = OrderedDict()

@@ -16,6 +16,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
+from ..analysis.lockorder import tracked_rlock
 from ..errors import ConfigurationError, ServiceError, UnknownGraphError
 from ..graph.csr import CSRGraph
 from ..graph.datasets import load_dataset
@@ -56,7 +57,7 @@ class GraphRegistry:
         if budget_bytes is not None and budget_bytes <= 0:
             raise ConfigurationError("budget_bytes must be positive or None")
         self.budget_bytes = budget_bytes
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("service.GraphRegistry._lock")
         #: Per-name events marking loads in progress, so concurrent requests
         #: for the same graph wait for one load instead of duplicating it,
         #: while loads of *different* graphs (and hits on resident ones)

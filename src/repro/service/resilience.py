@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from ..analysis.lockorder import tracked_lock
 from ..errors import SweepTimeoutError
 from . import faults
 
@@ -171,7 +172,7 @@ class CircuitBreaker:
         self.cooldown_seconds = float(cooldown_seconds)
         self._on_transition = on_transition
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.CircuitBreaker._lock")
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at: float | None = None

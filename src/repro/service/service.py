@@ -17,11 +17,11 @@ from __future__ import annotations
 import itertools
 import logging
 import random
-import threading
 import time
 from collections import deque
 from typing import Callable, Iterable
 
+from ..analysis.lockorder import tracked_lock
 from ..config import ServiceConfig, SystemConfig, default_system
 from ..errors import (
     AdmissionError,
@@ -134,12 +134,12 @@ class Service:
         #: retention pruning pops from the head instead of rescanning the
         #: whole table, so a deep unfinished backlog costs nothing to skip.
         self._finished_order: deque[str] = deque()
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.Service._lock")
         #: Serializes the closed-flag check with enqueue + dispatch, so a
         #: racing close() can never observe a submission half-way through
         #: (see submit/close).  Kept separate from ``self._lock`` because the
         #: submission path re-acquires ``self._lock`` internally.
-        self._admission_lock = threading.Lock()
+        self._admission_lock = tracked_lock("service.Service._admission_lock")
         self._job_ids = itertools.count(1)
         self._submitted = 0
         self._deduplicated = 0

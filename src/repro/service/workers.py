@@ -9,10 +9,10 @@ outside this module touches ``concurrent.futures``.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable
 
+from ..analysis.lockorder import tracked_lock
 from ..errors import ConfigurationError, ServiceClosedError
 
 
@@ -26,7 +26,7 @@ class WorkerPool:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("service.WorkerPool._lock")
         self._active = 0
         self._dispatched = 0
         self._rejected = 0

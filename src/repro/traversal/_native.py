@@ -29,18 +29,33 @@ import os
 import shutil
 import subprocess
 import tempfile
-import threading
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import NativeBackendError
+from ..analysis.lockorder import tracked_lock
+from ..envflags import env_choice, env_flag, env_str
+from ..errors import ConfigurationError, NativeBackendError
 
 #: Environment switch: set REPRO_NATIVE=0 to force the numpy kernel.
 _ENV_SWITCH = "REPRO_NATIVE"
 
 #: Override for the shared-object cache directory.
 _ENV_CACHE_DIR = "REPRO_NATIVE_DIR"
+
+#: Sanitizer build mode: ``asan`` or ``ubsan`` compiles the kernel with the
+#: matching ``-fsanitize=`` flags (plus frame pointers and debug info) so the
+#: relax bit-identity property tests double as memory/UB checks in CI.  The
+#: sanitized object is cached under its own flag digest, so switching modes
+#: never serves a stale unsanitized build.
+_ENV_SANITIZE = "REPRO_NATIVE_SANITIZE"
+
+_SANITIZE_MODES = ("asan", "ubsan")
+
+_SANITIZE_FLAGS = {
+    "asan": ("-fsanitize=address", "-fno-omit-frame-pointer", "-g"),
+    "ubsan": ("-fsanitize=undefined", "-fno-omit-frame-pointer", "-g"),
+}
 
 _CFLAGS = ("-O3", "-shared", "-fPIC")
 
@@ -113,7 +128,7 @@ int64_t repro_relax_word(const int64_t *frontier,
 }
 """
 
-_lock = threading.Lock()
+_lock = tracked_lock("traversal._native._lock")
 _library: ctypes.CDLL | None = None
 _status: str | None = None  # None = not yet probed
 
@@ -150,7 +165,7 @@ def reset_probe() -> None:
 
 
 def _cache_dir() -> Path:
-    override = os.environ.get(_ENV_CACHE_DIR)
+    override = env_str(_ENV_CACHE_DIR)
     if override:
         return Path(override)
     return Path(os.environ.get("XDG_CACHE_HOME", Path.home() / ".cache")) / "repro-native"
@@ -164,19 +179,33 @@ def _compiler() -> str | None:
     return None
 
 
+def _build_flags() -> tuple[tuple[str, ...], str]:
+    """Compiler flags plus a status suffix describing the sanitizer mode."""
+    mode = env_choice(_ENV_SANITIZE, _SANITIZE_MODES)
+    if mode is None:
+        return _CFLAGS, ""
+    return _CFLAGS + _SANITIZE_FLAGS[mode], f" [{mode}]"
+
+
 def _build() -> tuple[ctypes.CDLL | None, str]:
     """Compile (or reuse) the shared object; returns (library, status)."""
-    if os.environ.get(_ENV_SWITCH, "1").strip().lower() in ("0", "false", "off", "no"):
+    if not env_flag(_ENV_SWITCH, default=True):
         return None, "disabled via REPRO_NATIVE"
     try:
         _check_fault("native.compile")
     except Exception as exc:
         return None, f"compile failed: {exc}"
+    try:
+        flags, sanitize_note = _build_flags()
+    except ConfigurationError as exc:
+        # A typo'd sanitizer request must not silently serve the plain build:
+        # degrade to the numpy backend with the reason in status().
+        return None, f"sanitizer misconfigured: {exc}"
     compiler = _compiler()
     if compiler is None:
         return None, "no C compiler on PATH"
     digest = hashlib.sha256(
-        ("\x00".join((_SOURCE, *_CFLAGS))).encode()
+        ("\x00".join((_SOURCE, *flags))).encode()
     ).hexdigest()[:16]
     cache = _cache_dir()
     shared_object = cache / f"relax_{digest}.so"
@@ -188,7 +217,7 @@ def _build() -> tuple[ctypes.CDLL | None, str]:
                 source.write_text(_SOURCE)
                 built = Path(workdir) / "relax.so"
                 subprocess.run(
-                    [compiler, *_CFLAGS, str(source), "-o", str(built)],
+                    [compiler, *flags, str(source), "-o", str(built)],
                     check=True,
                     capture_output=True,
                     timeout=120,
@@ -217,7 +246,7 @@ def _build() -> tuple[ctypes.CDLL | None, str]:
         ]
     except OSError as exc:
         return None, f"load failed: {exc}"
-    return library, f"compiled with {compiler}"
+    return library, f"compiled with {compiler}{sanitize_note}"
 
 
 def _ensure_loaded() -> ctypes.CDLL | None:

@@ -12,11 +12,11 @@ runs.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator
 
+from ..analysis.lockorder import tracked_lock
 from ..config import SystemConfig
 from ..errors import ConfigurationError
 from ..graph.csr import CSRGraph
@@ -40,7 +40,7 @@ class EngineArena:
         if max_idle < 0:
             raise ConfigurationError("max_idle cannot be negative")
         self.max_idle = max_idle
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("traversal.EngineArena._lock")
         self._idle: OrderedDict[tuple, list[TraversalEngine]] = OrderedDict()
         self._idle_count = 0
         self._created = 0

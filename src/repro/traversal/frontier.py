@@ -14,6 +14,7 @@ import numpy as np
 from ..arrays import ragged_gather_indices
 from ..errors import SimulationError
 from ..graph.csr import CSRGraph
+from ..hotpath import hot_path
 from ..types import VERTEX_DTYPE
 
 
@@ -42,6 +43,7 @@ def frontier_from_mask(mask: np.ndarray) -> np.ndarray:
     return np.flatnonzero(mask).astype(VERTEX_DTYPE)
 
 
+@hot_path
 def frontier_offsets(
     graph: CSRGraph, frontier: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -57,6 +59,7 @@ def frontier_offsets(
     return graph.offsets[frontier], graph.offsets[frontier + 1]
 
 
+@hot_path
 def gather_frontier_edges(
     graph: CSRGraph,
     frontier: np.ndarray,
@@ -80,6 +83,7 @@ def gather_frontier_edges(
     )
 
 
+@hot_path
 def gather_frontier_destinations(
     graph: CSRGraph,
     frontier: np.ndarray,

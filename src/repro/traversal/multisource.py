@@ -55,6 +55,7 @@ import numpy as np
 from ..config import SystemConfig
 from ..errors import ConfigurationError
 from ..graph.csr import CSRGraph
+from ..hotpath import hot_path
 from ..timing import TimeBreakdown
 from ..types import AccessStrategy, Application, EMOGI_STRATEGY, VERTEX_DTYPE
 from .bfs import UNREACHED, _check_source
@@ -255,6 +256,7 @@ def run_batch(
 # ---------------------------------------------------------------------- #
 # Word-level execution (≤64 sources)
 # ---------------------------------------------------------------------- #
+@hot_path
 def _bfs_word(
     graph: CSRGraph,
     word: list[int],
@@ -264,9 +266,12 @@ def _bfs_word(
 ):
     num_vertices = graph.num_vertices
     lanes = len(word)
-    levels = np.full((lanes, num_vertices), UNREACHED, dtype=np.int64)
-    frontier_bits = np.zeros(num_vertices, dtype=np.uint64)
-    visited_bits = np.zeros(num_vertices, dtype=np.uint64)
+    # Per-word setup: these three O(V) arrays are allocated once per <=64
+    # sources, then reused across every sweep below.
+    levels = np.full((lanes, num_vertices), UNREACHED, dtype=np.int64)  # repro: noqa[REPRO101] — once per word, not per sweep
+    frontier_bits = np.zeros(num_vertices, dtype=np.uint64)  # repro: noqa[REPRO101] — once per word, not per sweep
+    visited_bits = np.zeros(num_vertices, dtype=np.uint64)  # repro: noqa[REPRO101] — once per word, not per sweep
+    scratch_bits = np.zeros(num_vertices, dtype=np.uint64)  # repro: noqa[REPRO101] — once per word, double-buffered below
     for lane, source in enumerate(word):
         bit = _ONE << np.uint64(lane)
         frontier_bits[source] |= bit
@@ -285,7 +290,7 @@ def _bfs_word(
 
         destinations = gather_frontier_destinations(graph, frontier, starts, ends)
         edge_bits = np.repeat(active_bits, degrees)
-        next_bits = _scatter_or(num_vertices, destinations, edge_bits)
+        next_bits = _scatter_or(num_vertices, destinations, edge_bits, out=scratch_bits)
         np.bitwise_and(next_bits, ~visited_bits, out=next_bits)
         visited_bits |= next_bits
 
@@ -297,11 +302,14 @@ def _bfs_word(
                 hit = _lane_mask(new_bits, lane)
                 if hit.any():
                     levels[lane, frontier[hit]] = depth
-        frontier_bits = next_bits
+        # Double-buffer: the consumed frontier word becomes next sweep's
+        # scatter target (zeroed inside _scatter_or).
+        frontier_bits, scratch_bits = next_bits, frontier_bits
 
     return levels, attribution.breakdowns, attribution.iterations, attribution.fractions()
 
 
+@hot_path
 def _sssp_word(
     graph: CSRGraph,
     word: list[int],
@@ -315,12 +323,13 @@ def _sssp_word(
     # which is what makes the relaxation kernel's inner loop fast.  The
     # transposed view handed back at the end keeps run_batch's per-lane
     # ``values[lane]`` extraction working unchanged.
-    distances = np.full((num_vertices, lanes), UNREACHABLE, dtype=np.float64)
-    frontier_bits = np.zeros(num_vertices, dtype=np.uint64)
+    distances = np.full((num_vertices, lanes), UNREACHABLE, dtype=np.float64)  # repro: noqa[REPRO101] — once per word, not per sweep
+    frontier_bits = np.zeros(num_vertices, dtype=np.uint64)  # repro: noqa[REPRO101] — once per word, not per sweep
     for lane, source in enumerate(word):
         frontier_bits[source] |= _ONE << np.uint64(lane)
         distances[source, lane] = 0.0
     snapshot = make_snapshot(num_vertices, lanes)
+    next_scratch = np.zeros(num_vertices, dtype=np.uint64)  # repro: noqa[REPRO101] — once per word, double-buffered below
 
     attribution = _Attribution(lanes)
     iterations = 0
@@ -339,6 +348,7 @@ def _sssp_word(
         outcome = relax_lanes(
             distances, graph.edges, frontier, starts, ends, active_bits,
             weights=weights, method=relax_method, snapshot=snapshot,
+            next_bits=next_scratch,
         )
         engine.note_relax(outcome.method, outcome.candidates)
         attribution.record(
@@ -349,7 +359,9 @@ def _sssp_word(
             active=outcome.active_lanes,
         )
 
-        frontier_bits = outcome.next_bits
+        # Double-buffer: the consumed frontier word becomes next sweep's
+        # kernel scratch (zeroed inside relax_lanes).
+        frontier_bits, next_scratch = outcome.next_bits, frontier_bits
         frontier = np.flatnonzero(frontier_bits).astype(VERTEX_DTYPE)
         iterations += 1
 
@@ -364,19 +376,31 @@ def _sssp_word(
 # ---------------------------------------------------------------------- #
 # Internals
 # ---------------------------------------------------------------------- #
+@hot_path
 def _lane_mask(bits: np.ndarray, lane: int) -> np.ndarray:
     """Boolean mask of the entries whose ``lane`` bit is set."""
     return (bits >> np.uint64(lane)) & _ONE != 0
 
 
-def _scatter_or(num_vertices: int, destinations: np.ndarray, bits: np.ndarray) -> np.ndarray:
-    """OR-scatter ``bits`` into a fresh per-vertex word array by destination.
+@hot_path
+def _scatter_or(
+    num_vertices: int,
+    destinations: np.ndarray,
+    bits: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """OR-scatter ``bits`` into a per-vertex word array by destination.
 
     ``np.bitwise_or.at`` takes numpy's indexed-ufunc fast path for integer
     index arrays, which profiles an order of magnitude faster than the
-    sort + ``reduceat`` formulation at frontier-sweep sizes.
+    sort + ``reduceat`` formulation at frontier-sweep sizes.  ``out``, when
+    given, is zeroed and reused so fixed-point callers avoid an O(V)
+    allocation per sweep.
     """
-    out = np.zeros(num_vertices, dtype=np.uint64)
+    if out is None:
+        out = np.zeros(num_vertices, dtype=np.uint64)  # repro: noqa[REPRO101] — solo-call fallback
+    else:
+        out.fill(0)
     if destinations.size:
         np.bitwise_or.at(out, destinations, bits)
     return out

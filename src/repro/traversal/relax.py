@@ -54,6 +54,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..arrays import ragged_gather_indices
+from ..hotpath import hot_path
 from . import _native
 
 _ONE = np.uint64(1)
@@ -107,6 +108,7 @@ class RelaxOutcome:
         return int(self.lane_edges.sum())
 
 
+@hot_path
 def active_lane_mask(active_bits: np.ndarray, lanes: int) -> np.ndarray:
     """Boolean ``(lanes,)`` mask of lanes with any bit set in ``active_bits``.
 
@@ -121,6 +123,7 @@ def active_lane_mask(active_bits: np.ndarray, lanes: int) -> np.ndarray:
     return ((union >> lane_ids) & _ONE).astype(bool)
 
 
+@hot_path
 def expand_lane_pairs(
     active_bits: np.ndarray, lanes: int
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -141,6 +144,7 @@ def make_snapshot(num_vertices: int, lanes: int) -> np.ndarray:
     return np.empty((num_vertices, lanes), dtype=np.float64)
 
 
+@hot_path
 def relax_lanes(
     values: np.ndarray,
     edges: np.ndarray,
@@ -151,6 +155,7 @@ def relax_lanes(
     weights: np.ndarray | None = None,
     method: str | None = None,
     snapshot: np.ndarray | None = None,
+    next_bits: np.ndarray | None = None,
 ) -> RelaxOutcome:
     """One shared relaxation sweep over every lane's frontier edges.
 
@@ -167,7 +172,11 @@ def relax_lanes(
 
     ``weights``, when given, must be float64 — convert once per batch, not
     per sweep.  ``snapshot`` (see :func:`make_snapshot`) lets the native
-    backend reuse its scratch across sweeps.
+    backend reuse its scratch across sweeps.  ``next_bits``, when given, is a
+    ``(num_vertices,)`` uint64 scratch the kernel zeroes and fills — callers
+    iterating to a fixed point double-buffer it against the previous sweep's
+    word array instead of allocating O(V) per sweep; the returned
+    ``RelaxOutcome.next_bits`` is this same array.
 
     Per-lane results are bit-identical across every ``method`` and to
     relaxing each lane on its own, because min is exactly
@@ -185,10 +194,17 @@ def relax_lanes(
         weights = np.ascontiguousarray(weights, dtype=np.float64)
 
     active_lanes = active_lane_mask(active_bits, lanes)
-    next_bits = np.zeros(num_vertices, dtype=np.uint64)
+    if next_bits is None:
+        # Solo-call fallback; fixed-point callers pass a double-buffered
+        # scratch (see _sssp_word).
+        next_bits = np.zeros(num_vertices, dtype=np.uint64)  # repro: noqa[REPRO101] — solo-call fallback
+    else:
+        if next_bits.shape != (num_vertices,) or next_bits.dtype != np.uint64:
+            raise ValueError("next_bits scratch must be (num_vertices,) uint64")
+        next_bits.fill(0)
 
     if method == "native":
-        lane_edges = np.zeros(lanes, dtype=np.int64)
+        lane_edges = np.zeros(lanes, dtype=np.int64)  # repro: noqa[REPRO101] — O(lanes) <= 64 elements
         if frontier.size:
             if snapshot is None:
                 snapshot = make_snapshot(frontier.size, lanes)
@@ -233,7 +249,7 @@ def relax_lanes(
         cumulative, np.arange(_BLOCK_PAIRS, int(cumulative[-1]), _BLOCK_PAIRS),
         side="left",
     ) + 1
-    bounds = np.concatenate(([0], cuts, [pair_lane.size]))
+    bounds = np.concatenate(([0], cuts, [pair_lane.size]))  # repro: noqa[REPRO101] — O(num_blocks), a few dozen entries
 
     for block_lo, block_hi in zip(bounds[:-1], bounds[1:]):
         if block_lo >= block_hi:
@@ -267,7 +283,7 @@ def relax_lanes(
         order = np.argsort(keys, kind="stable")
         sorted_keys = keys[order]
         sorted_candidates = candidates[order]
-        segment_starts = np.concatenate(
+        segment_starts = np.concatenate(  # repro: noqa[REPRO101] — reduceat cross-check backend, not the production path
             ([0], np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1)
         )
         unique_keys = sorted_keys[segment_starts]

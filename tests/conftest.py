@@ -100,3 +100,20 @@ def to_networkx(graph, weighted: bool = False):
         for src, dst in zip(sources, graph.edges):
             nx_graph.add_edge(int(src), int(dst))
     return nx_graph
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """With REPRO_LOCKCHECK armed, unreviewed ordering cycles fail the run.
+
+    Tests that deliberately provoke inversions (tests/test_lockorder.py)
+    reset the graph in their teardown, so anything still recorded here came
+    from real serving-tier code paths.
+    """
+    from repro.analysis import lockorder
+
+    if not lockorder.enabled():
+        return
+    found = lockorder.cycles()
+    if found:
+        print(lockorder.format_report(found))
+        session.exitstatus = 1

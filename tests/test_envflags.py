@@ -1,0 +1,66 @@
+"""The shared REPRO_* environment contract (repro.envflags)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.envflags import env_choice, env_flag, env_str
+from repro.errors import ConfigurationError
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("raw", ["1", "true", "on", "yes", "True", " ON "])
+    def test_truthy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TESTFLAG", raw)
+        assert env_flag("REPRO_TESTFLAG", default=False) is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "off", "no", "False", " OFF "])
+    def test_falsy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TESTFLAG", raw)
+        assert env_flag("REPRO_TESTFLAG", default=True) is False
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TESTFLAG", raising=False)
+        assert env_flag("REPRO_TESTFLAG", default=True) is True
+        assert env_flag("REPRO_TESTFLAG", default=False) is False
+
+    def test_empty_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TESTFLAG", "   ")
+        assert env_flag("REPRO_TESTFLAG", default=True) is True
+
+    def test_unknown_value_degrades_to_default(self, monkeypatch):
+        # Operational kill switches must not flip modes on a typo.
+        monkeypatch.setenv("REPRO_TESTFLAG", "maybe")
+        assert env_flag("REPRO_TESTFLAG", default=True) is True
+        assert env_flag("REPRO_TESTFLAG", default=False) is False
+
+
+class TestEnvStr:
+    def test_strips_whitespace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TESTSTR", "  value  ")
+        assert env_str("REPRO_TESTSTR") == "value"
+
+    def test_unset_and_empty_return_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TESTSTR", raising=False)
+        assert env_str("REPRO_TESTSTR") is None
+        assert env_str("REPRO_TESTSTR", default="x") == "x"
+        monkeypatch.setenv("REPRO_TESTSTR", "   ")
+        assert env_str("REPRO_TESTSTR") is None
+
+
+class TestEnvChoice:
+    def test_valid_choice_normalized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TESTCHOICE", "  ASAN ")
+        assert env_choice("REPRO_TESTCHOICE", ("asan", "ubsan")) == "asan"
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TESTCHOICE", raising=False)
+        assert env_choice("REPRO_TESTCHOICE", ("asan", "ubsan")) is None
+        assert env_choice("REPRO_TESTCHOICE", ("asan",), default="asan") == "asan"
+
+    def test_unknown_value_raises(self, monkeypatch):
+        # Unlike flags, a typo'd mode request must fail loudly: silently
+        # running the unsanitized build would defeat the point of asking.
+        monkeypatch.setenv("REPRO_TESTCHOICE", "asam")
+        with pytest.raises(ConfigurationError, match="asam"):
+            env_choice("REPRO_TESTCHOICE", ("asan", "ubsan"))

@@ -1,0 +1,196 @@
+"""Lock-order race detection (repro.analysis.lockorder)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import lockorder
+from repro.analysis.lockorder import (
+    TrackedLock,
+    cycles,
+    format_report,
+    tracked_lock,
+    tracked_rlock,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_detector():
+    """Every test starts and ends with the detector disarmed and empty."""
+    lockorder.install(None)
+    lockorder.reset()
+    yield
+    lockorder.install(None)
+    lockorder.reset()
+
+
+def _run_threads(*targets):
+    threads = [threading.Thread(target=t) for t in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30)
+
+
+class TestDisabledPath:
+    def test_disabled_factories_return_plain_stdlib_locks(self):
+        lockorder.install(False)
+        lock = tracked_lock("test.plain")
+        rlock = tracked_rlock("test.plain_r")
+        # Identity, not emulation: the zero-cost path hands out the exact
+        # stdlib primitives, so there is no wrapper overhead to measure.
+        assert type(lock) is type(threading.Lock())
+        assert type(rlock) is type(threading.RLock())
+
+    def test_env_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+        assert not lockorder.enabled()
+        assert type(tracked_lock("test.default")) is type(threading.Lock())
+
+    def test_env_arms_the_detector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        assert lockorder.enabled()
+        assert isinstance(tracked_lock("test.armed"), TrackedLock)
+
+
+class TestTrackedLock:
+    def test_context_manager_and_locked(self):
+        lockorder.install(True)
+        lock = tracked_lock("test.cm")
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_nonblocking_acquire(self):
+        lockorder.install(True)
+        lock = tracked_lock("test.nb")
+        assert lock.acquire(blocking=False)
+        try:
+            assert not lock.acquire(blocking=False)
+        finally:
+            lock.release()
+
+    def test_reentrant_rlock_records_no_self_cycle(self):
+        lockorder.install(True)
+        lock = tracked_rlock("test.reentrant")
+        with lock:
+            with lock:
+                pass
+        assert cycles() == []
+
+    def test_two_instances_sharing_a_name_self_edge(self):
+        # Two threads nesting two same-named instances in opposite order is a
+        # real deadlock, so same-name nesting must report a cycle.
+        lockorder.install(True)
+        first = tracked_lock("test.shared_name")
+        second = tracked_lock("test.shared_name")
+        with first:
+            with second:
+                pass
+        found = cycles()
+        assert len(found) == 1
+        assert found[0]["nodes"] == ["test.shared_name"]
+
+
+class TestCycleDetection:
+    def test_consistent_order_reports_no_cycle(self):
+        lockorder.install(True)
+        a = tracked_lock("test.order_a")
+        b = tracked_lock("test.order_b")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        _run_threads(forward, forward)
+        assert cycles() == []
+
+    def test_inverted_acquisition_reports_cycle_with_both_stacks(self):
+        lockorder.install(True)
+        a = tracked_lock("test.inv_a")
+        b = tracked_lock("test.inv_b")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        # Sequential threads: the *order* graph flags the inversion even
+        # though this schedule never actually deadlocked.
+        _run_threads(forward)
+        _run_threads(backward)
+
+        found = cycles()
+        assert len(found) == 1
+        assert set(found[0]["nodes"]) == {"test.inv_a", "test.inv_b"}
+        for edge in found[0]["edges"]:
+            # Both acquisition stacks are attached, pointing into this test.
+            assert "test_lockorder" in edge["holder_stack"]
+            assert "test_lockorder" in edge["acquire_stack"]
+        report = format_report(found)
+        assert "test.inv_a" in report and "test.inv_b" in report
+        assert "held while acquiring" in report
+        assert "holder acquired at:" in report
+
+    def test_three_lock_rotation_cycle(self):
+        lockorder.install(True)
+        a = tracked_lock("test.rot_a")
+        b = tracked_lock("test.rot_b")
+        c = tracked_lock("test.rot_c")
+
+        for outer, inner in ((a, b), (b, c), (c, a)):
+            with outer:
+                with inner:
+                    pass
+
+        found = cycles()
+        assert len(found) == 1
+        assert set(found[0]["nodes"]) == {"test.rot_a", "test.rot_b", "test.rot_c"}
+
+    def test_reset_clears_the_graph(self):
+        lockorder.install(True)
+        a = tracked_lock("test.reset_a")
+        b = tracked_lock("test.reset_b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert cycles()
+        lockorder.reset()
+        assert cycles() == []
+        assert "no ordering cycles" in format_report()
+
+
+class TestServiceSmoke:
+    def test_serving_tier_observes_no_cycles(self, random_graph):
+        """Drive the real service with tracking armed; the tree must be clean."""
+        from repro.config import ServiceConfig
+        from repro.service.registry import GraphRegistry
+        from repro.service.requests import TraversalRequest
+        from repro.service.service import Service
+
+        lockorder.install(True)
+        registry = GraphRegistry()
+        registry.register_graph(random_graph)
+        with Service(registry=registry, config=ServiceConfig(max_workers=2)) as service:
+            jobs = [
+                service.submit(TraversalRequest("bfs", random_graph.name, source=s))
+                for s in range(3)
+            ]
+            jobs.append(
+                service.submit(TraversalRequest("sssp", random_graph.name, source=0))
+            )
+            for job in jobs:
+                service.result(job, timeout=30)
+            service.collect_metrics().render_prometheus()
+        assert cycles() == []

@@ -209,3 +209,54 @@ class TestKernelUnits:
             solo = run_sssp(graph, result.source)
             assert np.array_equal(result.values, solo.values)
             assert result.metrics.iterations == solo.metrics.iterations
+
+
+class TestSanitizerBuildMode:
+    """REPRO_NATIVE_SANITIZE gates the sanitized kernel build (_native)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_probe(self, monkeypatch, tmp_path):
+        # Isolate the shared-object cache and force a re-probe around every
+        # test so the session's healthy build is not disturbed.
+        monkeypatch.setenv("REPRO_NATIVE_DIR", str(tmp_path))
+        _native.reset_probe()
+        yield
+        _native.reset_probe()
+
+    def test_build_flags_fold_sanitizer_in(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+        plain, note = _native._build_flags()
+        assert note == ""
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "asan")
+        asan, note = _native._build_flags()
+        assert note == " [asan]"
+        assert "-fsanitize=address" in asan and "-fno-omit-frame-pointer" in asan
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "ubsan")
+        ubsan, note = _native._build_flags()
+        assert note == " [ubsan]"
+        assert "-fsanitize=undefined" in ubsan
+        # Different flags -> different cache digests: switching modes can
+        # never serve a stale unsanitized object.
+        assert len({plain, asan, ubsan}) == 3
+
+    def test_misconfigured_sanitizer_degrades_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "asam")
+        assert not _native.available()
+        assert "sanitizer misconfigured" in _native.status()
+        assert "asam" in _native.status()
+
+    @pytest.mark.skipif(
+        not _native.available(), reason="no native backend on this host"
+    )
+    def test_ubsan_build_stays_bit_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "ubsan")
+        monkeypatch.setenv("UBSAN_OPTIONS", "halt_on_error=1")
+        _native.reset_probe()
+        if not _native.available():
+            pytest.skip(f"sanitized build unavailable: {_native.status()}")
+        assert "[ubsan]" in _native.status()
+        graph = messy_graph(7, num_vertices=40, num_edges=260)
+        batch = run_batch(Application.SSSP, graph, [0, 3, 9], relax_method="native")
+        for result in batch.results:
+            solo = run_sssp(graph, result.source)
+            assert np.array_equal(result.values, solo.values)
