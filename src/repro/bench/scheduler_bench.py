@@ -342,6 +342,124 @@ def bench_multi_tenant(
     }
 
 
+#: Sources per fusible BFS/SSSP batch group in the planner scenario; three
+#: strategy groups of this width bin-pack comfortably into one 64-lane word.
+DEFAULT_PLANNER_SOURCES = 6
+#: Strategy spread of the planner scenario: three same-graph groups per
+#: application, each a distinct platform configuration the planner may fuse.
+_PLANNER_STRATEGIES = (
+    AccessStrategy.MERGED_ALIGNED,
+    AccessStrategy.UVM,
+    AccessStrategy.NAIVE,
+)
+
+
+def _planner_workload(graph, sources: int) -> list[TraversalRequest]:
+    """A mixed-application, same-graph backlog with fusion headroom.
+
+    BFS and SSSP groups across three strategies (packed-plan candidates),
+    plus CC and PageRank configuration groups (streaming-plan candidates).
+    """
+    requests: list[TraversalRequest] = []
+    for application in (Application.BFS, Application.SSSP):
+        for strategy in _PLANNER_STRATEGIES:
+            requests.extend(
+                TraversalRequest(application, graph.name, source=source, strategy=strategy)
+                for source in range(sources)
+            )
+    for strategy in _PLANNER_STRATEGIES:
+        requests.append(TraversalRequest(Application.CC, graph.name, strategy=strategy))
+    for strategy in _PLANNER_STRATEGIES[:2]:
+        requests.append(
+            TraversalRequest(Application.PAGERANK, graph.name, strategy=strategy)
+        )
+    return requests
+
+
+def _run_planner_mode(enabled: bool, graphs, requests, timeout: float) -> dict:
+    registry = GraphRegistry()
+    for graph in graphs:
+        registry.register_graph(graph)
+    service = Service(
+        registry=registry,
+        config=ServiceConfig(max_workers=1, planner=enabled),
+    )
+    started = time.perf_counter()
+    for request in requests:
+        service.submit(request)
+    finished = service.wait_all(timeout=timeout)
+    wall = time.perf_counter() - started
+    decisions = service.plan_decisions()
+    service.close()
+    stats = service.stats()
+    fused = [entry for entry in decisions if entry["groups"] > 1]
+    return {
+        "planner": enabled,
+        "finished_in_time": finished,
+        "wall_seconds": wall,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "throughput_rps": stats.completed / wall if wall > 0 else 0.0,
+        "amortization": stats.amortization,
+        "plans_logged": len(decisions),
+        "fused_plans": len(fused),
+        "fused_kinds": sorted({entry["kind"] for entry in fused}),
+        "fused_lanes": sum(entry["lanes"] for entry in fused),
+        "plan_decisions": decisions,
+    }
+
+
+def bench_planner(
+    graphs,
+    sources: int = DEFAULT_PLANNER_SOURCES,
+    repetitions: int = 2,
+    timeout: float = 300.0,
+) -> dict:
+    """Mixed-application fusible workload: fusion planner on vs off.
+
+    Interleaved best-of-N per mode so runner noise cannot decide the
+    contrast; the planner-on arm's plan-decision log (every drain's chosen
+    shape, estimate and actual seconds) rides along for the archived trend.
+    """
+    graph = graphs[0]
+    # Warm the engine code paths once so the first timed arm pays no one-off
+    # numpy cache costs the second arm skips.
+    run_batch(Application.BFS, graph, [0], strategy=AccessStrategy.MERGED_ALIGNED)
+    requests = _planner_workload(graph, sources)
+    best: dict[bool, dict] = {}
+    for _ in range(repetitions):
+        for enabled in (False, True):
+            run = _run_planner_mode(enabled, graphs, requests, timeout)
+            if (
+                enabled not in best
+                or run["throughput_rps"] > best[enabled]["throughput_rps"]
+            ):
+                best[enabled] = run
+    on, off = best[True], best[False]
+    ratio = (
+        on["throughput_rps"] / off["throughput_rps"]
+        if off["throughput_rps"]
+        else None
+    )
+    return {
+        "workload": {
+            "jobs": len(requests),
+            "group_sources": sources,
+            "strategies": [strategy.value for strategy in _PLANNER_STRATEGIES],
+            "repetitions": repetitions,
+        },
+        "modes": [on, off],
+        "summary": {
+            "planner_on_throughput_rps": on["throughput_rps"],
+            "planner_off_throughput_rps": off["throughput_rps"],
+            "throughput_ratio_on_over_off": ratio,
+            "planner_not_slower": ratio >= 1.0 if ratio is not None else None,
+            "fused_plans": on["fused_plans"],
+            "fused_kinds": on["fused_kinds"],
+        },
+    }
+
+
 def bench_admission(graph: CSRGraph, queue_limit: int = 4, burst: int = 32) -> dict:
     """Fill a bounded queue and count how much of the burst is shed."""
     registry = GraphRegistry()
@@ -473,6 +591,7 @@ def bench_scheduler(
         "policies": runs,
         "admission": bench_admission(graphs[2]),
         "multi_tenant": multi_tenant,
+        "planner": bench_planner(graphs, timeout=timeout),
         "resilience": bench_resilience(graphs[0]),
         "summary": {
             "fifo_urgent_met": fifo_met,
@@ -485,6 +604,26 @@ def bench_scheduler(
             "wfq_holds_polite_p95": multi_tenant["summary"]["wfq_holds_polite_p95"],
         },
     }
+
+
+def plan_decision_lines(report: dict) -> list[str]:
+    """The planner-on arm's plan-decision log as JSONL lines.
+
+    One line per drain decision (kind, shape, lane counts, estimated vs
+    actual seconds) — the artifact CI archives next to the report so a
+    regression in planning quality is diagnosable from the run that hit it.
+    """
+    planner = report.get("planner")
+    if planner is None:
+        return []
+    lines = []
+    for mode in planner["modes"]:
+        if not mode["planner"]:
+            continue
+        lines.extend(
+            json.dumps(entry, sort_keys=True) for entry in mode["plan_decisions"]
+        )
+    return lines
 
 
 def headline_ok(report: dict) -> bool | None:
@@ -570,6 +709,18 @@ def format_report(report: dict) -> str:
             f"{'yes' if mt_summary['probe_rejected_under_wfq'] else 'NO'}; "
             f"fifo expired in queue: "
             f"{'yes' if mt_summary['probe_expired_under_fifo'] else 'NO'}"
+        )
+    planner = report.get("planner")
+    if planner is not None:
+        planner_summary = planner["summary"]
+        ratio = planner_summary["throughput_ratio_on_over_off"]
+        lines.append(
+            f"planner: {planner['workload']['jobs']} mixed-app jobs, "
+            f"{planner_summary['fused_plans']} fused plans "
+            f"({', '.join(planner_summary['fused_kinds']) or 'none'}); "
+            f"throughput on/off "
+            f"{'n/a' if ratio is None else f'{ratio:.2f}'} "
+            f"({'not slower' if planner_summary['planner_not_slower'] else 'SLOWER'})"
         )
     resilience = report.get("resilience")
     if resilience is not None:

@@ -121,6 +121,14 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "(overrides the workload file)",
     )
     parser.add_argument(
+        "--planner",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="enable/disable the cost-model-driven fusion planner "
+        "(--no-planner drains every group solo; overrides the workload file; "
+        "default on)",
+    )
+    parser.add_argument(
         "--reject-infeasible",
         action="store_true",
         default=None,
@@ -554,6 +562,7 @@ def _serve_batch(argv: list[str]) -> int:
             tenant_quota=args.tenant_quota,
             tenant_weights=args.tenant_weights,
             cost_alpha=args.cost_alpha,
+            planner=args.planner,
             reject_infeasible=args.reject_infeasible,
             trace_sample=args.trace_sample,
             fault_plan=args.faults,

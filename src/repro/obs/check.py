@@ -28,9 +28,10 @@ from typing import Any
 LIFECYCLE_STAGES = ("admission", "queue", "sweep", "cache")
 
 #: Optional span names that may appear any number of times per trace:
-#: ``engine_sweep`` (shared engine invocations) and ``retry`` (one per
-#: backoff wait on the resilience path).
-AUXILIARY_SPANS = ("engine_sweep", "retry")
+#: ``engine_sweep`` (shared engine invocations), ``retry`` (one per backoff
+#: wait on the resilience path), and ``plan`` (one per fusion-planner drain
+#: decision, carrying the chosen shape and estimated-vs-actual cost).
+AUXILIARY_SPANS = ("engine_sweep", "retry", "plan")
 
 #: Maximum allowed |sum(stage durations) - measured latency|, in seconds.
 TILE_TOLERANCE_SECONDS = 1e-3
@@ -71,6 +72,10 @@ def check_trace_lines(lines: list[str]) -> tuple[int, list[str]]:
             ref = span.get("attributes", {}).get("sweep_ref")
             if ref is not None:
                 retry_refs.append((lineno, span["trace_id"], ref))
+        elif span["name"] == "plan":
+            # Plan spans record one fusion decision each; a trace sees one
+            # per drain it participated in (zero when untraced jobs anchored).
+            pass
         elif span["name"] in LIFECYCLE_STAGES:
             stages = traces[span["trace_id"]]
             if span["name"] in stages:

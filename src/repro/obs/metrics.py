@@ -66,6 +66,19 @@ METRIC_NAMES: dict[str, str] = {
     "repro_faults_injected_total": "Injected faults fired, by site.",
     "repro_cache_errors_total": "Result-cache errors absorbed, by operation.",
     "repro_rejected_after_close_total": "Submissions refused after close().",
+    "repro_queue_policy_fallback_total": (
+        "Drains where the policy named a non-pending group and the queue "
+        "fell back to arrival order."
+    ),
+    "repro_planner_plans_built_total": "Candidate fusion plans enumerated.",
+    "repro_planner_plans_chosen_total": "Fusion plans executed, by kind.",
+    "repro_planner_plans_rejected_total": (
+        "Candidate fusion plans scored but not chosen."
+    ),
+    "repro_planner_packed_lanes_total": "Lanes executed inside chosen fused plans.",
+    "repro_planner_estimated_savings_seconds": (
+        "Estimated solo-minus-shared seconds of each chosen plan."
+    ),
     "repro_pending_jobs": "Jobs queued, not yet picked up.",
     "repro_active_workers": "Worker tasks queued or running.",
     "repro_uptime_seconds": "Seconds since service construction.",

@@ -20,6 +20,7 @@ Three serving concerns meet here:
 
 from __future__ import annotations
 
+import logging
 import math
 from collections import OrderedDict
 from typing import Callable
@@ -29,6 +30,8 @@ from ..errors import AdmissionError, InfeasibleDeadlineError
 from .costmodel import CostModel
 from .jobs import Job
 from .scheduler import SchedulingPolicy, group_deadline, make_policy
+
+logger = logging.getLogger(__name__)
 
 
 class RequestQueue:
@@ -44,10 +47,16 @@ class RequestQueue:
         self,
         policy: SchedulingPolicy | str | None = None,
         cost_model: CostModel | None = None,
+        on_policy_fallback: Callable[[], None] | None = None,
     ) -> None:
         self._lock = tracked_lock("service.RequestQueue._lock")
         self._policy = make_policy(policy, cost_model=cost_model)
         self._cost_model = cost_model
+        #: Invoked (outside any hot loop, still under the queue lock) every
+        #: time the policy names a non-pending group and the queue falls back
+        #: to arrival order — wired to a service counter so policy bugs are
+        #: visible instead of silently absorbed.
+        self._on_policy_fallback = on_policy_fallback
         self._groups: OrderedDict[tuple, list[Job]] = OrderedDict()
         #: Most urgent absolute deadline per pending group (inf when none),
         #: maintained incrementally on push/join/discard so deadline-aware
@@ -197,43 +206,75 @@ class RequestQueue:
             jobs = self._groups.pop(key, None)
             if jobs is None:
                 # Defensive: a policy named a non-pending group; fall back to
-                # arrival order rather than dropping the wakeup.
+                # arrival order rather than dropping the wakeup — but loudly,
+                # so a buggy policy cannot hide behind the safety net.
+                logger.warning(
+                    "scheduling policy %r selected non-pending group %r; "
+                    "falling back to arrival order",
+                    self._policy.name,
+                    key,
+                )
+                if self._on_policy_fallback is not None:
+                    self._on_policy_fallback()
                 key, jobs = self._groups.popitem(last=False)
             self._group_deadlines.pop(key, None)
             for job in jobs:
                 self._forget_pending(job)
             return jobs
 
-    def pop_sibling_groups(self, graph: str, application: str) -> list[list[Job]]:
-        """Pop every pending group running ``application`` on ``graph``.
+    def snapshot_groups(self) -> dict[tuple, tuple[Job, ...]]:
+        """Point-in-time copy of the pending backlog, keyed by batch key.
 
-        Streaming-fusion support: groups of a streaming application (CC)
-        that differ only in platform — strategy and/or system config — can
-        share one algorithm execution, so the drain path collects them all
-        in one go and runs them as lanes of a single
-        :func:`~repro.traversal.streaming.run_streaming_batch`.  This
-        deliberately bypasses the scheduling policy: the siblings ride along
-        with a group the policy already selected, the same coalescing
-        rationale as batch grouping itself, and can only finish earlier than
-        the policy would have run them.  Each popped group is reported to
-        :meth:`SchedulingPolicy.forget_group` so stateful policies (WFQ)
-        refund any virtual time already booked for it.
+        Fusion planning input: the caller enumerates candidate plans over the
+        snapshot *without* holding the queue lock, then claims the groups a
+        chosen plan needs through :meth:`claim_groups` — which tolerates any
+        group another worker drained in between.  Job tuples are copies; the
+        queue's own group lists are never exposed.
         """
         with self._lock:
-            keys = [
-                key
-                for key in self._groups
-                if key[0] == graph and key[1] == application
-            ]
-            popped: list[list[Job]] = []
+            return {key: tuple(jobs) for key, jobs in self._groups.items()}
+
+    def claim_groups(self, keys) -> dict[tuple, list[Job]]:
+        """Atomically pop the named groups for rider execution in a fused plan.
+
+        Returns only the groups still pending — a key drained by a concurrent
+        worker since the snapshot is simply absent from the result, and the
+        caller's plan must adjust.  Each claimed group is reported to
+        :meth:`SchedulingPolicy.forget_group`: the rider rides along with a
+        group the policy already selected and charged for, so stateful
+        policies (WFQ) refund any virtual time booked for it — the plan
+        accounting that keeps fairness exact under fusion.
+        """
+        with self._lock:
+            claimed: dict[tuple, list[Job]] = {}
             for key in keys:
-                jobs = self._groups.pop(key)
+                jobs = self._groups.pop(key, None)
+                if jobs is None:
+                    continue
                 self._group_deadlines.pop(key, None)
                 for job in jobs:
                     self._forget_pending(job)
                 self._policy.forget_group(key, jobs)
-                popped.append(jobs)
-            return popped
+                claimed[key] = jobs
+            return claimed
+
+    def pop_plan(self, build):
+        """Pop the policy-selected group, then claim the riders ``build`` names.
+
+        ``build(anchor_jobs, snapshot)`` runs *without* the queue lock (it may
+        consult the cost model freely) and returns ``(plan, rider_keys)``;
+        the plan object is opaque to the queue.  Returns ``(plan, claimed)``
+        where ``claimed`` maps each successfully claimed rider key to its
+        jobs, or ``None`` when the queue was idle.  The scheduling policy
+        stays in charge of *which* work drains next — planning only decides
+        what rides along with its selection.
+        """
+        anchor = self.pop_batch()
+        if not anchor:
+            return None
+        plan, rider_keys = build(anchor, self.snapshot_groups())
+        claimed = self.claim_groups(rider_keys) if rider_keys else {}
+        return plan, claimed
 
     def discard(self, job: Job) -> bool:
         """Withdraw a still-pending job (used when dispatch fails).

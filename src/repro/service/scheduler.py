@@ -84,10 +84,12 @@ class SchedulingPolicy(abc.ABC):
         """Note that ``key`` was dequeued without being selected.
 
         Called under the queue lock when a group leaves the queue outside
-        :meth:`select` — e.g. streaming fusion popping sibling groups to
-        ride along with a selected one.  Stateless policies ignore it;
-        stateful ones (WFQ) refund any bookkeeping already charged for the
-        group, since it will consume no separately scheduled drain.
+        :meth:`select` — the fusion planner claiming a rider group
+        (:meth:`RequestQueue.claim_groups`) to ride along with a group the
+        policy already selected.  Stateless policies ignore it; stateful
+        ones (WFQ) refund any bookkeeping already charged for the group,
+        since it will consume no separately scheduled drain — the plan
+        accounting that keeps virtual time exact under fusion.
         """
 
 

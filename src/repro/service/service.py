@@ -44,7 +44,8 @@ from ..traversal.api import run
 from ..traversal.arena import EngineArena
 from ..traversal.bfs import run_bfs
 from ..traversal.cc import run_cc
-from ..traversal.multisource import run_batch
+from ..traversal.multisource import PackedLane, run_batch, run_packed_batch
+from ..traversal.pagerank import run_pagerank
 from ..traversal.results import TraversalResult
 from ..traversal.streaming import run_streaming_batch
 from ..traversal.sssp import run_sssp
@@ -54,6 +55,7 @@ from .cache import ResultCache
 from .costmodel import CostModel
 from .faults import FaultPlan
 from .jobs import Job, JobStatus
+from .planner import FusionPlan, FusionPlanner
 from .queue import RequestQueue
 from .registry import GraphRegistry
 from .requests import TraversalRequest
@@ -127,7 +129,15 @@ class Service:
                 cost_model=self._costmodel,
             ),
             cost_model=self._costmodel,
+            on_policy_fallback=self._note_policy_fallback,
         )
+        self._policy_fallbacks = 0
+        #: Backlog-wide fusion planner: every built-in drain asks it for the
+        #: cheapest way to execute the policy-selected anchor group together
+        #: with compatible pending work (see :mod:`repro.service.planner`).
+        self._planner = FusionPlanner(self._costmodel)
+        #: Bounded log of recent plan decisions for benchmarks / debugging.
+        self._plan_log: deque[dict] = deque(maxlen=256)
         self._pool = WorkerPool(self.config.max_workers)
         self._jobs: dict[str, Job] = {}
         #: Completion order of jobs still in ``_jobs`` (ids, oldest first):
@@ -170,6 +180,7 @@ class Service:
             enabled=self.config.trace_enabled,
         )
         self._sweep_ids = itertools.count(1)
+        self._plan_ids = itertools.count(1)
         self._metrics = MetricsRegistry()
         self._init_metrics()
         # Resilience substrate: fault plan (explicit, spec string, or the
@@ -353,10 +364,48 @@ class Service:
             "repro_rejected_after_close_total",
             "Submissions refused because the service was already closed.",
         )
+        self._m_queue_fallback = m.counter(
+            "repro_queue_policy_fallback_total",
+            "Drains where the policy named a non-pending group and the queue "
+            "fell back to arrival order.",
+        )
+        self._m_plans_built = m.counter(
+            "repro_planner_plans_built_total",
+            "Candidate fusion plans enumerated across all drains.",
+        )
+        self._m_plans_chosen = m.counter(
+            "repro_planner_plans_chosen_total",
+            "Plans selected for execution, by plan kind.",
+            ("kind",),
+        )
+        self._m_plans_rejected = m.counter(
+            "repro_planner_plans_rejected_total",
+            "Candidate plans scored but not selected.",
+        )
+        self._m_packed_lanes = m.counter(
+            "repro_planner_packed_lanes_total",
+            "Lanes executed inside chosen fused (packed/streaming) plans.",
+        )
+        self._m_plan_savings = m.summary(
+            "repro_planner_estimated_savings_seconds",
+            "Estimated solo-minus-shared engine seconds of each chosen plan.",
+            window=window,
+        )
 
     def _note_fault(self, site: str) -> None:
         """Fault-plan listener: export every injected fault as a counter bump."""
         self._m_faults.inc(site=site)
+
+    def _note_policy_fallback(self) -> None:
+        """Queue hook: count arrival-order fallbacks after a policy misfire.
+
+        Called under the queue lock before ``_init_metrics`` may have run
+        (the queue is constructed first), so the counter access is guarded.
+        """
+        self._policy_fallbacks += 1
+        counter = getattr(self, "_m_queue_fallback", None)
+        if counter is not None:
+            counter.inc()
 
     def _note_breaker_transition(self, state: str) -> None:
         self._m_breaker_transitions.inc(state=state)
@@ -429,6 +478,22 @@ class Service:
                 backend = counters.relax_backend
                 self._m_kernel_backend.inc(app=app, backend=backend)
         return backend
+
+    def _note_family_counters(self, family, metrics_list) -> None:
+        """Feed one family's per-sweep iteration count to the cost model.
+
+        The planner's shared-cost estimate scales with how long the slowest
+        fused lane iterates, so the model keeps a per-family iterations EWMA
+        next to its seconds EWMAs.  Lanes of one family report the same sweep,
+        hence ``max`` rather than a sum.
+        """
+        iterations = 0
+        for metrics in metrics_list:
+            counters = getattr(metrics, "counters", None)
+            if counters is not None and counters.iterations:
+                iterations = max(iterations, counters.iterations)
+        if iterations:
+            self._costmodel.note_counters(family, iterations)
 
     def _emit_sweep_span(
         self,
@@ -688,6 +753,11 @@ class Service:
         if budget is None:
             multiplier = self.config.sweep_timeout_multiplier
             if multiplier is None:
+                return None
+            if self._costmodel.family_samples(family) == 0:
+                # The multiplier watchdog waits for real samples: a size
+                # bootstrap is an order-of-magnitude guess, easily tight
+                # enough to cancel a perfectly healthy first-contact sweep.
                 return None
             estimate = self._costmodel.estimate_group(family, width)
             if estimate <= 0:
@@ -1022,38 +1092,206 @@ class Service:
     # Execution (runs on worker threads)
     # ------------------------------------------------------------------ #
     def _drain_one_batch(self) -> None:
-        """One worker wakeup: pick a group, drain it, never strand a job.
+        """One worker wakeup: pick work, drain it, never strand a job.
 
-        The catch-all exists because the future this runs in is never
+        On the built-in engine path with planning enabled the pick is a
+        whole :class:`~repro.service.planner.FusionPlan` — the policy-
+        selected anchor group plus whatever compatible backlog the planner
+        decided should ride along.  With an injected engine or
+        ``config.planner`` off, the pick is the classic single group.
+
+        The catch-alls exist because the future this runs in is never
         awaited — an exception escaping a drain would strand every popped
         job (each waiter blocking until its timeout) while the worker moved
         on.  Jobs the inner path already finished keep their outcome; the
         rest fail with the escaped error.
         """
         pick_started = time.perf_counter()
+        use_planner = self._engine is None and self.config.planner
         try:
-            batch = self._queue.pop_batch()
+            if use_planner:
+                popped = self._queue.pop_plan(self._build_plan)
+            else:
+                batch = self._queue.pop_batch()
         except Exception:  # noqa: BLE001 - keep the drain loop alive
             logger.exception("scheduler failed to pick a batch group")
             return
-        # Schedule-pick cost: the policy's group-selection work, attributed
-        # to the drained batch's sweep span.
+        # Schedule-pick cost: policy selection plus (on the planner path)
+        # plan enumeration, attributed to the drained batch's sweep span.
         schedule_seconds = time.perf_counter() - pick_started
+        if use_planner:
+            if popped is None:
+                # Another worker already drained the group this wakeup was for.
+                return
+            plan, claimed = popped
+            plan.restrict(claimed)
+            try:
+                self._execute_plan(plan, schedule_seconds)
+            except Exception as exc:  # noqa: BLE001 - never strand popped jobs
+                logger.exception("plan execution failed outside job-level isolation")
+                self._fail_stranded(plan.jobs, exc)
+            return
         if not batch:
-            # Another worker already drained the group this wakeup was for.
             return
         try:
             self._drain_batch(batch, schedule_seconds)
         except Exception as exc:  # noqa: BLE001 - never strand popped jobs
             logger.exception("batch drain failed outside job-level isolation")
-            stranded = [job for job in batch if not job.done]
-            for job in stranded:
-                job.mark_failed(exc)
-                self._queue.release(job)
-            if stranded:
+            self._fail_stranded(batch, exc)
+
+    def _fail_stranded(self, jobs: list[Job], exc: BaseException) -> None:
+        """Terminal backstop: fail every popped job the drain left unfinished."""
+        stranded = [job for job in jobs if not job.done]
+        for job in stranded:
+            job.mark_failed(exc)
+            self._queue.release(job)
+        if stranded:
+            with self._lock:
+                self._failed += len(stranded)
+                self._note_finished_locked(*stranded)
+
+    def _build_plan(self, anchor: list[Job], snapshot: dict) -> tuple[FusionPlan, list]:
+        """Queue callback: plan one drain and export the decision counters."""
+        started = time.perf_counter()
+        plan, rider_keys = self._planner.build(anchor, snapshot)
+        plan.planning_seconds = time.perf_counter() - started
+        self._m_plans_built.inc(plan.candidates_built)
+        if plan.candidates_rejected:
+            self._m_plans_rejected.inc(plan.candidates_rejected)
+        self._m_plans_chosen.inc(kind=plan.kind)
+        return plan, rider_keys
+
+    def _execute_plan(self, plan: FusionPlan, schedule_seconds: float) -> None:
+        """Execute one chosen fusion plan with full bookkeeping.
+
+        Expiry filtering, batch accounting, the registry retry ladder and
+        the plan-level observability (span + decision log) all live here;
+        the per-shape executors below only run engines.
+        """
+        groups = []
+        for group in plan.groups:
+            live = self._fail_expired(group)
+            if live:
+                groups.append(live)  # repro: noqa[REPRO101] — O(groups) per drain
+        if not groups:
+            # Fully expired plans never reach an engine sweep, so they do
+            # not count as batches — amortization stays executions-per-sweep.
+            return
+        plan.groups = groups
+        if not plan.fused and plan.kind == "packed":
+            # Expiry ate every rider; degrade the label to the real shape.
+            plan.kind = FusionPlan._baseline_kind(plan.application, groups[0])
+        with self._lock:
+            # Ridden-along groups still count as drained batches so
+            # amortization stays executions-per-sweep.
+            self._batches += len(groups)
+        self._m_batches.inc(len(groups))
+        all_jobs = plan.jobs
+        attempt = 0
+        while True:
+            try:
+                graph = self.registry.get(plan.graph)
+            except Exception as exc:  # noqa: BLE001 - retry, then every waiter
+                if self._maybe_retry("registry", all_jobs, attempt, exc):
+                    attempt += 1
+                    continue
+                for job in all_jobs:
+                    job.mark_failed(exc)
+                    self._queue.release(job)
                 with self._lock:
-                    self._failed += len(stranded)
-                    self._note_finished_locked(*stranded)
+                    self._failed += len(all_jobs)
+                    self._note_finished_locked(*all_jobs)
+                return
+            break
+        if plan.fused:
+            self._m_packed_lanes.inc(plan.lanes)
+            if plan.estimate is not None:
+                self._m_plan_savings.observe(plan.estimate.savings_seconds)
+        started = time.perf_counter()
+        if plan.kind == "streaming":
+            self._execute_streaming(plan, graph, schedule_seconds)
+        elif plan.kind == "packed":
+            self._execute_packed(plan, graph, schedule_seconds)
+        else:
+            self._execute_builtin(groups[0], graph, schedule_seconds)
+        elapsed = time.perf_counter() - started
+        self._emit_plan_span(plan, started, elapsed, schedule_seconds)
+        self._note_plan_decision(plan, elapsed)
+
+    def _emit_plan_span(
+        self, plan: FusionPlan, started: float, elapsed: float, schedule_seconds: float
+    ) -> None:
+        """Record one ``plan`` span: chosen shape, estimated vs actual cost.
+
+        Like ``engine_sweep`` spans, plan spans carry their own trace id —
+        one plan serves many request traces, and the per-request lifecycle
+        tiling (admission+queue+sweep+cache == latency) must stay exact.
+        """
+        if not self._tracer.enabled:
+            return
+        traced = next((job for job in plan.jobs if job.trace_id is not None), None)
+        if traced is None:
+            return
+        plan_id = f"plan-{next(self._plan_ids)}"
+        attrs = {
+            "kind": plan.kind,
+            "shape": plan.shape,
+            "graph": plan.graph,
+            "application": plan.application.value,
+            "groups": len(plan.groups),
+            "lanes": plan.lanes,
+            "jobs": len(plan.jobs),
+            "schedule_seconds": schedule_seconds,
+            "planning_seconds": plan.planning_seconds,
+            "actual_seconds": elapsed,
+            "candidates_built": plan.candidates_built,
+        }
+        if plan.estimate is not None:
+            attrs["estimated_shared_seconds"] = plan.estimate.shared_seconds
+            attrs["estimated_solo_seconds"] = plan.estimate.solo_seconds
+            attrs["estimated_savings_seconds"] = plan.estimate.savings_seconds
+        self._tracer.emit(
+            Span(
+                trace_id=plan_id,
+                span_id=plan_id,
+                name="plan",
+                start_unix=traced.wall_clock(started),
+                duration_seconds=elapsed,
+                attributes=attrs,
+            )
+        )
+
+    def _note_plan_decision(self, plan: FusionPlan, elapsed: float) -> None:
+        """Append one JSON-ready decision record to the bounded plan log."""
+        estimate = plan.estimate
+        decision = {
+            "kind": plan.kind,
+            "shape": plan.shape,
+            "graph": plan.graph,
+            "application": plan.application.value,
+            "groups": len(plan.groups),
+            "lanes": plan.lanes,
+            "jobs": len(plan.jobs),
+            "candidates_built": plan.candidates_built,
+            "candidates_rejected": plan.candidates_rejected,
+            "estimated_shared_seconds": (
+                estimate.shared_seconds if estimate is not None else None
+            ),
+            "estimated_solo_seconds": (
+                estimate.solo_seconds if estimate is not None else None
+            ),
+            "estimated_savings_seconds": (
+                estimate.savings_seconds if estimate is not None else None
+            ),
+            "actual_seconds": elapsed,
+        }
+        with self._lock:
+            self._plan_log.append(decision)
+
+    def plan_decisions(self) -> list[dict]:
+        """Recent fusion-plan decisions, oldest first (bounded ring buffer)."""
+        with self._lock:
+            return list(self._plan_log)
 
     def _drain_batch(self, batch: list[Job], schedule_seconds: float) -> None:
         batch = self._fail_expired(batch)
@@ -1174,6 +1412,7 @@ class Service:
             # long before any frontier sweep, and that near-zero timing says
             # nothing about what draining this family actually costs.
             self._observe_cost(job.request.batch_key, 1, elapsed)
+            self._note_family_counters(job.request.batch_key, result_metrics)
             self._cache_put_safe(job.request.cache_key, result)
             job.mark_done(result)
         finally:
@@ -1193,8 +1432,10 @@ class Service:
         BFS/SSSP groups with several distinct sources execute as ONE batched
         multi-source traversal over an arena-shared engine — each frontier
         sweep is paid once per group instead of once per job.  Everything
-        else (CC, singleton groups) runs per job against a leased engine, so
-        the engine construction is still amortized across the group.
+        else (streaming apps, singleton groups) runs per job against a
+        leased engine, so the engine construction is still amortized across
+        the group.  Cross-group fusion is the planner's job
+        (:meth:`_execute_plan`), not this method's.
         """
         runnable = []
         for job in batch:
@@ -1204,7 +1445,7 @@ class Service:
             # on a source-requiring application is just as poisonous to
             # run_batch as an out-of-range one, so both take the solo path
             # (where _run_leased raises for exactly these conditions).
-            invalid = job.request.application is not Application.CC and (
+            invalid = not job.request.application.is_streaming and (
                 source is None or not 0 <= source < graph.num_vertices
             )
             if invalid:
@@ -1220,13 +1461,7 @@ class Service:
             return
         request = runnable[0].request
         application = request.application
-        if application is Application.CC:
-            # Streaming fusion: this group plus every other pending CC group
-            # on the same graph (different strategy/system) execute as lanes
-            # of ONE shared algorithm pass.
-            self._execute_streaming(runnable, graph, schedule_seconds)
-            return
-        if len(runnable) == 1:
+        if application.is_streaming or len(runnable) == 1:
             for job in runnable:
                 self._execute_one(
                     job,
@@ -1322,6 +1557,7 @@ class Service:
         # One observation per drained group: width + wall-clock seconds is
         # exactly the (per-sweep, per-job) sample the cost model EWMAs want.
         self._observe_cost(request.batch_key, len(runnable), elapsed)
+        self._note_family_counters(request.batch_key, outcome.batch_metrics)
         for job, result in zip(runnable, outcome.results):
             self._cache_put_safe(job.request.cache_key, result)
             job.mark_done(result)
@@ -1330,49 +1566,35 @@ class Service:
             self._note_finished_locked(*runnable)
 
     def _execute_streaming(
-        self, primary: list[Job], graph: CSRGraph, schedule_seconds: float = 0.0
+        self, plan: FusionPlan, graph: CSRGraph, schedule_seconds: float = 0.0
     ) -> None:
-        """Drain a CC group fused with its same-graph sibling groups.
+        """Drain a streaming plan: one shared algorithm pass, many lanes.
 
         The algorithm pass is engine-independent, so one
         :func:`~repro.traversal.streaming.run_streaming_batch` serves every
-        pending CC group on this graph — each group becomes one
-        (strategy, system) lane with its own arena-leased engine, and each
-        job receives its own lane's result (values shared, metrics per
-        platform, both identical to a solo run's).
+        group the planner fused — each group becomes one (strategy, system)
+        lane with its own arena-leased engine, and each job receives its own
+        lane's result (values shared, metrics per platform, both identical
+        to a solo run's).  Works for CC and PageRank alike.
         """
-        fusion_started = time.perf_counter()
-        groups: list[list[Job]] = [primary]
-        for sibling in self._queue.pop_sibling_groups(
-            primary[0].request.graph, Application.CC.value
-        ):
-            live = self._fail_expired(sibling)
-            if live:
-                groups.append(live)
-                with self._lock:
-                    # Ridden-along groups still count as drained batches so
-                    # amortization stays executions-per-sweep.
-                    self._batches += 1
-                self._m_batches.inc()
-        # Fusion-grouping cost: sibling-group collection + expiry filtering,
-        # attributed to the fused sweep's span.
-        fusion_seconds = time.perf_counter() - fusion_started
+        groups = plan.groups
+        application = plan.application
         lanes = [(group[0].request.strategy, group[0].request.system) for group in groups]
-        all_jobs = [job for group in groups for job in group]
+        all_jobs = plan.jobs
         for job in all_jobs:
             job.mark_running()
         attempt = 0
         while True:
             started = time.perf_counter()
             token = self._sweep_token(
-                primary[0].request.batch_key, len(all_jobs), "streaming sweep"
+                groups[0][0].request.batch_key, len(all_jobs), "streaming sweep"
             )
             try:
                 for job in all_jobs:
                     self._check_job_fault(job)
                 with cancellation_scope(token):
                     outcome = run_streaming_batch(
-                        Application.CC, graph, lanes, arena=self._arena
+                        application, graph, lanes, arena=self._arena
                     )
             except Exception as exc:  # noqa: BLE001 - resilience ladder below
                 elapsed = time.perf_counter() - started
@@ -1381,8 +1603,8 @@ class Service:
                 self._m_engine_seconds.inc(elapsed)
                 sweep_ref = self._emit_sweep_span(
                     all_jobs, started, elapsed, lanes=len(groups), kind="streaming",
-                    schedule_seconds=schedule_seconds, fusion_seconds=fusion_seconds,
-                    error=exc,
+                    schedule_seconds=schedule_seconds,
+                    fusion_seconds=plan.planning_seconds, error=exc,
                 )
                 if self._maybe_retry("sweep", all_jobs, attempt, exc, sweep_ref):
                     attempt += 1
@@ -1400,13 +1622,13 @@ class Service:
         lane_metrics = [result.metrics for result in outcome.results]
         self._emit_sweep_span(
             all_jobs, started, elapsed, lanes=len(groups), kind="streaming",
-            schedule_seconds=schedule_seconds, fusion_seconds=fusion_seconds,
+            schedule_seconds=schedule_seconds, fusion_seconds=plan.planning_seconds,
             metrics_list=lane_metrics,
         )
-        self._record_kernel_counters(Application.CC.value, lane_metrics)
+        self._record_kernel_counters(application.value, lane_metrics)
         logger.info(
-            "drained %d cc job(s) as %d fused lane(s) on %s in %.3fs",
-            len(all_jobs), len(groups), graph.name, elapsed,
+            "drained %d %s job(s) as %d fused lane(s) on %s in %.3fs",
+            len(all_jobs), application.value, len(groups), graph.name, elapsed,
         )
         with self._lock:
             self._executions += len(all_jobs)
@@ -1420,10 +1642,146 @@ class Service:
         share = elapsed / len(groups)
         for group, result in zip(groups, outcome.results):
             self._observe_cost(group[0].request.batch_key, len(group), share)
+            self._note_family_counters(group[0].request.batch_key, [result.metrics])
             for job in group:
                 self._cache_put_safe(job.request.cache_key, result)
                 job.mark_done(result)
                 self._queue.release(job)
+        with self._lock:
+            self._note_finished_locked(*all_jobs)
+
+    def _execute_packed(
+        self, plan: FusionPlan, graph: CSRGraph, schedule_seconds: float = 0.0
+    ) -> None:
+        """Drain a packed plan: cross-config BFS/SSSP groups in one fused word.
+
+        Every job becomes one lane of a single
+        :func:`~repro.traversal.multisource.run_packed_batch` — lanes of one
+        group share that group's engine, lanes of different groups run under
+        their own platform configuration, and the union frontier sweep is
+        paid once for all of them.  Values and per-lane attribution follow
+        the same bit-identity contract as the plain multi-source word, and
+        a failure anywhere isolates across the *whole* plan (solo re-runs),
+        so a poisoned rider lane cannot take the anchor down with it.
+        """
+        solo_runner = self._job_runner(lambda job: self._run_leased(job.request, graph))
+        groups: list[list[Job]] = []
+        for group in plan.groups:
+            runnable = []
+            for job in group:
+                source = job.request.source
+                # Same pre-validation as the unfused path: one bad source
+                # fails its own job solo, never the word it rode.
+                if source is None or not 0 <= source < graph.num_vertices:
+                    self._execute_one(
+                        job, graph, solo_runner, schedule_seconds=schedule_seconds
+                    )
+                else:
+                    runnable.append(job)
+            if runnable:
+                groups.append(runnable)  # repro: noqa[REPRO101] — O(groups) per drain
+        if not groups:
+            return
+        plan.groups = groups
+        if len(groups) == 1:
+            self._execute_builtin(groups[0], graph, schedule_seconds)
+            return
+        application = groups[0][0].request.application
+        all_jobs = [job for group in groups for job in group]
+        lanes = [
+            PackedLane(job.request.source, job.request.strategy, job.request.system)
+            for job in all_jobs
+        ]
+        for job in all_jobs:
+            job.mark_running()
+        relax_method = self._relax_method()
+        if relax_method == "scatter":
+            # Breaker already open: the whole drain is served degraded.
+            self._note_degraded()
+        attempt = 0
+        while True:
+            started = time.perf_counter()
+            token = self._sweep_token(
+                groups[0][0].request.batch_key, len(all_jobs), "packed sweep"
+            )
+            try:
+                for job in all_jobs:
+                    self._check_job_fault(job)
+                with cancellation_scope(token):
+                    outcome = run_packed_batch(
+                        application,
+                        graph,
+                        lanes,
+                        arena=self._arena,
+                        relax_method=relax_method,
+                    )
+            except Exception as exc:  # noqa: BLE001 - resilience ladder below
+                elapsed = time.perf_counter() - started
+                with self._lock:
+                    self._engine_seconds += elapsed
+                self._m_engine_seconds.inc(elapsed)
+                sweep_ref = self._emit_sweep_span(
+                    all_jobs, started, elapsed, lanes=len(all_jobs), kind="packed",
+                    schedule_seconds=schedule_seconds,
+                    fusion_seconds=plan.planning_seconds, error=exc,
+                )
+                if isinstance(exc, NativeBackendError) and relax_method == "native":
+                    self._breaker.record_failure()
+                    relax_method = "scatter"
+                    self._note_degraded()
+                    logger.warning(
+                        "native relax kernel failed (%s); re-running packed "
+                        "drain on the scatter backend", exc,
+                    )
+                    continue
+                if self._maybe_retry("sweep", all_jobs, attempt, exc, sweep_ref):
+                    attempt += 1
+                    continue
+                self._isolate_group(all_jobs, graph, exc, schedule_seconds)
+                return
+            break
+        if relax_method == "native":
+            self._breaker.record_success()
+        elapsed = time.perf_counter() - started
+        now = started + elapsed
+        for job in all_jobs:
+            job.compute_finished_at = now
+        self._emit_sweep_span(
+            all_jobs, started, elapsed, lanes=len(all_jobs), kind="packed",
+            schedule_seconds=schedule_seconds, fusion_seconds=plan.planning_seconds,
+            metrics_list=outcome.batch_metrics,
+        )
+        backend = self._record_kernel_counters(
+            application.value, outcome.batch_metrics
+        )
+        logger.info(
+            "drained %d %s job(s) from %d group(s) as one packed word on %s "
+            "in %.3fs (relax backend: %s)",
+            len(all_jobs), application.value, len(groups), graph.name, elapsed,
+            backend or "n/a",
+        )
+        with self._lock:
+            self._executions += len(all_jobs)
+            self._completed += len(all_jobs)
+            self._engine_seconds += elapsed
+        self._m_executions.inc(len(all_jobs))
+        self._m_engine_seconds.inc(elapsed)
+        # Each fused group contributes one cost observation: the shared
+        # wall-clock split by lane share (sources dominate packed cost).
+        index = 0
+        for group in groups:
+            lane_metrics = [
+                result.metrics
+                for result in outcome.results[index : index + len(group)]
+            ]
+            index += len(group)
+            share = elapsed * len(group) / len(all_jobs)
+            self._observe_cost(group[0].request.batch_key, len(group), share)
+            self._note_family_counters(group[0].request.batch_key, lane_metrics)
+        for job, result in zip(all_jobs, outcome.results):
+            self._cache_put_safe(job.request.cache_key, result)
+            job.mark_done(result)
+            self._queue.release(job)
         with self._lock:
             self._note_finished_locked(*all_jobs)
 
@@ -1433,6 +1791,11 @@ class Service:
         if application is Application.CC:
             with self._arena.lease(graph, request.strategy, request.system) as engine:
                 return run_cc(
+                    graph, strategy=request.strategy, system=request.system, engine=engine
+                )
+        if application is Application.PAGERANK:
+            with self._arena.lease(graph, request.strategy, request.system) as engine:
+                return run_pagerank(
                     graph, strategy=request.strategy, system=request.system, engine=engine
                 )
         source = request.source

@@ -156,6 +156,7 @@ def config_from_spec(
     sweep_timeout_multiplier: float | None = None,
     breaker_threshold: int | None = None,
     breaker_cooldown: float | None = None,
+    planner: bool | None = None,
 ) -> ServiceConfig:
     """Service knobs from a workload spec, with optional (CLI) overrides."""
     if budget_mib is None:
@@ -188,6 +189,8 @@ def config_from_spec(
         breaker_threshold = spec.get("breaker_threshold")
     if breaker_cooldown is None:
         breaker_cooldown = spec.get("breaker_cooldown")
+    if planner is None:
+        planner = spec.get("planner")
     # Only forward the knobs that were actually given, so ServiceConfig's
     # own defaults stay the single source of truth.
     extra = {}
@@ -211,6 +214,8 @@ def config_from_spec(
         extra["breaker_threshold"] = int(breaker_threshold)
     if breaker_cooldown is not None:
         extra["breaker_cooldown"] = float(breaker_cooldown)
+    if planner is not None:
+        extra["planner"] = bool(planner)
     return ServiceConfig(
         max_workers=int(workers if workers is not None else spec.get("workers", 4)),
         registry_budget_bytes=(
@@ -307,7 +312,9 @@ def expand_requests(service: Service, spec: dict) -> list[TraversalRequest]:
             raise ServiceError(f"request entry needs 'app' and 'graph': {entry!r}")
         strategy = entry.get("strategy", EMOGI_STRATEGY)
         repeat = int(entry.get("repeat", 1))
-        if str(application).lower() == "cc":
+        if str(application).lower() in ("cc", "pagerank"):
+            # Streaming applications are source-free; collapsing here keeps
+            # every such request identical for dedup regardless of the entry.
             sources: list[int | None] = [None]
         elif "sources" in entry:
             sources = [int(s) for s in entry["sources"]]

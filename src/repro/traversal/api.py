@@ -69,14 +69,15 @@ def normalize_strategy(strategy: AccessStrategy | str) -> AccessStrategy:
 def normalize_source(application: Application | str, source: object) -> int | None:
     """Canonicalize a source vertex for one application.
 
-    CC is source-free, so whatever was passed collapses to ``None`` — this is
-    what makes every CC request on a graph *the same* request, which the
-    serving layer relies on for deduplication and caching.  BFS/SSSP require a
-    source; numpy integer scalars (the usual output of ``pick_sources``) and
-    integral floats are accepted and converted to a plain hashable ``int``.
+    CC and PageRank are source-free, so whatever was passed collapses to
+    ``None`` — this is what makes every such request on a graph *the same*
+    request, which the serving layer relies on for deduplication and caching.
+    BFS/SSSP require a source; numpy integer scalars (the usual output of
+    ``pick_sources``) and integral floats are accepted and converted to a
+    plain hashable ``int``.
     """
     application = normalize_application(application)
-    if application is Application.CC:
+    if application.is_streaming:
         return None
     if source is None:
         raise ConfigurationError(f"{application.value} requires a source vertex")
@@ -136,12 +137,21 @@ def run(
     source: int | None = None,
     strategy: AccessStrategy = EMOGI_STRATEGY,
     system: SystemConfig | None = None,
-) -> TraversalResult:
-    """Dispatch to :func:`bfs`, :func:`sssp` or :func:`cc` by application."""
+):
+    """Dispatch to :func:`bfs`, :func:`sssp`, :func:`cc` or PageRank.
+
+    PageRank returns a :class:`~repro.traversal.pagerank.PageRankResult`
+    (module-default damping/tolerance); the other applications return a
+    :class:`~repro.traversal.results.TraversalResult`.
+    """
     application = normalize_application(application)
     source = normalize_source(application, source)
     if application is Application.CC:
         return cc(graph, strategy=strategy, system=system)
+    if application is Application.PAGERANK:
+        from .pagerank import run_pagerank
+
+        return run_pagerank(graph, strategy=strategy, system=system)
     if application is Application.BFS:
         return bfs(graph, source, strategy=strategy, system=system)
     return sssp(graph, source, strategy=strategy, system=system)
@@ -194,14 +204,18 @@ def run_average(
     aggregate = AggregateResult(
         application=application, graph_name=graph.name, strategy=strategy
     )
-    if application is Application.CC:
+    if application.is_streaming:
         if batched:
             from .streaming import run_streaming_batch
 
-            outcome = run_streaming_batch("cc", graph, [(strategy, system)])
+            outcome = run_streaming_batch(
+                application.value, graph, [(strategy, system)]
+            )
             aggregate.add(outcome.results[0])
         else:
-            aggregate.add(cc(graph, strategy=strategy, system=system))
+            aggregate.add(
+                run(application, graph, strategy=strategy, system=system)
+            )
         return aggregate
     normalized = [normalize_source(application, source) for source in sources]
     if not normalized:

@@ -201,9 +201,12 @@ def run_batch(
             # contaminate this batch's metrics.  Resetting a fresh engine is
             # a cheap no-op.
             engine.reset()
-            values, lane_breakdowns, lane_iterations, lane_fractions = chunk_runner(
-                graph, word, engine, weights, relax_method
+            values, attribution = chunk_runner(
+                graph, word, [engine], None, weights, relax_method
             )
+            lane_breakdowns = attribution.breakdowns
+            lane_iterations = attribution.iterations
+            lane_fractions = attribution.fractions()
             batch_metrics = engine.finalize()
             outcome.batch_metrics.append(batch_metrics)
             batch_counters = batch_metrics.counters
@@ -253,6 +256,173 @@ def run_batch(
     return outcome
 
 
+@dataclass(frozen=True)
+class PackedLane:
+    """One lane of a packed cross-configuration batch: a source plus the
+    (strategy, system) it should be accounted under."""
+
+    source: int
+    strategy: AccessStrategy = EMOGI_STRATEGY
+    system: SystemConfig | None = None
+
+    def config_key(self) -> tuple:
+        """Engine-sharing identity: lanes with equal keys share one engine."""
+        fingerprint = None if self.system is None else self.system.fingerprint()
+        return (self.strategy, fingerprint)
+
+
+@dataclass
+class PackedBatchResult:
+    """Outcome of one packed cross-configuration multi-source run.
+
+    ``results`` holds one :class:`TraversalResult` per requested lane, in
+    request order; ``batch_metrics`` holds each engine's run-level metrics
+    (one entry per distinct configuration per executed ≤64-lane word).
+    """
+
+    application: Application
+    graph_name: str
+    lanes: list[PackedLane] = field(default_factory=list)
+    results: list[TraversalResult] = field(default_factory=list)
+    batch_metrics: list[TraversalMetrics] = field(default_factory=list)
+    #: Shared algorithm executions performed (one per ≤64-lane word).
+    words: int = 0
+
+
+def run_packed_batch(
+    application: Application | str,
+    graph: CSRGraph,
+    lanes,
+    arena=None,
+    relax_method: str | None = None,
+) -> PackedBatchResult:
+    """Run BFS/SSSP lanes spanning *different* configurations in one sweep.
+
+    The generalization of :func:`run_batch` the fusion planner packs with:
+    up to 64 ``(source, strategy, system)`` lanes share one union-frontier
+    execution per word, with one engine per distinct configuration replaying
+    every frontier sweep.  Frontier evolution is engine-independent (engines
+    only account traffic), so each lane's ``values`` are bit-identical to
+    its solo run regardless of what other configurations ride along; each
+    lane's metrics are its own engine's cost attributed across that engine's
+    lanes, exactly as :func:`run_batch` attributes a single engine's.
+    """
+    application = Application(application)
+    if application is Application.BFS:
+        chunk_runner, needs_weights = _bfs_word, False
+    elif application is Application.SSSP:
+        chunk_runner, needs_weights = _sssp_word, True
+    else:
+        raise ConfigurationError(
+            f"packed execution supports bfs and sssp, not {application.value}"
+        )
+    lane_list = [
+        lane if isinstance(lane, PackedLane) else PackedLane(*lane) for lane in lanes
+    ]
+    if not lane_list:
+        raise ConfigurationError("run_packed_batch needs at least one lane")
+    for lane in lane_list:
+        _check_source(graph, lane.source)
+
+    weights = None
+    if application is Application.SSSP and graph.has_weights:
+        # Same hoist as run_batch: one exact float64 view per batch.
+        weights = np.ascontiguousarray(graph.weights, dtype=np.float64)
+
+    outcome = PackedBatchResult(
+        application=application, graph_name=graph.name, lanes=lane_list
+    )
+    for offset in range(0, len(lane_list), WORD_BITS):
+        word_lanes = lane_list[offset : offset + WORD_BITS]
+        word_sources = [int(lane.source) for lane in word_lanes]
+        # One engine per distinct configuration, in first-appearance order.
+        config_index: dict[tuple, int] = {}
+        configs: list[PackedLane] = []
+        lane_engine = np.zeros(len(word_lanes), dtype=np.int64)
+        for position, lane in enumerate(word_lanes):
+            key = lane.config_key()
+            index = config_index.get(key)
+            if index is None:
+                index = config_index[key] = len(configs)
+                configs.append(lane)
+            lane_engine[position] = index
+        engines: list[TraversalEngine] = []
+        leased: list[TraversalEngine] = []
+        try:
+            for config in configs:
+                if arena is not None:
+                    engine = arena.acquire(
+                        graph,
+                        config.strategy,
+                        system=config.system,
+                        needs_weights=needs_weights,
+                    )
+                    leased.append(engine)
+                else:
+                    engine = TraversalEngine(
+                        graph,
+                        config.strategy,
+                        system=config.system,
+                        needs_weights=needs_weights,
+                    )
+                engine.reset()
+                engines.append(engine)
+            values, attribution = chunk_runner(
+                graph, word_sources, engines, lane_engine, weights, relax_method
+            )
+            engine_metrics = [engine.finalize() for engine in engines]
+            outcome.batch_metrics.extend(engine_metrics)
+            engine_lane_fractions = [
+                attribution.engine_fractions(index) for index in range(len(engines))
+            ]
+            for position, lane in enumerate(word_lanes):
+                index = int(lane_engine[position])
+                engine = engines[index]
+                batch_metrics = engine_metrics[index]
+                batch_counters = batch_metrics.counters
+                fraction = float(engine_lane_fractions[index][position])
+                breakdown = attribution.breakdowns[position]
+                lane_counters = KernelCounters(
+                    iterations=int(attribution.iterations[position]),
+                    frontier_vertices=int(
+                        round(batch_counters.frontier_vertices * fraction)
+                    ),
+                    edges_traversed=int(
+                        round(batch_counters.edges_traversed * fraction)
+                    ),
+                    max_frontier=batch_counters.max_frontier,
+                    relax_candidates=int(
+                        round(batch_counters.relax_candidates * fraction)
+                    ),
+                    relax_backend=batch_counters.relax_backend,
+                )
+                metrics = TraversalMetrics(
+                    seconds=breakdown.total(),
+                    breakdown=breakdown,
+                    traffic=batch_metrics.traffic.scaled(fraction),
+                    iterations=int(attribution.iterations[position]),
+                    dataset_bytes=engine.dataset_bytes,
+                    strategy=lane.strategy,
+                    system_name=engine.system.name,
+                    counters=lane_counters,
+                )
+                outcome.results.append(
+                    TraversalResult(
+                        application=application,
+                        graph_name=graph.name,
+                        strategy=lane.strategy,
+                        source=int(lane.source),
+                        values=values[position].copy(),
+                        metrics=metrics,
+                    )
+                )
+            outcome.words += 1
+        finally:
+            for engine in leased:
+                arena.release(engine)
+    return outcome
+
+
 # ---------------------------------------------------------------------- #
 # Word-level execution (≤64 sources)
 # ---------------------------------------------------------------------- #
@@ -260,7 +430,8 @@ def run_batch(
 def _bfs_word(
     graph: CSRGraph,
     word: list[int],
-    engine: TraversalEngine,
+    engines: list[TraversalEngine],
+    lane_engine: np.ndarray | None = None,
     weights=None,
     relax_method=None,
 ):
@@ -278,15 +449,22 @@ def _bfs_word(
         visited_bits[source] |= bit
         levels[lane, source] = 0
 
-    attribution = _Attribution(lanes)
+    attribution = _Attribution(lanes, lane_engine=lane_engine)
     frontier = np.flatnonzero(frontier_bits).astype(VERTEX_DTYPE)
     depth = 0
     while frontier.size:
         starts, ends = frontier_offsets(graph, frontier)
-        iteration = engine.process_frontier(frontier, starts, ends)
         degrees = ends - starts
         active_bits = frontier_bits[frontier]
-        attribution.record(iteration, active_bits, degrees)
+        # Every engine replays the shared union frontier: frontier evolution
+        # never depends on the simulated platform (engines only account
+        # traffic), so per-lane levels stay bit-identical to solo runs even
+        # when lanes span different (strategy, system) configurations.
+        for engine_index, engine in enumerate(engines):
+            iteration = engine.process_frontier(frontier, starts, ends)
+            attribution.record(
+                iteration, active_bits, degrees, engine_index=engine_index
+            )
 
         destinations = gather_frontier_destinations(graph, frontier, starts, ends)
         edge_bits = np.repeat(active_bits, degrees)
@@ -306,15 +484,16 @@ def _bfs_word(
         # scatter target (zeroed inside _scatter_or).
         frontier_bits, scratch_bits = next_bits, frontier_bits
 
-    return levels, attribution.breakdowns, attribution.iterations, attribution.fractions()
+    return levels, attribution
 
 
 @hot_path
 def _sssp_word(
     graph: CSRGraph,
     word: list[int],
-    engine: TraversalEngine,
-    weights: np.ndarray | None,
+    engines: list[TraversalEngine],
+    lane_engine: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
     relax_method: str | None = None,
 ):
     num_vertices = graph.num_vertices
@@ -331,13 +510,12 @@ def _sssp_word(
     snapshot = make_snapshot(num_vertices, lanes)
     next_scratch = np.zeros(num_vertices, dtype=np.uint64)  # repro: noqa[REPRO101] — once per word, double-buffered below
 
-    attribution = _Attribution(lanes)
+    attribution = _Attribution(lanes, lane_engine=lane_engine)
     iterations = 0
     max_iterations = max(1, num_vertices)
     frontier = np.flatnonzero(frontier_bits).astype(VERTEX_DTYPE)
     while frontier.size and iterations < max_iterations:
         starts, ends = frontier_offsets(graph, frontier)
-        iteration = engine.process_frontier(frontier, starts, ends)
         degrees = ends - starts
         active_bits = frontier_bits[frontier]
 
@@ -350,14 +528,20 @@ def _sssp_word(
             weights=weights, method=relax_method, snapshot=snapshot,
             next_bits=next_scratch,
         )
-        engine.note_relax(outcome.method, outcome.candidates)
-        attribution.record(
-            iteration,
-            active_bits,
-            degrees,
-            lane_edges=outcome.lane_edges,
-            active=outcome.active_lanes,
-        )
+        # As in _bfs_word, every engine replays the shared union frontier;
+        # the relax sweep itself is platform-independent, so its candidate
+        # count is a batch-level fact noted on each engine.
+        for engine_index, engine in enumerate(engines):
+            iteration = engine.process_frontier(frontier, starts, ends)
+            engine.note_relax(outcome.method, outcome.candidates)
+            attribution.record(
+                iteration,
+                active_bits,
+                degrees,
+                lane_edges=outcome.lane_edges,
+                active=outcome.active_lanes,
+                engine_index=engine_index,
+            )
 
         # Double-buffer: the consumed frontier word becomes next sweep's
         # kernel scratch (zeroed inside relax_lanes).
@@ -365,12 +549,7 @@ def _sssp_word(
         frontier = np.flatnonzero(frontier_bits).astype(VERTEX_DTYPE)
         iterations += 1
 
-    return (
-        distances.T,
-        attribution.breakdowns,
-        attribution.iterations,
-        attribution.fractions(),
-    )
+    return distances.T, attribution
 
 
 # ---------------------------------------------------------------------- #
@@ -412,10 +591,17 @@ class _Attribution:
     A source's share of one iteration is its fraction of the edges swept (its
     frontier's degree sum over the sum across all active sources).  Iterations
     whose active sources own no edges at all split the fixed costs evenly.
+
+    With ``lane_engine`` (packed cross-config batches), lanes are partitioned
+    across several engines and each engine's iteration cost is split only
+    among *its own* lanes: per-engine attributed seconds still sum to that
+    engine's own sweep total.  Without it (the single-engine path), every
+    lane shares one engine and the behaviour is unchanged.
     """
 
-    def __init__(self, lanes: int) -> None:
+    def __init__(self, lanes: int, lane_engine: np.ndarray | None = None) -> None:
         self.lanes = lanes
+        self.lane_engine = lane_engine
         self.breakdowns = [TimeBreakdown() for _ in range(lanes)]
         self.iterations = np.zeros(lanes, dtype=np.int64)
         self.attributed_edges = np.zeros(lanes, dtype=np.float64)
@@ -427,6 +613,7 @@ class _Attribution:
         degrees: np.ndarray,
         lane_edges: np.ndarray | None = None,
         active: np.ndarray | None = None,
+        engine_index: int | None = None,
     ) -> None:
         if active is None:
             active = active_lane_mask(active_bits, self.lanes)
@@ -435,6 +622,10 @@ class _Attribution:
             for lane in np.flatnonzero(active):
                 mask = _lane_mask(active_bits, lane)
                 lane_edges[lane] = int(degrees[mask].sum())
+        if self.lane_engine is not None and engine_index is not None:
+            owned = self.lane_engine == engine_index
+            active = active & owned
+            lane_edges = np.where(owned, lane_edges, 0)
         self.iterations += active
         total = float(lane_edges.sum())
         if total > 0:
@@ -453,3 +644,20 @@ class _Attribution:
         if total <= 0:
             return np.full(self.lanes, 1.0 / self.lanes)
         return self.attributed_edges / total
+
+    def engine_fractions(self, engine_index: int) -> np.ndarray:
+        """Lane shares normalized within one engine's own lane subset.
+
+        Scaling an engine's run-level traffic by these keeps each engine's
+        attributed totals summing to that engine's own sweep, independent of
+        how much work the other engines' lanes did.
+        """
+        if self.lane_engine is None:
+            return self.fractions()
+        owned = self.lane_engine == engine_index
+        edges = np.where(owned, self.attributed_edges, 0.0)
+        total = float(edges.sum())
+        if total <= 0:
+            count = int(np.count_nonzero(owned))
+            return np.where(owned, 1.0 / max(count, 1), 0.0)
+        return edges / total

@@ -21,6 +21,7 @@ iteration.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,10 +43,33 @@ STREAMING_APPLICATIONS = ("cc", "pagerank")
 
 @dataclass(frozen=True)
 class StreamingLane:
-    """One platform configuration a streaming batch executes under."""
+    """One platform configuration a streaming batch executes under.
+
+    PageRank lanes may additionally pin their own ``damping`` / ``tolerance``
+    / ``max_iterations``; ``None`` means "use the batch-level default".
+    Lanes sharing one effective parameter triple share one algorithm
+    execution; lanes with different parameters are grouped into separate
+    sweeps so each lane's scores stay bit-identical to its solo run.  CC
+    lanes ignore these fields.
+    """
 
     strategy: AccessStrategy
     system: SystemConfig | None = None
+    damping: float | None = None
+    tolerance: float | None = None
+    max_iterations: int | None = None
+
+    def pagerank_params(
+        self, damping: float, tolerance: float, max_iterations: int
+    ) -> tuple[float, float, int]:
+        """Effective (damping, tolerance, max_iterations) given batch defaults."""
+        return (
+            self.damping if self.damping is not None else damping,
+            self.tolerance if self.tolerance is not None else tolerance,
+            self.max_iterations
+            if self.max_iterations is not None
+            else max_iterations,
+        )
 
 
 def normalize_lanes(lanes) -> list[StreamingLane]:
@@ -97,6 +121,25 @@ class StreamingBatchResult:
         return len(self.results)
 
 
+@contextmanager
+def _lane_engines(graph: CSRGraph, word, arena):
+    """Acquire one engine per lane in ``word``, releasing leases on exit."""
+    engines: list[TraversalEngine] = []
+    leased: list[TraversalEngine] = []
+    try:
+        for lane in word:
+            if arena is not None:
+                engine = arena.acquire(graph, lane.strategy, system=lane.system)
+                leased.append(engine)  # repro: noqa[REPRO101] — O(lanes) bookkeeping, <= 64 per word
+            else:
+                engine = TraversalEngine(graph, lane.strategy, system=lane.system)
+            engines.append(engine)  # repro: noqa[REPRO101] — O(lanes) bookkeeping, <= 64 per word
+        yield engines
+    finally:
+        for engine in leased:
+            arena.release(engine)
+
+
 def run_streaming_batch(
     application,
     graph: CSRGraph,
@@ -124,19 +167,10 @@ def run_streaming_batch(
     outcome = StreamingBatchResult(application=application, graph_name=graph.name)
     outcome.lanes = lane_list
 
-    for offset in range(0, len(lane_list), WORD_BITS):
-        word = lane_list[offset : offset + WORD_BITS]
-        engines: list[TraversalEngine] = []
-        leased: list[TraversalEngine] = []
-        try:
-            for lane in word:
-                if arena is not None:
-                    engine = arena.acquire(graph, lane.strategy, system=lane.system)
-                    leased.append(engine)  # repro: noqa[REPRO101] — O(lanes) bookkeeping, <= 64 per word
-                else:
-                    engine = TraversalEngine(graph, lane.strategy, system=lane.system)
-                engines.append(engine)  # repro: noqa[REPRO101] — O(lanes) bookkeeping, <= 64 per word
-            if application == "cc":
+    if application == "cc":
+        for offset in range(0, len(lane_list), WORD_BITS):
+            word = lane_list[offset : offset + WORD_BITS]
+            with _lane_engines(graph, word, arena) as engines:
                 labels, _ = cc_sweep(graph, engines=engines)
                 for lane, engine in zip(word, engines):
                     outcome.results.append(  # repro: noqa[REPRO101] — one result per lane, not per edge
@@ -149,31 +183,40 @@ def run_streaming_batch(
                             metrics=engine.finalize(),
                         )
                     )
-            else:
+                outcome.words += 1
+        return outcome
+
+    # PageRank: lanes may carry their own damping/tolerance/max_iterations.
+    # Lanes sharing one effective parameter triple share one sweep (chunked
+    # to ≤64 lanes); results land back at each lane's requested position, so
+    # callers see request order regardless of the parameter grouping.
+    param_words: dict[tuple[float, float, int], list[int]] = {}
+    for index, lane in enumerate(lane_list):
+        params = lane.pagerank_params(damping, tolerance, max_iterations)
+        param_words.setdefault(params, []).append(index)  # repro: noqa[REPRO101] — O(lanes) bookkeeping
+    outcome.results = [None] * len(lane_list)
+    for (damp, tol, iters), indices in param_words.items():
+        for offset in range(0, len(indices), WORD_BITS):
+            chunk = indices[offset : offset + WORD_BITS]
+            word = [lane_list[i] for i in chunk]  # repro: noqa[REPRO101] — <= 64 lanes per word
+            with _lane_engines(graph, word, arena) as engines:
                 scores, iterations, converged = pagerank_sweep(
                     graph,
                     engines=engines,
-                    damping=damping,
-                    tolerance=tolerance,
-                    max_iterations=max_iterations,
+                    damping=damp,
+                    tolerance=tol,
+                    max_iterations=iters,
                 )
-                for lane, engine in zip(word, engines):
-                    outcome.results.append(  # repro: noqa[REPRO101] — one result per lane, not per edge
-                        PageRankResult(
-                            graph_name=graph.name,
-                            strategy=lane.strategy,
-                            scores=scores.copy(),
-                            iterations=iterations,
-                            converged=converged,
-                            # Solo run_pagerank reports no metrics for an
-                            # empty graph (it never sweeps); stay identical.
-                            metrics=engine.finalize()
-                            if graph.num_vertices
-                            else None,
-                        )
+                for index, lane, engine in zip(chunk, word, engines):
+                    outcome.results[index] = PageRankResult(
+                        graph_name=graph.name,
+                        strategy=lane.strategy,
+                        scores=scores.copy(),
+                        iterations=iterations,
+                        converged=converged,
+                        # Solo run_pagerank reports no metrics for an
+                        # empty graph (it never sweeps); stay identical.
+                        metrics=engine.finalize() if graph.num_vertices else None,
                     )
-            outcome.words += 1
-        finally:
-            for engine in leased:
-                arena.release(engine)
+                outcome.words += 1
     return outcome

@@ -71,11 +71,23 @@ EMOGI_STRATEGY = AccessStrategy.MERGED_ALIGNED
 
 
 class Application(enum.Enum):
-    """Graph traversal applications evaluated in the paper."""
+    """Graph traversal applications evaluated in the paper.
+
+    BFS and SSSP are *frontier* applications (per-source work, batchable
+    across sources); CC and PageRank are *streaming* applications (every
+    vertex active every iteration, no source, batchable across platform
+    lanes).
+    """
 
     BFS = "bfs"
     SSSP = "sssp"
     CC = "cc"
+    PAGERANK = "pagerank"
+
+    @property
+    def is_streaming(self) -> bool:
+        """True for source-less whole-graph applications (CC, PageRank)."""
+        return self in (Application.CC, Application.PAGERANK)
 
 
 @dataclass(frozen=True)

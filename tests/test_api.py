@@ -41,7 +41,7 @@ class TestDispatch:
 
     def test_unknown_application_rejected(self, random_graph):
         with pytest.raises(ValueError):
-            run("pagerank", random_graph, source=0)
+            run("katz", random_graph, source=0)
 
     def test_strategy_parameter_respected(self, random_graph):
         result = bfs(random_graph, 0, strategy=AccessStrategy.UVM)

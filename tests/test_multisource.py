@@ -10,8 +10,10 @@ from repro.traversal.bfs import bfs_levels, run_bfs
 from repro.traversal.engine import TraversalEngine
 from repro.traversal.multisource import (
     WORD_BITS,
+    PackedLane,
     run_batch,
     run_bfs_batch,
+    run_packed_batch,
     run_sssp_batch,
 )
 from repro.traversal.sssp import run_sssp, sssp_distances
@@ -157,3 +159,80 @@ class TestRunAverageDispatch:
                 run_result.values,
                 sssp_distances(weighted_uniform_graph, run_result.source),
             )
+
+
+class TestPackedCrossConfigEquivalence:
+    """run_packed_batch: lanes spanning *different* configurations in one word.
+
+    Frontier evolution is engine-independent, so every lane's values must be
+    bit-identical to its solo run no matter which other configurations ride
+    in the same word — the invariant the fusion planner's packed plans rely
+    on.
+    """
+
+    def test_bfs_lanes_across_strategies_bit_equal_to_solo(self, random_graph):
+        lanes = [
+            PackedLane(source, strategy)
+            for strategy in ALL_STRATEGIES
+            for source in (0, 7, 123)
+        ]
+        packed = run_packed_batch(Application.BFS, random_graph, lanes)
+        assert len(packed.results) == len(lanes)
+        assert packed.words == 1
+        for lane, result in zip(lanes, packed.results):
+            solo = run_bfs(random_graph, lane.source, strategy=lane.strategy)
+            assert np.array_equal(result.values, solo.values)
+            assert result.values.dtype == solo.values.dtype
+            assert result.metrics.strategy is lane.strategy
+
+    def test_sssp_lanes_across_strategies_bit_equal_to_solo(
+        self, weighted_uniform_graph
+    ):
+        lanes = [
+            PackedLane(5, AccessStrategy.MERGED_ALIGNED),
+            PackedLane(5, AccessStrategy.UVM),
+            PackedLane(31, AccessStrategy.NAIVE),
+        ]
+        packed = run_packed_batch("sssp", weighted_uniform_graph, lanes)
+        for lane, result in zip(lanes, packed.results):
+            solo = run_sssp(weighted_uniform_graph, lane.source, strategy=lane.strategy)
+            assert np.array_equal(result.values, solo.values)
+
+    def test_packed_matches_homogeneous_run_batch(self, random_graph, sources):
+        lanes = [PackedLane(source) for source in sources]
+        packed = run_packed_batch(Application.BFS, random_graph, lanes)
+        plain = run_bfs_batch(random_graph, sources)
+        for a, b in zip(packed.results, plain.results):
+            assert np.array_equal(a.values, b.values)
+
+    def test_word_chunking_past_64_lanes(self, random_graph):
+        lanes = [
+            PackedLane(source % random_graph.num_vertices, strategy)
+            for source in range(WORD_BITS + 6)
+            for strategy in (AccessStrategy.MERGED_ALIGNED,)
+        ]
+        packed = run_packed_batch("bfs", random_graph, lanes)
+        assert packed.words == 2
+        for lane, result in zip(lanes, packed.results):
+            assert np.array_equal(
+                result.values, bfs_levels(random_graph, lane.source)
+            )
+
+    def test_one_engine_metrics_entry_per_distinct_config(self, random_graph):
+        lanes = [
+            PackedLane(0, AccessStrategy.MERGED_ALIGNED),
+            PackedLane(1, AccessStrategy.MERGED_ALIGNED),
+            PackedLane(2, AccessStrategy.UVM),
+        ]
+        packed = run_packed_batch("bfs", random_graph, lanes)
+        assert len(packed.batch_metrics) == 2  # two configs, one word
+
+    def test_out_of_range_packed_source_rejected(self, random_graph):
+        with pytest.raises(SimulationError):
+            run_packed_batch(
+                "bfs", random_graph, [PackedLane(random_graph.num_vertices)]
+            )
+
+    def test_cc_rejected(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            run_packed_batch(Application.CC, random_graph, [PackedLane(0)])

@@ -1,0 +1,393 @@
+"""Tests for the cost-model-driven fusion planner.
+
+Two layers: :class:`FusionPlanner` unit tests on synthetic backlog
+snapshots (candidate enumeration, ≤64-lane bin-packing, the confidence
+gate), and property-style end-to-end tests asserting the PR's core
+invariant — every result a planner-fused drain produces is bit-identical
+to the same request run solo, including under seeded lane poisoning.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceConfig, ampere_pcie4
+from repro.errors import PermanentFaultError
+from repro.graph.generators import uniform_random_graph
+from repro.service import FaultPlan, Service, TraversalRequest
+from repro.service import faults
+from repro.service.costmodel import CostModel
+from repro.service.jobs import Job, JobStatus
+from repro.service.planner import MAX_LANES, FusionPlan, FusionPlanner
+from repro.traversal.api import run
+from repro.types import AccessStrategy, Application
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+_ids = itertools.count()
+
+
+def make_jobs(application, graph="g", count=1, strategy="merged_aligned", **kwargs):
+    return [
+        Job(
+            job_id=f"job-{next(_ids)}",
+            request=TraversalRequest(
+                application,
+                graph,
+                source=None if Application(application).is_streaming else index,
+                strategy=strategy,
+                **kwargs,
+            ),
+        )
+        for index in range(count)
+    ]
+
+
+def snapshot_of(*groups):
+    return {group[0].request.batch_key: tuple(group) for group in groups}
+
+
+class TestPlannerUnit:
+    def test_no_riders_yields_baseline(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("bfs", count=3)
+        plan, rider_keys = planner.build(anchor, snapshot_of(anchor))
+        assert rider_keys == []
+        assert plan.kind == "multisource"
+        assert not plan.fused
+        assert plan.jobs == anchor
+
+    def test_single_job_anchor_is_solo(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("bfs", count=1)
+        plan, _ = planner.build(anchor, snapshot_of(anchor))
+        assert plan.kind == "solo"
+        assert plan.shape == "solo:1x1"
+
+    def test_packs_same_app_same_graph_configs(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("bfs", count=4)
+        rider_a = make_jobs("bfs", count=2, strategy="uvm")
+        rider_b = make_jobs("bfs", count=3, strategy="naive")
+        plan, rider_keys = planner.build(
+            anchor, snapshot_of(anchor, rider_a, rider_b)
+        )
+        assert plan.kind == "packed"
+        assert plan.fused
+        assert plan.lanes == 9
+        assert set(rider_keys) == {
+            rider_a[0].request.batch_key,
+            rider_b[0].request.batch_key,
+        }
+        # Anchor group always leads; riders pack smallest-first.
+        assert plan.groups[0] == anchor
+        assert [len(group) for group in plan.groups] == [4, 2, 3]
+
+    def test_incompatible_riders_excluded(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("bfs", count=2)
+        other_graph = make_jobs("bfs", graph="h", count=2, strategy="uvm")
+        other_app = make_jobs("sssp", count=2, strategy="uvm")
+        plan, rider_keys = planner.build(
+            anchor, snapshot_of(anchor, other_graph, other_app)
+        )
+        assert rider_keys == []
+        assert plan.kind == "multisource"
+
+    def test_bin_pack_respects_word_width(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("bfs", count=MAX_LANES - 3)
+        small = make_jobs("bfs", count=2, strategy="uvm")
+        big = make_jobs("bfs", count=10, strategy="naive")
+        plan, rider_keys = planner.build(anchor, snapshot_of(anchor, small, big))
+        assert rider_keys == [small[0].request.batch_key]
+        assert plan.lanes == MAX_LANES - 1
+        assert plan.lanes <= MAX_LANES
+
+    def test_full_anchor_packs_nothing(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("bfs", count=MAX_LANES)
+        rider = make_jobs("bfs", count=1, strategy="uvm")
+        plan, rider_keys = planner.build(anchor, snapshot_of(anchor, rider))
+        assert rider_keys == []
+        assert plan.kind == "multisource"
+
+    def test_streaming_takes_every_compatible_group(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("cc")
+        rider_a = make_jobs("cc", strategy="uvm")
+        rider_b = make_jobs("cc", strategy="naive")
+        plan, rider_keys = planner.build(
+            anchor, snapshot_of(anchor, rider_a, rider_b)
+        )
+        assert plan.kind == "streaming"
+        assert len(rider_keys) == 2
+        # Streaming lanes are per group, not per job.
+        assert plan.lanes == 3
+        assert plan.shape == "streaming:3x3"
+
+    def test_pagerank_groups_stream_like_cc(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("pagerank")
+        rider = make_jobs("pagerank", strategy="uvm")
+        plan, rider_keys = planner.build(anchor, snapshot_of(anchor, rider))
+        assert plan.kind == "streaming"
+        assert rider_keys == [rider[0].request.batch_key]
+
+    def test_untrained_model_fuses_by_default(self):
+        # Zero samples means zero error margin: the shared estimate beats the
+        # solo sum on bootstrap priors alone, preserving the historical
+        # fuse-whenever-compatible behavior until the model learns better.
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("bfs", count=2)
+        rider = make_jobs("bfs", count=2, strategy="uvm")
+        plan, _ = planner.build(anchor, snapshot_of(anchor, rider))
+        assert plan.kind == "packed"
+        assert plan.estimate is not None
+        assert plan.estimate.confident
+        assert plan.candidates_built == 2
+        assert plan.candidates_rejected == 1
+
+    def test_noisy_model_rejects_fusion(self):
+        # One wildly mispredicted observation inflates the model's mean abs
+        # error past any predictable saving: the gate must fall back solo.
+        model = CostModel()
+        anchor = make_jobs("bfs", count=2)
+        rider = make_jobs("bfs", count=2, strategy="uvm")
+        model.observe(anchor[0].request.batch_key, 2, 100.0)
+        planner = FusionPlanner(model)
+        plan, rider_keys = planner.build(anchor, snapshot_of(anchor, rider))
+        assert rider_keys == []
+        assert plan.kind == "multisource"
+        assert plan.candidates_built == 2
+        assert plan.candidates_rejected == 1
+
+    def test_accurate_model_restores_confidence(self):
+        model = CostModel()
+        anchor = make_jobs("bfs", count=2)
+        rider = make_jobs("bfs", count=2, strategy="uvm")
+        for _ in range(100):  # EWMA converges, per-observation error -> 0
+            model.observe(anchor[0].request.batch_key, 2, 0.5)
+            model.observe(rider[0].request.batch_key, 2, 0.5)
+        planner = FusionPlanner(model)
+        plan, _ = planner.build(anchor, snapshot_of(anchor, rider))
+        assert plan.kind == "packed"
+        assert plan.estimate.savings_seconds > 0
+
+    def test_restrict_drops_unclaimed_riders(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("bfs", count=2)
+        rider_a = make_jobs("bfs", count=1, strategy="uvm")
+        rider_b = make_jobs("bfs", count=1, strategy="naive")
+        plan, rider_keys = planner.build(
+            anchor, snapshot_of(anchor, rider_a, rider_b)
+        )
+        key_a = rider_a[0].request.batch_key
+        plan.restrict({key_a: list(rider_a)})
+        assert plan.rider_keys == [key_a]
+        assert plan.groups == [anchor, rider_a]
+        assert plan.kind == "packed"
+
+    def test_restrict_to_anchor_degrades_to_baseline(self):
+        planner = FusionPlanner(CostModel())
+        anchor = make_jobs("cc")
+        rider = make_jobs("cc", strategy="uvm")
+        plan, _ = planner.build(anchor, snapshot_of(anchor, rider))
+        plan.restrict({})
+        assert plan.kind == "streaming"
+        assert not plan.fused
+        assert plan.estimate is None
+
+        anchor = make_jobs("bfs", count=1)
+        rider = make_jobs("bfs", count=1, strategy="uvm")
+        plan, _ = planner.build(anchor, snapshot_of(anchor, rider))
+        assert plan.kind == "packed"
+        plan.restrict({})
+        assert plan.kind == "solo"
+
+
+# --------------------------------------------------------------------- #
+# End-to-end bit-identity properties
+# --------------------------------------------------------------------- #
+
+def make_graph(name="plannergraph", vertices=300, edges=1800, seed=9):
+    return uniform_random_graph(vertices, edges, seed=seed, name=name)
+
+
+def enqueue_without_draining(service, requests):
+    """Submit without dispatching workers so fused backlogs form reliably."""
+    original = service._pool.submit
+    service._pool.submit = lambda fn, *a, **k: None
+    try:
+        return [service.submit(request) for request in requests]
+    finally:
+        service._pool.submit = original
+
+
+def drain_all(service, max_drains=100):
+    for _ in range(max_drains):
+        if service._queue.pending_count() == 0:
+            return
+        service._drain_one_batch()
+    raise AssertionError("queue did not drain")
+
+
+def mixed_backlog(graph_name):
+    """A backlog exercising every plan kind the planner can emit."""
+    requests = []
+    for strategy in ("merged_aligned", "uvm", "naive"):
+        requests += [
+            TraversalRequest("bfs", graph_name, source=s, strategy=strategy)
+            for s in range(3)
+        ]
+    requests += [
+        TraversalRequest("sssp", graph_name, source=s, strategy=strategy)
+        for strategy in ("merged_aligned", "merged")
+        for s in (5, 6)
+    ]
+    requests += [
+        TraversalRequest("cc", graph_name, strategy=strategy)
+        for strategy in ("merged_aligned", "uvm", "naive")
+    ]
+    requests += [
+        TraversalRequest("pagerank", graph_name, strategy=strategy)
+        for strategy in ("merged_aligned", "uvm")
+    ]
+    requests.append(
+        TraversalRequest("bfs", graph_name, source=7, system=ampere_pcie4())
+    )
+    return requests
+
+
+class TestPlannedDrainBitIdentity:
+    def test_mixed_backlog_results_identical_to_solo_runs(self):
+        graph = make_graph()
+        with Service(config=ServiceConfig()) as service:
+            service.registry.register_graph(graph)
+            requests = mixed_backlog(graph.name)
+            jobs = enqueue_without_draining(service, requests)
+            drain_all(service)
+
+            assert all(job.status is JobStatus.DONE for job in jobs)
+            for job in jobs:
+                request = job.request
+                solo = run(
+                    request.application,
+                    graph,
+                    source=request.source,
+                    strategy=request.strategy,
+                    system=request.system,
+                )
+                assert np.array_equal(job.result.values, solo.values), (
+                    f"planned result diverged for {request.describe()}"
+                )
+            decisions = service.plan_decisions()
+            assert decisions, "planner must log every drain decision"
+            fused = [entry for entry in decisions if entry["groups"] > 1]
+            assert fused, "mixed compatible backlog must produce fused plans"
+            assert "packed" in {entry["kind"] for entry in fused}
+            for entry in decisions:
+                assert entry["lanes"] <= MAX_LANES or entry["kind"] == "streaming"
+                assert entry["actual_seconds"] >= 0
+
+    def test_streaming_backlog_fuses_across_configs(self):
+        # A fresh model (zero error margin) must fuse compatible streaming
+        # groups; every lane's values stay bit-identical to its solo run.
+        graph = make_graph()
+        with Service(config=ServiceConfig()) as service:
+            service.registry.register_graph(graph)
+            requests = [
+                TraversalRequest("cc", graph.name, strategy=strategy)
+                for strategy in ("merged_aligned", "uvm", "naive")
+            ]
+            jobs = enqueue_without_draining(service, requests)
+            drain_all(service)
+
+            assert all(job.status is JobStatus.DONE for job in jobs)
+            for job in jobs:
+                solo = run("cc", graph, strategy=job.request.strategy)
+                assert np.array_equal(job.result.values, solo.values)
+            fused = [
+                entry for entry in service.plan_decisions() if entry["groups"] > 1
+            ]
+            assert fused and fused[0]["kind"] == "streaming"
+            assert fused[0]["groups"] == 3
+
+    def test_planner_off_matches_planner_on(self):
+        graph = make_graph()
+        values = {}
+        for planner in (True, False):
+            with Service(config=ServiceConfig(planner=planner)) as service:
+                service.registry.register_graph(graph)
+                jobs = enqueue_without_draining(service, mixed_backlog(graph.name))
+                drain_all(service)
+                assert all(job.status is JobStatus.DONE for job in jobs)
+                for job in jobs:
+                    values.setdefault(job.request.cache_key, []).append(
+                        job.result.values
+                    )
+                if not planner:
+                    assert not any(
+                        entry["groups"] > 1 for entry in service.plan_decisions()
+                    )
+        for cache_key, (on, off) in values.items():
+            assert np.array_equal(on, off), cache_key
+
+    def test_poisoned_packed_lane_fails_alone_bit_identically(self):
+        plan = FaultPlan.from_spec("seed=17;worker.task:permanent:source=2")
+        graph = make_graph()
+        config = ServiceConfig(fault_plan=plan)
+        with Service(config=config) as service:
+            service.registry.register_graph(graph)
+            requests = [
+                TraversalRequest("bfs", graph.name, source=s, strategy=strategy)
+                for strategy in ("merged_aligned", "uvm")
+                for s in range(4)
+            ]
+            jobs = enqueue_without_draining(service, requests)
+            drain_all(service)
+
+            assert all(job.done for job in jobs)
+            poisoned = [job for job in jobs if job.request.source == 2]
+            healthy = [job for job in jobs if job.request.source != 2]
+            assert len(poisoned) == 2
+            for job in poisoned:
+                assert job.status is JobStatus.FAILED
+                assert isinstance(job.error, PermanentFaultError)
+            for job in healthy:
+                assert job.status is JobStatus.DONE
+                solo = run(
+                    "bfs", graph, source=job.request.source,
+                    strategy=job.request.strategy,
+                )
+                assert np.array_equal(job.result.values, solo.values)
+            assert service.stats().isolations >= 1
+
+    def test_poisoned_streaming_rider_fails_alone(self):
+        plan = FaultPlan.from_spec("seed=23;worker.task:permanent:tenant=poison")
+        graph = make_graph()
+        with Service(config=ServiceConfig(fault_plan=plan)) as service:
+            service.registry.register_graph(graph)
+            requests = [
+                TraversalRequest(
+                    "pagerank", graph.name, strategy="merged_aligned",
+                    tenant="poison",
+                ),
+                TraversalRequest("pagerank", graph.name, strategy="uvm", tenant="ok"),
+            ]
+            jobs = enqueue_without_draining(service, requests)
+            drain_all(service)
+
+            assert jobs[0].status is JobStatus.FAILED
+            assert isinstance(jobs[0].error, PermanentFaultError)
+            assert jobs[1].status is JobStatus.DONE
+            solo = run("pagerank", graph, strategy=AccessStrategy.UVM)
+            assert np.array_equal(jobs[1].result.values, solo.values)
+            assert service.stats().isolations >= 1

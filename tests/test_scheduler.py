@@ -254,10 +254,10 @@ class TestWeightedFairPolicy:
         assert ("light",) in order
 
     def test_forget_group_refunds_fused_away_virtual_time(self):
-        """Regression: a sibling group fused into a streaming run (popped via
-        pop_sibling_groups, never selected) must not leave its booked cost on
-        the tenant's virtual tail — otherwise the tenant's future groups are
-        deprioritized for work that rode along free."""
+        """Regression: a group fused into a shared run as a plan rider
+        (claimed via claim_groups, never selected) must not leave its booked
+        cost on the tenant's virtual tail — otherwise the tenant's future
+        groups are deprioritized for work that rode along free."""
         def run_sequence(refund: bool):
             policy = WeightedFairPolicy()
             fused_jobs = [make_job("t2", 2, tenant="t")]
@@ -269,8 +269,8 @@ class TestWeightedFairPolicy:
             # One select tags every visible group, charging tenant "t" twice.
             assert policy.select(groups) == ("t1",)
             groups.pop(("t1",))
-            # The second group rides along with a streaming run instead of
-            # draining through select (pop_sibling_groups semantics).
+            # The second group rides along with a fused plan instead of
+            # draining through select (claim_groups semantics).
             groups.pop(("t2",))
             if refund:
                 policy.forget_group(("t2",), fused_jobs)
@@ -499,6 +499,77 @@ class TestQueueScheduling:
         assert queue.discard(tight)
         assert queue.pop_batch() == [middle]
         assert queue.pop_batch() == [patient]
+
+    def test_discard_recomputes_group_deadline_cache(self):
+        """Pin the incremental `_group_deadlines` maintenance in discard():
+        withdrawing the most urgent member must recompute the survivors'
+        deadline, and emptying the group must drop both entries."""
+        queue = RequestQueue(policy="edf")
+        tight = make_job("t", 0, deadline=1.0)
+        patient = make_job("p", 1, deadline=120.0)
+        free = make_job("f", 2)
+        for job in (tight, patient, free):
+            queue.push_or_join(job)
+        key = tight.request.batch_key
+        assert queue._group_deadlines[key] == pytest.approx(tight.deadline_at)
+        # a deadline-free withdrawal takes the cheap branch: cache untouched
+        assert queue.discard(free)
+        assert queue._group_deadlines[key] == pytest.approx(tight.deadline_at)
+        # the urgent member leaves: survivors' (laxer) deadline is recomputed
+        assert queue.discard(tight)
+        assert queue._group_deadlines[key] == pytest.approx(patient.deadline_at)
+        # last member out: group and deadline entry both vanish
+        assert queue.discard(patient)
+        assert key not in queue._group_deadlines
+        assert queue.pop_batch() == []
+
+    def test_fused_away_group_refunds_wfq_virtual_time_at_queue_level(self):
+        """Pin the WFQ refund end-to-end through the queue: a group drained
+        as a fusion rider (never selected by the policy) must hand its booked
+        virtual time back to its tenant via forget_group."""
+        policy = WeightedFairPolicy()
+        queue = RequestQueue(policy=policy)
+
+        def push_cc(job_id, strategy, tenant):
+            job = Job(
+                job_id=job_id,
+                request=TraversalRequest(
+                    Application.CC, "g", strategy=strategy, tenant=tenant
+                ),
+            )
+            queue.push_or_join(job)
+            return job
+
+        push_cc("t1", "merged_aligned", "t")
+        push_cc("t2", "uvm", "t")
+        other = make_job("o", 3, tenant="other")
+        queue.push_or_join(other)
+        # The drain selects tenant "t"'s first CC group (arrival-order tie
+        # with "other"), tagging everything visible: "t" is charged twice.
+        anchor = queue.pop_batch()
+        assert anchor[0].job_id == "t1"
+        # The sibling CC group rides along with the anchor as a plan rider
+        # instead of consuming its own drain; its charge must be refunded.
+        snapshot = queue.snapshot_groups()
+        rider_keys = [
+            key for key in snapshot if key[0] == "g" and key[1] == "cc"
+        ]
+        claimed = queue.claim_groups(rider_keys)
+        riders = [claimed[key] for key in rider_keys]
+        assert [group[0].job_id for group in riders] == ["t2"]
+        assert policy._tenant_tail["t"] == pytest.approx(
+            policy._tenant_tail["other"]
+        )
+        assert queue.pop_batch() == [other]
+        # Completion releases the dedup entries, as the worker path would.
+        for job in (*anchor, *riders[0], other):
+            queue.release(job)
+        # Fresh round: with the refund both tenants are level again, so "t"
+        # wins its arrival-order tie; without it "t" would sort last.
+        late_t = push_cc("t3", "merged_aligned", "t")
+        late_other = make_job("o2", 5, tenant="other")
+        queue.push_or_join(late_other)
+        assert queue.pop_batch() == [late_t]
 
     def test_expire_is_atomic_with_dedup_retirement(self):
         queue = RequestQueue()

@@ -35,10 +35,16 @@ class TestAccessStrategy:
 
 class TestApplication:
     def test_values(self):
-        assert {a.value for a in Application} == {"bfs", "sssp", "cc"}
+        assert {a.value for a in Application} == {"bfs", "sssp", "cc", "pagerank"}
 
     def test_from_string(self):
         assert Application("bfs") is Application.BFS
+
+    def test_streaming_flag(self):
+        assert Application.CC.is_streaming
+        assert Application.PAGERANK.is_streaming
+        assert not Application.BFS.is_streaming
+        assert not Application.SSSP.is_streaming
 
 
 class TestMemorySpace:
