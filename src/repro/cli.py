@@ -13,6 +13,9 @@ Usage::
     python -m repro.cli bench-scheduler --output BENCH_scheduler.json
     python -m repro.cli lint --format json --output lint.json
     python -m repro.cli lint --locks
+    python -m repro.cli serve-batch examples/workload.json --store serving.db
+    python -m repro.cli store info serving.db
+    python -m repro.cli store verify serving.db
 """
 
 from __future__ import annotations
@@ -156,6 +159,14 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "'seed=7;registry.load:transient:n=2:limit=2' "
         "(overrides the workload file and the environment)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="SQLite file backing the durable serving store: graph catalog, "
+        "persistent result cache, cost-model history (overrides the "
+        "workload file's store_path; default: no durability)",
+    )
     return parser
 
 
@@ -257,12 +268,69 @@ def _build_health_parser() -> argparse.ArgumentParser:
         "(overrides the workload file and the environment)",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="SQLite file backing the durable serving store "
+        "(overrides the workload file's store_path)",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
         help="abort if the workload does not finish within this many seconds",
     )
     return parser
+
+
+def _build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description=(
+            "Operate on a durable serving store database (see 'repro "
+            "serve-batch --store'): 'info' prints the catalog and row "
+            "counts, 'verify' runs SQLite's integrity check (exits 1 on "
+            "corruption), 'vacuum' checkpoints the WAL and compacts the "
+            "file."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=("info", "verify", "vacuum"),
+        help="operation to run against the store database",
+    )
+    parser.add_argument("path", help="path to the store's SQLite file")
+    return parser
+
+
+def _store(argv: list[str]) -> int:
+    from .errors import StoreError
+    from .service.store import store_info, store_vacuum, store_verify
+
+    args = _build_store_parser().parse_args(argv)
+    if args.action == "verify":
+        ok, detail = store_verify(args.path)
+        print(f"{args.path}: {'ok' if ok else 'corrupt'} ({detail})")
+        return 0 if ok else 1
+    try:
+        if args.action == "vacuum":
+            store_vacuum(args.path)
+            print(f"{args.path}: checkpointed and vacuumed")
+            return 0
+        info = store_info(args.path)
+    except StoreError as exc:
+        print(f"store {args.action} failed: {exc}", file=sys.stderr)
+        return 2
+    graphs = info.pop("graphs")
+    print(json.dumps(info, indent=2, sort_keys=True))
+    for entry in graphs:
+        print(
+            f"  {entry['name']}: fingerprint={entry['fingerprint']} "
+            f"{entry['num_vertices']}v/{entry['num_edges']}e "
+            f"resident={entry['resident']} loads={entry['loads']} "
+            f"evictions={entry['evictions']}"
+        )
+    return 0
 
 
 def _build_bench_traversal_parser() -> argparse.ArgumentParser:
@@ -566,6 +634,7 @@ def _serve_batch(argv: list[str]) -> int:
             reject_infeasible=args.reject_infeasible,
             trace_sample=args.trace_sample,
             fault_plan=args.faults,
+            store_path=args.store,
         )
     except (OSError, ValueError, ReproError) as exc:
         print(f"serve-batch failed: {exc}", file=sys.stderr)
@@ -630,13 +699,20 @@ def _health(argv: list[str]) -> int:
     args = _build_health_parser().parse_args(argv)
     try:
         report = serve_workload_file(
-            args.workload, timeout=args.timeout, fault_plan=args.faults
+            args.workload,
+            timeout=args.timeout,
+            fault_plan=args.faults,
+            store_path=args.store,
         )
     except (OSError, ValueError, ReproError) as exc:
         print(f"health failed: {exc}", file=sys.stderr)
         return 2
     stats = report.stats
     terminal = stats.completed + stats.failed
+    # A degraded/quarantined store never fails requests (serving falls back
+    # to in-memory behaviour), so it is *reported* here without flipping the
+    # exit status — that stays tied to request outcomes and the native
+    # breaker, which chaos drills gate on.
     healthy = stats.breaker_state == "closed" and stats.failed == 0
     lines = [
         "Service health summary",
@@ -657,6 +733,10 @@ def _health(argv: list[str]) -> int:
         f"cache errors        : {stats.cache_errors} absorbed "
         f"(reads degraded to misses, writes dropped)",
         f"rejected after close: {stats.rejected_after_close}",
+        f"durable store       : {stats.store_state} "
+        f"({stats.store_hits} persistent hits, {stats.store_writes} writes "
+        f"in {stats.store_flushes} flushes, {stats.store_backfilled} "
+        f"backfilled, {stats.store_errors} errors absorbed)",
         "-" * 55,
         f"health: {'ok' if healthy else 'degraded'}",
     ]
@@ -680,6 +760,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_scheduler(argv[1:])
     if argv and argv[0] == "lint":
         return _lint(argv[1:])
+    if argv and argv[0] == "store":
+        return _store(argv[1:])
 
     args = _build_parser().parse_args(argv)
     if args.target == "list":
@@ -691,6 +773,7 @@ def main(argv: list[str] | None = None) -> int:
         print("bench-traversal")
         print("bench-scheduler")
         print("lint")
+        print("store")
         return 0
 
     targets = list(ALL_FIGURES) if args.target == "all" else [args.target]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import astuple, dataclass, field, replace
+from pathlib import Path
 
 from .errors import ConfigurationError
 from .types import gibibytes
@@ -387,6 +388,15 @@ class ServiceConfig:
     #: Seconds the breaker stays open before a half-open probe sweep may try
     #: the native backend again.
     breaker_cooldown: float = 30.0
+    #: Filesystem path of the durable serving store
+    #: (:mod:`repro.service.store`): an SQLite/WAL database persisting the
+    #: graph catalog, result cache and cost-model history across restarts.
+    #: ``None`` (the default) disables durability — today's in-memory-only
+    #: behavior.
+    store_path: str | None = None
+    #: Seconds the store's flush thread waits between write-through batches;
+    #: smaller flushes sooner at more commit overhead.
+    store_flush_interval: float = 0.05
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -456,6 +466,14 @@ class ServiceConfig:
             raise ConfigurationError("breaker_threshold must be >= 1")
         if self.breaker_cooldown < 0:
             raise ConfigurationError("breaker_cooldown cannot be negative")
+        if self.store_path is not None and (
+            not isinstance(self.store_path, (str, Path)) or not str(self.store_path)
+        ):
+            raise ConfigurationError(
+                f"store_path must be a non-empty path or None, got {self.store_path!r}"
+            )
+        if self.store_flush_interval <= 0:
+            raise ConfigurationError("store_flush_interval must be positive")
 
 
 #: PCIe 3.0 x16 as measured in the paper (cudaMemcpy peak ≈ 12.3 GB/s).

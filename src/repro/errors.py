@@ -140,6 +140,16 @@ class SweepTimeoutError(ServiceError):
     """
 
 
+class StoreError(ServiceError):
+    """The durable serving store (:mod:`repro.service.store`) failed.
+
+    The service never surfaces these to requests: store trouble trips the
+    store's circuit breaker and degrades serving to in-memory-only behavior
+    (reads miss, writes drop).  Raised to *callers* only from the operator
+    helpers (``repro store info`` / ``vacuum``) and invalid-usage paths.
+    """
+
+
 class NativeBackendError(ReproError):
     """The runtime-compiled native kernel failed to build, load, or run.
 

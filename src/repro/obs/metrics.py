@@ -87,6 +87,13 @@ METRIC_NAMES: dict[str, str] = {
     "repro_costmodel_mean_abs_error_seconds": "Mean absolute cost-model error.",
     "repro_trace_buffered_spans": "Spans buffered in the tracer ring.",
     "repro_native_breaker_state": "Circuit-breaker state code (0/1/2).",
+    "repro_store_operations_total": "Durable-store operations, by op and outcome.",
+    "repro_store_hits_total": "Requests answered from the persistent result cache.",
+    "repro_store_flushes_total": "Write-through batches committed by the flush thread.",
+    "repro_store_dropped_writes_total": "Pending store writes dropped (queue full).",
+    "repro_store_breaker_transitions_total": "Store breaker transitions, by state.",
+    "repro_store_state": "Durable-store state code (0 ok / 1 degraded / 2 quarantined / 3 disabled).",
+    "repro_store_pending_writes": "Store writes queued for the flush thread.",
 }
 
 #: Quantiles rendered for summaries, matching LatencyStats' fields.

@@ -71,6 +71,7 @@ from .scheduler import (
 )
 from .service import Engine, Service, default_engine
 from .stats import LatencyStats, ServiceStats, TenantStats
+from .store import STORE_STATE_CODES, ServingStore, StoreStats, graph_fingerprint
 from .workers import WorkerPool
 from .workload import (
     WorkloadReport,
@@ -115,10 +116,14 @@ __all__ = [
     "RequestQueue",
     "ResultCache",
     "SCHEDULING_POLICIES",
+    "STORE_STATE_CODES",
     "SchedulingPolicy",
     "Service",
     "ServiceConfig",
     "ServiceStats",
+    "ServingStore",
+    "StoreStats",
+    "graph_fingerprint",
     "Span",
     "TenantStats",
     "TraversalRequest",

@@ -276,6 +276,65 @@ class CostModel:
         return DEFAULT_BOOTSTRAP_SECONDS
 
     # ------------------------------------------------------------------ #
+    # Persistence (durable store warm restarts)
+    # ------------------------------------------------------------------ #
+    def family_state(self, family: Hashable) -> dict | None:
+        """The family's current EWMA state, or ``None`` before any sample.
+
+        The dict shape matches :meth:`seed` entries — it is what the durable
+        store appends to its cost-history table after every observation.
+        """
+        with self._lock:
+            estimate = self._families.get(family)
+            if estimate is None or estimate.samples == 0:
+                return None
+            return {
+                "family": family,
+                "group_seconds": estimate.group_seconds,
+                "job_seconds": estimate.job_seconds,
+                "samples": estimate.samples,
+                "iterations": self._iterations.get(family),
+            }
+
+    def seed(self, entries: "list[dict]") -> int:
+        """Install persisted EWMA state for families with no live samples.
+
+        Each entry carries ``family``, ``group_seconds``, ``job_seconds``,
+        ``samples`` and optional ``iterations`` (the shapes
+        :meth:`family_state` exports).  Families that already accumulated
+        live observations are left alone — fresh evidence beats history.
+        Returns the number of families seeded.
+        """
+        seeded = 0
+        with self._lock:
+            for entry in entries:
+                family = entry["family"]
+                samples = int(entry.get("samples", 0))
+                group_seconds = float(entry.get("group_seconds", 0.0))
+                job_seconds = float(entry.get("job_seconds", 0.0))
+                if (
+                    samples <= 0
+                    or not math.isfinite(group_seconds)
+                    or not math.isfinite(job_seconds)
+                    or group_seconds < 0
+                    or job_seconds < 0
+                ):
+                    continue
+                existing = self._families.get(family)
+                if existing is not None and existing.samples > 0:
+                    continue
+                self._families[family] = _FamilyEstimate(
+                    group_seconds=group_seconds,
+                    job_seconds=job_seconds,
+                    samples=samples,
+                )
+                iterations = entry.get("iterations")
+                if iterations is not None and float(iterations) > 0:
+                    self._iterations.setdefault(family, float(iterations))
+                seeded += 1
+        return seeded
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def family_samples(self, family: Hashable) -> int:

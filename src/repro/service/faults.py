@@ -26,6 +26,13 @@ Sites
     Per job on the drain path before its sweep runs (context: ``graph``,
     ``app``, ``source``, ``tenant``) — the lever for poisoning one lane of a
     fused group.
+``store.open`` / ``store.read`` / ``store.write`` / ``store.checkpoint``
+    In :class:`~repro.service.store.ServingStore`: opening (and re-opening)
+    the database (context: ``path``), every persistent-cache / history read
+    (context: ``table``), each flush-thread batch commit (context: ``ops``),
+    and the WAL checkpoint at close (context: ``path``).  The store absorbs
+    all of them — its circuit breaker degrades serving to in-memory-only
+    behavior, so store faults never fail requests.
 
 Spec format (``REPRO_FAULTS`` / ``ServiceConfig(fault_plan=...)``)
 ------------------------------------------------------------------
@@ -69,6 +76,10 @@ SITES = (
     "cache.get",
     "cache.put",
     "worker.task",
+    "store.open",
+    "store.read",
+    "store.write",
+    "store.checkpoint",
 )
 
 MODES = ("transient", "permanent", "latency")

@@ -73,6 +73,39 @@ class GraphRegistry:
         self._evictions = 0
         self._hits = 0
         self._misses = 0
+        #: Lifecycle listeners (durable catalog, warm backfill).  Always
+        #: invoked *outside* the registry lock, and a listener raising never
+        #: breaks the load/eviction that triggered it.
+        self._load_listeners: list[Callable[[str, CSRGraph], None]] = []
+        self._evict_listeners: list[Callable[[str], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle listeners
+    # ------------------------------------------------------------------ #
+    def add_load_listener(self, callback: Callable[[str, CSRGraph], None]) -> None:
+        """Call ``callback(name, graph)`` after every completed load."""
+        with self._lock:
+            self._load_listeners.append(callback)
+
+    def add_evict_listener(self, callback: Callable[[str], None]) -> None:
+        """Call ``callback(name)`` after every eviction (any path)."""
+        with self._lock:
+            self._evict_listeners.append(callback)
+
+    def _notify_load(self, name: str, graph: CSRGraph) -> None:
+        for callback in list(self._load_listeners):
+            try:
+                callback(name, graph)
+            except Exception:
+                pass
+
+    def _notify_evictions(self, names: "list[str]") -> None:
+        for evicted in names:
+            for callback in list(self._evict_listeners):
+                try:
+                    callback(evicted)
+                except Exception:
+                    pass
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -164,9 +197,11 @@ class GraphRegistry:
         with self._lock:
             self._loads += 1
             self._resident[name] = graph
-            self._evict_over_budget()
+            evicted = self._evict_over_budget()
             del self._loading[name]
         pending.set()
+        self._notify_evictions(evicted)
+        self._notify_load(name, graph)
         return graph
 
     def metadata(self, name: str) -> dict:
@@ -234,23 +269,28 @@ class GraphRegistry:
                 return False
             del self._resident[name]
             self._evictions += 1
-            return True
+        self._notify_evictions([name])
+        return True
 
     def clear_resident(self) -> None:
         """Drop every resident graph (registrations are kept)."""
         with self._lock:
+            dropped = list(self._resident)
             self._evictions += len(self._resident)
             self._resident.clear()
+        self._notify_evictions(dropped)
 
-    def _evict_over_budget(self) -> None:
+    def _evict_over_budget(self) -> "list[str]":
+        evicted: list[str] = []
         if self.budget_bytes is None:
-            return
+            return evicted
         while (
             len(self._resident) > 1
             and sum(g.total_bytes for g in self._resident.values()) > self.budget_bytes
         ):
-            self._resident.popitem(last=False)
+            evicted.append(self._resident.popitem(last=False)[0])
             self._evictions += 1
+        return evicted
 
     # ------------------------------------------------------------------ #
     # Stats

@@ -68,6 +68,7 @@ from .resilience import (
 )
 from .scheduler import make_policy
 from .stats import LatencyStats, ServiceStats, TenantStats
+from .store import STORE_STATE_CODES, ServingStore
 from .workers import WorkerPool
 
 #: Signature of the execution backend: given a normalized request and the
@@ -215,6 +216,27 @@ class Service:
         self._degraded = 0
         self._cache_errors = 0
         self._rejected_closed = 0
+        # Durable serving store (optional).  Opened after the fault plan is
+        # activated so chaos drills can poison the open itself; store trouble
+        # degrades serving to in-memory-only behavior and never raises into
+        # construction or requests.  On a warm restart the cost model is
+        # seeded from persisted history here, and the registry listeners
+        # catalog loads/evictions and backfill still-valid cached results.
+        self._store: ServingStore | None = None
+        if self.config.store_path is not None:
+            self._store = ServingStore(
+                self.config.store_path,
+                flush_interval=self.config.store_flush_interval,
+                on_event=self._note_store_event,
+            )
+            seeded = self._costmodel.seed(self._store.load_cost_seed())
+            if seeded:
+                logger.info(
+                    "cost model warm-started from store history (%d families)",
+                    seeded,
+                )
+            self.registry.add_load_listener(self._on_graph_load)
+            self.registry.add_evict_listener(self._on_graph_evict)
         self._started_at = time.perf_counter()
         self._closed = False
 
@@ -391,6 +413,66 @@ class Service:
             "Estimated solo-minus-shared engine seconds of each chosen plan.",
             window=window,
         )
+        self._m_store_ops = m.counter(
+            "repro_store_operations_total",
+            "Durable-store operations (open/read/write/checkpoint), by outcome.",
+            ("op", "outcome"),
+        )
+        self._m_store_hits = m.counter(
+            "repro_store_hits_total",
+            "Requests answered from the persistent result cache.",
+        )
+        self._m_store_flushes = m.counter(
+            "repro_store_flushes_total",
+            "Write-through batches committed by the store flush thread.",
+        )
+        self._m_store_dropped = m.counter(
+            "repro_store_dropped_writes_total",
+            "Pending store writes dropped because the flush queue was full.",
+        )
+        self._m_store_breaker = m.counter(
+            "repro_store_breaker_transitions_total",
+            "Durable-store circuit breaker transitions, by new state.",
+            ("state",),
+        )
+
+    def _note_store_event(self, kind: str, labels: dict) -> None:
+        """Store event hook: map store activity onto the metric series."""
+        if kind == "op":
+            self._m_store_ops.inc(
+                op=labels.get("op", "unknown"),
+                outcome=labels.get("outcome", "unknown"),
+            )
+        elif kind == "hit":
+            self._m_store_hits.inc()
+        elif kind == "flush":
+            self._m_store_flushes.inc()
+        elif kind == "drop":
+            self._m_store_dropped.inc()
+        elif kind == "breaker":
+            state = labels.get("state", "unknown")
+            self._m_store_breaker.inc(state=state)
+            logger.warning("durable store circuit breaker -> %s", state)
+
+    def _on_graph_load(self, name: str, graph: CSRGraph) -> None:
+        """Registry listener: catalog the load, backfill still-valid results.
+
+        Runs on the loading thread right after a load completes (outside
+        every registry lock) — the one place a graph's content fingerprint
+        is in hand, so stale persistent-cache rows are purged here and the
+        still-valid ones re-installed into the in-memory cache for
+        memory-speed warm-restart repeats.
+        """
+        store = self._store
+        if store is None:
+            return
+        for key, result in store.record_load(name, graph):
+            self._cache_put_memory_safe(key, result)
+
+    def _on_graph_evict(self, name: str) -> None:
+        store = self._store
+        if store is not None:
+            store.record_eviction(name)
 
     def _note_fault(self, site: str) -> None:
         """Fault-plan listener: export every injected fault as a counter bump."""
@@ -415,6 +497,11 @@ class Service:
     def metrics(self) -> MetricsRegistry:
         """The live metrics registry (always-on counters and summaries)."""
         return self._metrics
+
+    @property
+    def store(self) -> ServingStore | None:
+        """The durable serving store, or ``None`` when durability is off."""
+        return self._store
 
     def collect_metrics(self) -> MetricsRegistry:
         """Refresh the point-in-time gauges from :meth:`stats` and return the registry."""
@@ -446,6 +533,14 @@ class Service:
             "repro_native_breaker_state",
             "Native relax breaker state (0=closed, 1=half_open, 2=open).",
         ).set(BREAKER_STATE_CODES[snapshot.breaker_state])
+        m.gauge(
+            "repro_store_state",
+            "Durable-store state (0=ok, 1=degraded, 2=quarantined, 3=disabled).",
+        ).set(STORE_STATE_CODES.get(snapshot.store_state, 3))
+        m.gauge(
+            "repro_store_pending_writes",
+            "Store writes queued for the flush thread.",
+        ).set(snapshot.store_pending)
         return m
 
     def drain_traces(self) -> list[dict]:
@@ -458,6 +553,14 @@ class Service:
         if error is not None:
             self._m_cost_error.observe(error)
             self._m_cost_observations.inc()
+            store = self._store
+            if store is not None:
+                # Persist the family's post-observation EWMA state so a
+                # restarted service seeds admission estimates from history
+                # instead of the size-based bootstrap.
+                state = self._costmodel.family_state(family)
+                if state is not None:
+                    store.enqueue_cost(family, state)
 
     def _record_kernel_counters(self, app: str, metrics_list) -> str | None:
         """Aggregate engine-level counters into the registry; returns the backend."""
@@ -639,16 +742,26 @@ class Service:
         request must not fail because its *shortcut* is broken.
         """
         try:
-            return self._cache.get(key)
+            result = self._cache.get(key)
         except Exception:  # noqa: BLE001 - cache faults degrade to a miss
             with self._lock:
                 self._cache_errors += 1
             self._m_cache_errors.inc(op="get")
             logger.warning("result cache get failed; treating as miss", exc_info=True)
             return None
+        if result is not None or self._store is None:
+            return result
+        # Memory missed: fall through to the persistent cache (fingerprint
+        # validation happens inside the store's query; any store trouble is
+        # absorbed into a miss).  A persistent hit is re-installed into the
+        # in-memory cache so repeats stay at memory speed.
+        result = self._store.lookup(key)
+        if result is not None:
+            self._cache_put_memory_safe(key, result)
+        return result
 
-    def _cache_put_safe(self, key: tuple, result: TraversalResult) -> None:
-        """Result-cache fill that drops the entry instead of failing the job."""
+    def _cache_put_memory_safe(self, key: tuple, result: TraversalResult) -> None:
+        """In-memory-only cache fill (store backfills / persistent hits)."""
         try:
             self._cache.put(key, result)
         except Exception:  # noqa: BLE001 - cache faults drop the entry
@@ -656,6 +769,19 @@ class Service:
                 self._cache_errors += 1
             self._m_cache_errors.inc(op="put")
             logger.warning("result cache put failed; result not cached", exc_info=True)
+
+    def _cache_put_safe(self, key: tuple, result: TraversalResult) -> None:
+        """Result-cache fill that drops the entry instead of failing the job.
+
+        With a durable store attached the result also writes through —
+        asynchronously, off the request hot path: the store's flush thread
+        picks it up from a bounded queue and tags it with the graph's
+        catalog fingerprint.
+        """
+        self._cache_put_memory_safe(key, result)
+        store = self._store
+        if store is not None:
+            store.enqueue_result(key, result)
 
     def _check_job_fault(self, job: Job) -> None:
         """Arm the per-job ``worker.task`` injection site with match context."""
@@ -1833,6 +1959,21 @@ class Service:
         return self._costmodel
 
     def stats(self) -> ServiceStats:
+        store_fields: dict = {}
+        if self._store is not None:
+            # Snapshot outside self._lock: the store has its own locks and
+            # runs a COUNT query, neither of which belongs under the
+            # service-wide lock.
+            store_snapshot = self._store.stats()
+            store_fields = {
+                "store_state": store_snapshot.state,
+                "store_hits": store_snapshot.hits,
+                "store_writes": store_snapshot.writes,
+                "store_flushes": store_snapshot.flushes,
+                "store_errors": store_snapshot.errors,
+                "store_pending": store_snapshot.pending,
+                "store_backfilled": store_snapshot.backfilled,
+            }
         with self._lock:
             return ServiceStats(
                 submitted=self._submitted,
@@ -1878,6 +2019,7 @@ class Service:
                     self._faults.total_fired() if self._faults is not None else 0
                 ),
                 cache_errors=self._cache_errors,
+                **store_fields,
             )
 
     def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
@@ -1896,6 +2038,12 @@ class Service:
         with self._admission_lock:
             self._closed = True
         self._pool.shutdown(wait=wait, cancel_pending=cancel_pending)
+        # Graceful drain-and-flush checkpoint: every write the drained pool
+        # produced is flushed to the store and the WAL folded back into the
+        # main file — before the fault plan deactivates, so chaos drills can
+        # poison the checkpoint itself.
+        if self._store is not None:
+            self._store.close()
         # Deactivate the fault plan only after the pool drained, so in-flight
         # batches keep seeing injected faults; idempotent if another service
         # (or a test) already swapped the active plan.

@@ -145,6 +145,26 @@ class ServiceStats:
     #: Result-cache get/put failures absorbed by the service (a failing read
     #: is a miss, a failing write is dropped; requests never fail on these).
     cache_errors: int = 0
+    #: Durable-store condition: ``disabled`` (no store configured), ``ok``,
+    #: ``degraded`` (breaker open / connection lost — serving is in-memory
+    #: only), or ``quarantined`` (durable again after renaming a corrupt
+    #: predecessor aside this boot).
+    store_state: str = "disabled"
+    #: Requests answered from the persistent result cache (reads the
+    #: in-memory cache missed).
+    store_hits: int = 0
+    #: Rows written through to the store by the flush thread.
+    store_writes: int = 0
+    #: Write-through batches committed (each one transaction).
+    store_flushes: int = 0
+    #: Store failures absorbed (armed faults included); these trip the store
+    #: breaker, never requests.
+    store_errors: int = 0
+    #: Pending write-through ops queued for the flush thread.
+    store_pending: int = 0
+    #: Cached results re-installed into the in-memory cache at graph load
+    #: (warm restart backfill).
+    store_backfilled: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -203,6 +223,11 @@ class ServiceStats:
             f"{self.rejected_after_close} rejected after close, "
             f"{self.faults_injected} faults injected, "
             f"{self.cache_errors} cache errors absorbed",
+            f"store: {self.store_state}, {self.store_hits} hits, "
+            f"{self.store_writes} writes in {self.store_flushes} flushes, "
+            f"{self.store_backfilled} backfilled, "
+            f"{self.store_errors} errors absorbed, "
+            f"{self.store_pending} pending",
         ]
         if self.tenants:
             lines.append(

@@ -35,7 +35,10 @@ not fatal.
 Resilience knobs ride the same way: top-level ``fault_plan`` (a
 ``REPRO_FAULTS``-format spec string, see :mod:`repro.service.faults`),
 ``retry_limit``, ``sweep_timeout`` / ``sweep_timeout_multiplier``, and
-``breaker_threshold`` / ``breaker_cooldown``.
+``breaker_threshold`` / ``breaker_cooldown``.  Durability too: top-level
+``store_path`` (SQLite file for the durable serving store, see
+:mod:`repro.service.store`) and ``store_flush_interval`` — the CLI's
+``--store PATH`` maps onto the former.
 """
 
 from __future__ import annotations
@@ -157,6 +160,8 @@ def config_from_spec(
     breaker_threshold: int | None = None,
     breaker_cooldown: float | None = None,
     planner: bool | None = None,
+    store_path: str | None = None,
+    store_flush_interval: float | None = None,
 ) -> ServiceConfig:
     """Service knobs from a workload spec, with optional (CLI) overrides."""
     if budget_mib is None:
@@ -191,6 +196,10 @@ def config_from_spec(
         breaker_cooldown = spec.get("breaker_cooldown")
     if planner is None:
         planner = spec.get("planner")
+    if store_path is None:
+        store_path = spec.get("store_path")
+    if store_flush_interval is None:
+        store_flush_interval = spec.get("store_flush_interval")
     # Only forward the knobs that were actually given, so ServiceConfig's
     # own defaults stay the single source of truth.
     extra = {}
@@ -216,6 +225,10 @@ def config_from_spec(
         extra["breaker_cooldown"] = float(breaker_cooldown)
     if planner is not None:
         extra["planner"] = bool(planner)
+    if store_path is not None:
+        extra["store_path"] = str(store_path)
+    if store_flush_interval is not None:
+        extra["store_flush_interval"] = float(store_flush_interval)
     return ServiceConfig(
         max_workers=int(workers if workers is not None else spec.get("workers", 4)),
         registry_budget_bytes=(
